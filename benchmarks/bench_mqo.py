@@ -1,0 +1,90 @@
+"""E8: MQO on the annealer ([20]'s headline experiment, reshaped).
+
+Shapes to reproduce: the annealer matches the exhaustive/hill-climbing
+optimum on small instances, keeps beating greedy as sharing density grows,
+and its runtime scales past exhaustive enumeration (which explodes as
+``plans^queries``).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.annealing.simulated_annealing import SimulatedAnnealingSolver
+from repro.mqo import (
+    exhaustive_mqo,
+    generate_mqo_problem,
+    greedy_mqo,
+    hill_climbing_mqo,
+    solve_with_sampler,
+)
+
+
+def test_e8_quality_matches_exhaustive(benchmark):
+    """Annealing solution quality == exhaustive optimum (q=4, p=3)."""
+
+    def kernel():
+        ratios = []
+        for seed in range(4):
+            problem = generate_mqo_problem(4, 3, sharing_density=0.4, rng=seed)
+            _, optimum = exhaustive_mqo(problem)
+            result = solve_with_sampler(
+                problem, SimulatedAnnealingSolver(num_reads=16, num_sweeps=200), rng=seed
+            )
+            ratios.append(result.total_cost / optimum)
+        return ratios
+
+    ratios = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert np.allclose(ratios, 1.0)
+
+
+def test_e8_sharing_density_sweep(benchmark):
+    """More sharing -> larger greedy gap; annealer keeps the advantage."""
+
+    def kernel():
+        gaps = []
+        for density in (0.0, 0.3, 0.6, 0.9):
+            greedy_total = 0.0
+            quantum_total = 0.0
+            for seed in range(3):
+                problem = generate_mqo_problem(4, 3, sharing_density=density, rng=seed + 10)
+                _, greedy_cost = greedy_mqo(problem)
+                result = solve_with_sampler(
+                    problem, SimulatedAnnealingSolver(num_reads=16, num_sweeps=200), rng=seed
+                )
+                greedy_total += greedy_cost
+                quantum_total += result.total_cost
+            gaps.append(greedy_total / quantum_total)
+        return gaps
+
+    gaps = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert gaps[0] == pytest.approx(1.0)  # no sharing: greedy is optimal
+    assert all(g > 1.05 for g in gaps[1:])  # with sharing: the annealer wins
+    assert max(gaps) > 1.3  # and the advantage becomes substantial
+
+
+def test_e8_scaling_crossover(benchmark):
+    """Annealing wall-clock grows polynomially while exhaustive explodes."""
+
+    def kernel():
+        rows = []
+        for q, p in ((3, 3), (5, 3), (7, 3), (9, 3)):
+            problem = generate_mqo_problem(q, p, sharing_density=0.3, rng=q)
+            start = time.perf_counter()
+            result = solve_with_sampler(
+                problem, SimulatedAnnealingSolver(num_reads=12, num_sweeps=150), rng=q
+            )
+            anneal_time = time.perf_counter() - start
+            space = p**q
+            _, hc_cost = hill_climbing_mqo(problem, restarts=10, rng=q)
+            rows.append((q * p, space, anneal_time, result.total_cost / hc_cost))
+        return rows
+
+    rows = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    spaces = [r[1] for r in rows]
+    times = [r[2] for r in rows]
+    assert spaces[-1] / spaces[0] > 500  # exhaustive space explodes
+    assert times[-1] / max(times[0], 1e-4) < 100  # annealing stays tame
+    for _, _, _, ratio in rows:
+        assert ratio <= 1.02  # matches or beats hill climbing

@@ -1,0 +1,46 @@
+"""qdmlib — Quantum Data Management, from theory to opportunities.
+
+A full-stack reproduction of Hai, Hung & Feld, *Quantum Data Management:
+From Theory to Opportunities* (ICDE 2024).  The library ships:
+
+* :mod:`repro.quantum` — gate-model simulation substrate (circuits,
+  statevector + density-matrix simulators, noise).
+* :mod:`repro.qubo` / :mod:`repro.annealing` — QUBO modelling and the
+  annealing stand-in for D-Wave hardware (SA, path-integral SQA, Chimera
+  minor embedding).
+* :mod:`repro.algorithms` — Grover, QAOA, VQE, QFT/QPE, variational
+  circuits and classical optimizers.
+* :mod:`repro.db` — classical relational substrate (relations, cost model,
+  join-ordering DP, SQL subset, transactions/2PL).
+* :mod:`repro.mqo`, :mod:`repro.joinorder`, :mod:`repro.integration`,
+  :mod:`repro.txn` — the Table I problem mappings (multiple query
+  optimization, join ordering, schema matching, transaction scheduling).
+* :mod:`repro.qdb` — quantum database search, set operations, DML, and the
+  mini quantum query language.
+* :mod:`repro.games` — nonlocal games (CHSH, GHZ, XOR games).
+* :mod:`repro.qnet` / :mod:`repro.dqdm` — quantum-internet substrate and
+  distributed quantum data management (Sec. IV opportunities).
+"""
+
+__version__ = "1.0.0"
+
+from repro.exceptions import (
+    EmbeddingError,
+    InfeasibleError,
+    NoCloningError,
+    ParseError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SimulationError",
+    "NoCloningError",
+    "EmbeddingError",
+    "InfeasibleError",
+    "ParseError",
+    "ProtocolError",
+]

@@ -1,0 +1,48 @@
+"""Gate-model quantum algorithms (the "intermediate quantum algorithms" of
+Table I and Fig. 2): Grover search, QAOA, VQE, QFT/QPE, and variational
+quantum circuits, plus the classical optimizers that drive the hybrid loops.
+"""
+
+from repro.algorithms.grover import (
+    CountingOracle,
+    GroverResult,
+    GroverSearch,
+    classical_search,
+    durr_hoyer_minimum,
+    optimal_iterations,
+)
+from repro.algorithms.optimizers import (
+    OptimizerResult,
+    SPSAOptimizer,
+    finite_difference_gradient,
+    parameter_shift_gradient,
+    scipy_minimize,
+)
+from repro.algorithms.qaoa import QAOA, QAOAResult
+from repro.algorithms.qft import qft_circuit
+from repro.algorithms.qpe import QPEResult, estimate_phase
+from repro.algorithms.vqc import VariationalCircuit
+from repro.algorithms.vqe import VQE, VQEResult, hardware_efficient_ansatz
+
+__all__ = [
+    "CountingOracle",
+    "GroverResult",
+    "GroverSearch",
+    "classical_search",
+    "durr_hoyer_minimum",
+    "optimal_iterations",
+    "OptimizerResult",
+    "SPSAOptimizer",
+    "finite_difference_gradient",
+    "parameter_shift_gradient",
+    "scipy_minimize",
+    "QAOA",
+    "QAOAResult",
+    "qft_circuit",
+    "QPEResult",
+    "estimate_phase",
+    "VariationalCircuit",
+    "VQE",
+    "VQEResult",
+    "hardware_efficient_ansatz",
+]

@@ -1,0 +1,239 @@
+"""Grover's algorithm with query-complexity instrumentation.
+
+This is the Sec. III-A core of the paper: searching an unsorted database of
+``N = 2^n`` records in ``O(sqrt(N))`` oracle queries [19].  The oracle is a
+phase flip over marked basis states and *counts its own invocations*, so
+benchmarks can compare quantum and classical query complexity directly.
+
+Also included: the Boyer-Brassard-Hoyer-Tapp (BBHT) loop for an unknown
+number of marked items, and Durr-Hoyer minimum finding (used by the
+Groppe-Groppe transaction scheduler and the Fig. 2 roadmap bench).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.state import Statevector
+from repro.utils.bits import index_to_bitstring
+from repro.utils.rngtools import ensure_rng
+
+
+class CountingOracle:
+    """Phase oracle ``O|x> = (-1)^{f(x)} |x>`` that counts its queries."""
+
+    def __init__(self, marked: Iterable[int], num_qubits: int):
+        self.num_qubits = num_qubits
+        dim = 2**num_qubits
+        self.marked = frozenset(int(m) for m in marked)
+        for m in self.marked:
+            if not 0 <= m < dim:
+                raise SimulationError(f"marked index {m} out of range for {num_qubits} qubits")
+        diagonal = np.ones(dim)
+        for m in self.marked:
+            diagonal[m] = -1.0
+        self._diagonal = diagonal
+        self.calls = 0
+
+    @classmethod
+    def from_predicate(cls, predicate: Callable[[int], bool], num_qubits: int) -> "CountingOracle":
+        """Build the oracle by evaluating ``predicate`` on every index."""
+        marked = [i for i in range(2**num_qubits) if predicate(i)]
+        return cls(marked, num_qubits)
+
+    @property
+    def num_marked(self) -> int:
+        return len(self.marked)
+
+    def apply(self, state: Statevector) -> Statevector:
+        """Apply the phase flip (one query)."""
+        self.calls += 1
+        return state.apply_diagonal(self._diagonal)
+
+    def classify(self, index: int) -> bool:
+        """Classical membership query (also counted)."""
+        self.calls += 1
+        return index in self.marked
+
+    def reset(self) -> None:
+        self.calls = 0
+
+
+def diffusion(state: Statevector) -> Statevector:
+    """Inversion about the mean: ``2|s><s| - I`` for uniform ``|s>``."""
+    data = state.data
+    mean = data.mean()
+    state._data = 2.0 * mean - data  # noqa: SLF001 - performance-critical kernel
+    return state
+
+
+def optimal_iterations(num_states: int, num_marked: int) -> int:
+    """``floor(pi/4 * sqrt(N/M))`` — the Grover sweet spot."""
+    if num_marked <= 0:
+        raise SimulationError("need at least one marked state")
+    if num_marked >= num_states:
+        return 0
+    angle = math.asin(math.sqrt(num_marked / num_states))
+    return max(0, int(math.floor(math.pi / (4.0 * angle))))
+
+
+@dataclass
+class GroverResult:
+    """Outcome of a Grover run."""
+
+    found_index: int
+    found: bool
+    iterations: int
+    oracle_calls: int
+    success_probability: float
+    num_qubits: int
+
+    @property
+    def found_bitstring(self) -> str:
+        return index_to_bitstring(self.found_index, self.num_qubits)
+
+
+class GroverSearch:
+    """Amplitude-amplified search over ``2^n`` basis states."""
+
+    def __init__(self, oracle: CountingOracle):
+        self.oracle = oracle
+        self.num_qubits = oracle.num_qubits
+
+    def amplified_state(self, iterations: int) -> Statevector:
+        """The state after ``iterations`` Grover rounds (no measurement)."""
+        state = Statevector.uniform_superposition(self.num_qubits)
+        for _ in range(iterations):
+            self.oracle.apply(state)
+            diffusion(state)
+        return state
+
+    def success_probability(self, iterations: int) -> float:
+        """Probability that measuring after ``iterations`` hits a marked state."""
+        state = self.amplified_state(iterations)
+        probs = state.probabilities()
+        return float(sum(probs[m] for m in self.oracle.marked))
+
+    def run(self, iterations: "int | None" = None, rng=None) -> GroverResult:
+        """Run with the optimal (or given) iteration count and measure once."""
+        rng = ensure_rng(rng)
+        if iterations is None:
+            iterations = optimal_iterations(2**self.num_qubits, max(self.oracle.num_marked, 1))
+        state = self.amplified_state(iterations)
+        probs = state.probabilities()
+        outcome = int(rng.choice(len(probs), p=probs / probs.sum()))
+        success = float(sum(probs[m] for m in self.oracle.marked))
+        return GroverResult(
+            found_index=outcome,
+            found=outcome in self.oracle.marked,
+            iterations=iterations,
+            oracle_calls=self.oracle.calls,
+            success_probability=success,
+            num_qubits=self.num_qubits,
+        )
+
+    def search_unknown_count(self, rng=None, max_rounds: int = 64) -> GroverResult:
+        """BBHT search when the number of marked items is unknown.
+
+        Grows the iteration cap geometrically (factor 6/5) and verifies each
+        measured candidate with one classical query, as in [40].
+        """
+        rng = ensure_rng(rng)
+        n = self.num_qubits
+        sqrt_n = math.sqrt(2**n)
+        m_cap = 1.0
+        total_iterations = 0
+        for _ in range(max_rounds):
+            j = int(rng.integers(0, max(int(m_cap), 1))) if m_cap > 1 else 0
+            state = Statevector.uniform_superposition(n)
+            for _ in range(j):
+                self.oracle.apply(state)
+                diffusion(state)
+            total_iterations += j
+            probs = state.probabilities()
+            outcome = int(rng.choice(len(probs), p=probs / probs.sum()))
+            if self.oracle.classify(outcome):
+                return GroverResult(
+                    found_index=outcome,
+                    found=True,
+                    iterations=total_iterations,
+                    oracle_calls=self.oracle.calls,
+                    success_probability=float(sum(probs[m] for m in self.oracle.marked)),
+                    num_qubits=n,
+                )
+            m_cap = min(1.2 * max(m_cap, 1.0), sqrt_n)
+        return GroverResult(
+            found_index=-1,
+            found=False,
+            iterations=total_iterations,
+            oracle_calls=self.oracle.calls,
+            success_probability=0.0,
+            num_qubits=n,
+        )
+
+
+def classical_search(oracle: CountingOracle, rng=None) -> tuple[int, int]:
+    """Classical random-order scan; returns ``(found_index, queries_used)``.
+
+    Queries are counted on the same oracle object, so after a run
+    ``oracle.calls`` is directly comparable with the quantum counterpart.
+    """
+    rng = ensure_rng(rng)
+    order = rng.permutation(2**oracle.num_qubits)
+    for idx in order:
+        if oracle.classify(int(idx)):
+            return int(idx), oracle.calls
+    return -1, oracle.calls
+
+
+def durr_hoyer_minimum(
+    values: Sequence[float],
+    rng=None,
+    max_rounds: int = 32,
+) -> tuple[int, int]:
+    """Durr-Hoyer quantum minimum finding over a table of values.
+
+    Returns ``(argmin_index, total_oracle_calls)``.  Each round builds a
+    threshold oracle ``f(x) = [values[x] < values[y]]`` and runs a BBHT
+    search for an improving index; expected total cost is ``O(sqrt(N))``.
+    """
+    rng = ensure_rng(rng)
+    values = np.asarray(values, dtype=float)
+    n_items = values.size
+    if n_items == 0:
+        raise SimulationError("cannot take the minimum of an empty table")
+    num_qubits = max(1, (n_items - 1).bit_length())
+    # Pad out-of-range indices with +inf so they are never marked.
+    padded = np.full(2**num_qubits, np.inf)
+    padded[:n_items] = values
+    best = int(rng.integers(0, n_items))
+    total_calls = 0
+    for _ in range(max_rounds):
+        marked = [int(i) for i in np.nonzero(padded < padded[best])[0]]
+        if not marked:
+            break
+        oracle = CountingOracle(marked, num_qubits)
+        result = GroverSearch(oracle).search_unknown_count(rng=rng)
+        total_calls += oracle.calls
+        if result.found:
+            best = result.found_index
+    return best, total_calls
+
+
+def classical_minimum(values: Sequence[float]) -> tuple[int, int]:
+    """Classical scan minimum; returns ``(argmin, comparisons)``."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise SimulationError("cannot take the minimum of an empty table")
+    best = 0
+    comparisons = 0
+    for i in range(1, values.size):
+        comparisons += 1
+        if values[i] < values[best]:
+            best = i
+    return best, comparisons

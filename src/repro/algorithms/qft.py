@@ -1,0 +1,32 @@
+"""Quantum Fourier transform circuits."""
+
+from __future__ import annotations
+
+import math
+
+from repro.quantum.circuit import QuantumCircuit
+
+
+def qft_circuit(num_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """The QFT on ``num_qubits`` qubits.
+
+    Qubit 0 is the most significant bit of the input integer (library-wide
+    convention), matching the textbook circuit: Hadamard the top wire, then
+    controlled phases ``pi/2, pi/4, ...`` from the wires below.
+    """
+    qc = QuantumCircuit(num_qubits, name="qft")
+    for target in range(num_qubits):
+        qc.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=1):
+            qc.cp(math.pi / (2**offset), control, target)
+    if do_swaps:
+        for q in range(num_qubits // 2):
+            qc.swap(q, num_qubits - 1 - q)
+    return qc
+
+
+def inverse_qft_circuit(num_qubits: int, do_swaps: bool = True) -> QuantumCircuit:
+    """The inverse QFT (adjoint of :func:`qft_circuit`)."""
+    inv = qft_circuit(num_qubits, do_swaps=do_swaps).inverse()
+    inv.name = "iqft"
+    return inv

@@ -1,0 +1,81 @@
+"""Quantum phase estimation.
+
+QPE is one of the algorithm families Fig. 2 lists as candidates for data
+management problems.  Given a unitary ``U`` and (a state overlapping) an
+eigenstate ``U|u> = e^{2 pi i phi}|u>``, QPE with ``t`` ancilla qubits
+returns a ``t``-bit binary expansion of ``phi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.qft import qft_circuit
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import Gate, controlled
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.state import Statevector
+from repro.utils.rngtools import ensure_rng
+
+
+@dataclass
+class QPEResult:
+    """Outcome of a phase-estimation run."""
+
+    phase: float
+    counts: dict[str, int]
+    num_ancillas: int
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable phase increment ``2^-t``."""
+        return 2.0**-self.num_ancillas
+
+
+def qpe_circuit(unitary: np.ndarray, num_ancillas: int) -> QuantumCircuit:
+    """Build the QPE circuit (ancillas are qubits ``0..t-1``).
+
+    The system register follows the ancillas; prepare its initial state via
+    the simulator's ``initial_state``.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    dim = unitary.shape[0]
+    if unitary.ndim != 2 or dim != unitary.shape[1] or dim & (dim - 1):
+        raise SimulationError("unitary must be square with power-of-2 dimension")
+    num_system = dim.bit_length() - 1
+    t = num_ancillas
+    qc = QuantumCircuit(t + num_system, name="qpe")
+    for a in range(t):
+        qc.h(a)
+    # Ancilla a controls U^(2^(t-1-a)) so ancilla 0 is the most significant
+    # phase bit, matching the library's bit convention.
+    power = unitary
+    for a in range(t - 1, -1, -1):
+        gate = controlled(Gate("u_pow", power))
+        qc.append(gate, (a, *range(t, t + num_system)))
+        power = power @ power
+    iqft = qft_circuit(t).inverse()
+    qc.compose(iqft, qubits=list(range(t)))
+    return qc
+
+
+def estimate_phase(
+    unitary: np.ndarray,
+    eigenstate: Statevector,
+    num_ancillas: int = 6,
+    shots: int = 512,
+    rng=None,
+) -> QPEResult:
+    """Run QPE and return the most frequent phase estimate in ``[0, 1)``."""
+    rng = ensure_rng(rng)
+    qc = qpe_circuit(unitary, num_ancillas)
+    initial = Statevector.zero_state(num_ancillas).tensor(eigenstate)
+    sim = StatevectorSimulator()
+    final = sim.run(qc, initial_state=initial)
+    counts = final.sample_counts(shots, rng=rng, qubits=list(range(num_ancillas)))
+    best = max(counts, key=counts.get)
+    phase = int(best, 2) / 2**num_ancillas
+    return QPEResult(phase=phase, counts=counts, num_ancillas=num_ancillas)

@@ -1,0 +1,126 @@
+"""Variational quantum circuits for learning tasks (Chen et al. [58]).
+
+The data-re-uploading circuit here backs the Winker et al. [27] approach of
+treating join ordering as a reinforcement-learning problem with a quantum
+policy: features are angle-encoded, interleaved with trainable rotation
+layers, and the measurement distribution over a subset of qubits becomes a
+policy over discrete actions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.pauli import PauliString, PauliSum
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.state import Statevector
+
+
+class VariationalCircuit:
+    """Data re-uploading variational circuit.
+
+    Layout per layer: RY-encode the (tiled) feature vector, then trainable
+    RY and RZ rotations on every qubit, then a CZ entangling chain.  With
+    ``reupload=True`` the encoding repeats every layer, which is what gives
+    shallow circuits nonlinear expressivity.
+
+    Parameters are a flat vector of length :attr:`num_parameters`
+    (= ``2 * num_qubits * num_layers``).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_layers: int = 2,
+        reupload: bool = True,
+        simulator: "StatevectorSimulator | None" = None,
+    ):
+        if num_qubits < 1 or num_layers < 1:
+            raise ReproError("VariationalCircuit needs >= 1 qubit and >= 1 layer")
+        self.num_qubits = num_qubits
+        self.num_layers = num_layers
+        self.reupload = reupload
+        self.simulator = simulator or StatevectorSimulator()
+
+    @property
+    def num_parameters(self) -> int:
+        return 2 * self.num_qubits * self.num_layers
+
+    def initial_parameters(self, rng) -> np.ndarray:
+        """Small random angles (break symmetry without barren plateaus)."""
+        return rng.uniform(-0.1, 0.1, size=self.num_parameters)
+
+    def circuit(self, features: np.ndarray, params: np.ndarray) -> QuantumCircuit:
+        features = np.asarray(features, dtype=float).reshape(-1)
+        params = np.asarray(params, dtype=float)
+        if params.size != self.num_parameters:
+            raise ReproError(f"expected {self.num_parameters} parameters, got {params.size}")
+        qc = QuantumCircuit(self.num_qubits, name="vqc")
+        k = 0
+        for layer in range(self.num_layers):
+            if layer == 0 or self.reupload:
+                self._encode(qc, features)
+            for q in range(self.num_qubits):
+                qc.ry(params[k], q)
+                k += 1
+            for q in range(self.num_qubits):
+                qc.rz(params[k], q)
+                k += 1
+            for q in range(self.num_qubits - 1):
+                qc.cz(q, q + 1)
+        return qc
+
+    def _encode(self, qc: QuantumCircuit, features: np.ndarray) -> None:
+        """Angle-encode features, tiling/truncating to the qubit count."""
+        if features.size == 0:
+            return
+        for q in range(self.num_qubits):
+            qc.ry(float(features[q % features.size]) * math.pi, q)
+
+    def state(self, features: np.ndarray, params: np.ndarray) -> Statevector:
+        return self.simulator.run(self.circuit(features, params))
+
+    def probabilities(self, features: np.ndarray, params: np.ndarray) -> np.ndarray:
+        """Measurement distribution over all basis states."""
+        return self.state(features, params).probabilities()
+
+    def expectation_z(self, features: np.ndarray, params: np.ndarray, qubit: int = 0) -> float:
+        """``<Z_qubit>`` — the standard binary-classifier readout."""
+        string = "".join("Z" if q == qubit else "I" for q in range(self.num_qubits))
+        return PauliSum([PauliString(string)]).expectation(self.state(features, params))
+
+    def policy(
+        self,
+        features: np.ndarray,
+        params: np.ndarray,
+        num_actions: int,
+        valid_actions: "list[int] | None" = None,
+        epsilon: float = 1e-6,
+    ) -> np.ndarray:
+        """A probability distribution over ``num_actions`` discrete actions.
+
+        Reads the marginal distribution of the first ``ceil(log2 A)`` qubits,
+        truncates to the action count, masks invalid actions and
+        renormalises.  ``epsilon`` keeps every valid action reachable so
+        REINFORCE log-gradients stay finite.
+        """
+        if num_actions < 1:
+            raise ReproError("need at least one action")
+        needed = max(1, (num_actions - 1).bit_length())
+        if needed > self.num_qubits:
+            raise ReproError(f"{num_actions} actions need {needed} qubits, circuit has {self.num_qubits}")
+        marg = self.state(features, params).marginal_probabilities(list(range(needed)))
+        probs = np.array(marg[:num_actions], dtype=float) + epsilon
+        if valid_actions is not None:
+            mask = np.zeros(num_actions)
+            for a in valid_actions:
+                mask[a] = 1.0
+            probs = probs * mask
+        total = probs.sum()
+        if total <= 0:
+            raise ReproError("policy has no valid action with positive probability")
+        return probs / total

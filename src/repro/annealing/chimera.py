@@ -1,0 +1,106 @@
+"""Chimera hardware topology (the D-Wave 2X working graph of [20]).
+
+A Chimera graph ``C(m, n, t)`` is an ``m x n`` grid of ``K_{t,t}`` unit
+cells.  Within a cell the two sides (u = 0 "vertical", u = 1 "horizontal")
+are completely bipartitely connected; vertical qubits couple to the same
+position in the cell below, horizontal qubits to the cell to the right.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import ReproError
+
+
+def chimera_node(row: int, col: int, side: int, k: int, n: int, t: int) -> int:
+    """Linear index of the Chimera node ``(row, col, side, k)``."""
+    return ((row * n + col) * 2 + side) * t + k
+
+
+def chimera_clique_embedding(m: int, t: int, size: int) -> dict[int, list[int]]:
+    """The standard Chimera clique embedding: chains for ``K_size``.
+
+    Chain ``i`` (block ``b = i // t``, offset ``k = i % t``) consists of the
+    vertical qubits of column ``b`` (all rows) plus the horizontal qubits of
+    row ``b`` (all columns), both at offset ``k`` — a cross shape of ``2m``
+    qubits.  Any two chains meet in the cell at (row of one, column of the
+    other), so every pair is coupled; supports cliques up to ``t * m``.
+    """
+    if size < 1:
+        raise ReproError("clique size must be positive")
+    if size > t * m:
+        raise ReproError(f"Chimera C({m},{m},{t}) supports cliques up to {t * m}, got {size}")
+    embedding: dict[int, list[int]] = {}
+    for i in range(size):
+        block, k = divmod(i, t)
+        chain = [chimera_node(row, block, 0, k, m, t) for row in range(m)]
+        chain += [chimera_node(block, col, 1, k, m, t) for col in range(m)]
+        embedding[i] = chain
+    return embedding
+
+
+def chimera_shape(graph: nx.Graph) -> "tuple[int, int, int] | None":
+    """Recover ``(m, n, t)`` from a graph built by :func:`chimera_graph`.
+
+    Returns ``None`` when the graph does not carry Chimera coordinates.
+    """
+    if graph.number_of_nodes() == 0:
+        return None
+    attrs = graph.nodes[next(iter(graph.nodes))]
+    if not {"row", "col", "side", "k"}.issubset(attrs):
+        return None
+    m = max(d["row"] for _, d in graph.nodes(data=True)) + 1
+    n = max(d["col"] for _, d in graph.nodes(data=True)) + 1
+    t = max(d["k"] for _, d in graph.nodes(data=True)) + 1
+    if graph.number_of_nodes() != m * n * 2 * t:
+        return None
+    return m, n, t
+
+
+def chimera_graph(m: int, n: "int | None" = None, t: int = 4) -> nx.Graph:
+    """Build ``C(m, n, t)`` with integer node labels.
+
+    Node attributes ``row``, ``col``, ``side``, ``k`` keep the structured
+    coordinates.  ``C(12, 12, 4)`` is the 1152-qubit D-Wave 2X topology
+    used in the MQO paper [20]; tests and benches use smaller instances.
+    """
+    if n is None:
+        n = m
+    if m < 1 or n < 1 or t < 1:
+        raise ReproError("Chimera dimensions must be positive")
+    g = nx.Graph()
+    for row in range(m):
+        for col in range(n):
+            for side in (0, 1):
+                for k in range(t):
+                    g.add_node(
+                        chimera_node(row, col, side, k, n, t),
+                        row=row,
+                        col=col,
+                        side=side,
+                        k=k,
+                    )
+    for row in range(m):
+        for col in range(n):
+            # Intra-cell complete bipartite coupling.
+            for k0 in range(t):
+                for k1 in range(t):
+                    g.add_edge(
+                        chimera_node(row, col, 0, k0, n, t),
+                        chimera_node(row, col, 1, k1, n, t),
+                    )
+            # Inter-cell couplers.
+            if row + 1 < m:
+                for k in range(t):
+                    g.add_edge(
+                        chimera_node(row, col, 0, k, n, t),
+                        chimera_node(row + 1, col, 0, k, n, t),
+                    )
+            if col + 1 < n:
+                for k in range(t):
+                    g.add_edge(
+                        chimera_node(row, col, 1, k, n, t),
+                        chimera_node(row, col + 1, 1, k, n, t),
+                    )
+    return g

@@ -1,0 +1,62 @@
+"""Annealing schedules (inverse temperature and transverse field)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+def linear_schedule(start: float, end: float, steps: int) -> np.ndarray:
+    """Linearly interpolated schedule with ``steps`` points."""
+    if steps < 1:
+        raise ReproError("schedule needs at least one step")
+    return np.linspace(start, end, steps)
+
+
+def geometric_beta_schedule(beta_min: float, beta_max: float, steps: int) -> np.ndarray:
+    """Geometric ramp of inverse temperature (the standard SA default)."""
+    if steps < 1:
+        raise ReproError("schedule needs at least one step")
+    if beta_min <= 0 or beta_max <= 0:
+        raise ReproError("inverse temperatures must be positive")
+    return np.geomspace(beta_min, beta_max, steps)
+
+
+def beta_range(max_abs_coeff: float) -> tuple[float, float]:
+    """Heuristic ``(beta_min, beta_max)`` from a single coefficient scale.
+
+    Start hot enough that the largest coupling is frequently overturned and
+    end cold enough that unit moves are frozen out.
+    """
+    scale = max(max_abs_coeff, 1e-9)
+    return (0.1 / scale, 20.0 / scale)
+
+
+def model_beta_range(model) -> tuple[float, float]:
+    """Per-variable (dwave-neal style) ``(beta_min, beta_max)``.
+
+    Problems with heterogeneous scales — e.g. penalty-encoded constraints or
+    embedded chains next to small objective terms — need the start hot
+    enough to overturn the *largest* single-flip field and the end cold
+    enough to freeze the *smallest*:
+
+    * ``beta_min = ln 2 / max_i field_i`` with
+      ``field_i = |a_i| + sum_j |b_ij|`` (the largest single-flip cost), and
+    * ``beta_max = ln 100 / min nonzero |coefficient|`` (the finest energy
+      difference the final temperature must resolve).
+    """
+    a, S = model.symmetric_couplings()
+    fields = np.abs(a) + np.abs(S).sum(axis=1)
+    fields = fields[fields > 1e-12]
+    if fields.size == 0:
+        return (0.1, 10.0)
+    coeffs = np.concatenate([np.abs(a), np.abs(S[np.triu_indices_from(S, k=1)])])
+    coeffs = coeffs[coeffs > 1e-12]
+    hot = math.log(2.0) / float(fields.max())
+    cold = math.log(100.0) / float(coeffs.min()) if coeffs.size else hot * 100.0
+    if cold <= hot:
+        cold = hot * 100.0
+    return (hot, cold)

@@ -1,0 +1,57 @@
+"""Classical relational database substrate.
+
+The quantum-DB mappings of Table I all presuppose a classical database
+stack: relations and operators (:mod:`.relation`), statistics
+(:mod:`.catalog`), join graphs and selectivities (:mod:`.query`), a cost
+model (:mod:`.cost`), join trees and classical optimizers (:mod:`.plans`,
+:mod:`.dp`), workload generators (:mod:`.generator`), a small SQL dialect
+(:mod:`.sql`), and transaction/2PL machinery (:mod:`.transactions`).
+"""
+
+from repro.db.catalog import Catalog, TableStats
+from repro.db.cost import CostModel
+from repro.db.dp import dp_optimal_bushy, dp_optimal_leftdeep, greedy_operator_ordering
+from repro.db.generator import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    random_query,
+    star_query,
+)
+from repro.db.plans import JoinTree, leftdeep_tree_from_order
+from repro.db.query import JoinGraph
+from repro.db.relation import Relation
+from repro.db.sql import parse_sql
+from repro.db.transactions import (
+    LockManager,
+    Schedule,
+    Transaction,
+    conflict_graph,
+    is_conflict_serializable,
+    simulate_slot_schedule,
+)
+
+__all__ = [
+    "Catalog",
+    "TableStats",
+    "CostModel",
+    "dp_optimal_bushy",
+    "dp_optimal_leftdeep",
+    "greedy_operator_ordering",
+    "chain_query",
+    "clique_query",
+    "cycle_query",
+    "random_query",
+    "star_query",
+    "JoinTree",
+    "leftdeep_tree_from_order",
+    "JoinGraph",
+    "Relation",
+    "parse_sql",
+    "LockManager",
+    "Schedule",
+    "Transaction",
+    "conflict_graph",
+    "is_conflict_serializable",
+    "simulate_slot_schedule",
+]

@@ -1,0 +1,69 @@
+"""Catalog: table statistics used by the cost model and generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.relation import Relation
+from repro.exceptions import ReproError
+
+
+@dataclass
+class TableStats:
+    """Statistics for one base table."""
+
+    name: str
+    cardinality: int
+    distinct_values: dict[str, int] = field(default_factory=dict)
+
+    def distinct(self, column: str) -> int:
+        """Distinct count of ``column`` (defaults to the cardinality)."""
+        return self.distinct_values.get(column, self.cardinality)
+
+
+class Catalog:
+    """Registry of table statistics (and optionally the data itself)."""
+
+    def __init__(self):
+        self._stats: dict[str, TableStats] = {}
+        self._relations: dict[str, Relation] = {}
+
+    def add_table(self, name: str, cardinality: int, distinct_values: "dict[str, int] | None" = None) -> TableStats:
+        """Register statistics for a table."""
+        if cardinality < 0:
+            raise ReproError("cardinality must be non-negative")
+        stats = TableStats(name, cardinality, dict(distinct_values or {}))
+        self._stats[name] = stats
+        return stats
+
+    def add_relation(self, relation: Relation) -> TableStats:
+        """Register a concrete relation; statistics are derived from data."""
+        self._relations[relation.name] = relation
+        distinct = {
+            c: len({row[i] for row in relation.rows})
+            for i, c in enumerate(relation.columns)
+        }
+        return self.add_table(relation.name, relation.cardinality, distinct)
+
+    def stats(self, name: str) -> TableStats:
+        if name not in self._stats:
+            raise ReproError(f"unknown table {name!r}")
+        return self._stats[name]
+
+    def relation(self, name: str) -> Relation:
+        if name not in self._relations:
+            raise ReproError(f"no data registered for table {name!r}")
+        return self._relations[name]
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._stats)
+
+    def equijoin_selectivity(self, left: str, left_col: str, right: str, right_col: str) -> float:
+        """Textbook equi-join selectivity ``1 / max(V(L,a), V(R,b))``."""
+        vl = self.stats(left).distinct(left_col)
+        vr = self.stats(right).distinct(right_col)
+        return 1.0 / max(vl, vr, 1)

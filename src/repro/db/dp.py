@@ -1,0 +1,143 @@
+"""Classical join-ordering optimizers: the baselines of Table I rows [23]-[27].
+
+* :func:`dp_optimal_bushy` — dynamic programming over connected subsets
+  (exact optimum over bushy trees, no cross products when avoidable).
+* :func:`dp_optimal_leftdeep` — Selinger-style DP restricted to left-deep
+  trees.
+* :func:`greedy_operator_ordering` — GOO: repeatedly join the cheapest pair.
+* :func:`random_order` — the sanity-check baseline.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.db.cost import CostModel
+from repro.db.plans import JoinTree, leftdeep_tree_from_order
+from repro.db.query import JoinGraph
+from repro.exceptions import ReproError
+from repro.utils.rngtools import ensure_rng
+
+
+def _check_size(graph: JoinGraph, limit: int, algo: str) -> None:
+    if graph.num_relations > limit:
+        raise ReproError(
+            f"{algo} limited to {limit} relations, query has {graph.num_relations}"
+        )
+
+
+def dp_optimal_bushy(graph: JoinGraph, cost_model: "CostModel | None" = None, max_relations: int = 14) -> tuple[JoinTree, float]:
+    """Exact bushy optimum via DP over subsets.
+
+    Cross products are allowed only when the join graph is disconnected
+    (matching the standard "no needless cross products" rule).
+    """
+    _check_size(graph, max_relations, "dp_optimal_bushy")
+    cm = cost_model or CostModel(graph)
+    rels = graph.relations
+    allow_cross = not graph.is_connected()
+    best: dict[frozenset, tuple[float, JoinTree]] = {}
+    for r in rels:
+        best[frozenset([r])] = (0.0, JoinTree.leaf(r))
+    for size in range(2, len(rels) + 1):
+        for subset in combinations(rels, size):
+            key = frozenset(subset)
+            best_entry = None
+            # Enumerate proper subset splits (each unordered split once).
+            members = sorted(key)
+            anchor = members[0]
+            rest = members[1:]
+            for mask in range(1 << len(rest)):
+                left_set = frozenset([anchor] + [r for i, r in enumerate(rest) if mask >> i & 1])
+                right_set = key - left_set
+                if not right_set:
+                    continue
+                if left_set not in best or right_set not in best:
+                    continue
+                if not allow_cross and not graph.connects(left_set, right_set):
+                    continue
+                cost = (
+                    best[left_set][0]
+                    + best[right_set][0]
+                    + cm.set_cardinality(key)
+                )
+                if best_entry is None or cost < best_entry[0]:
+                    best_entry = (cost, JoinTree.join(best[left_set][1], best[right_set][1]))
+            if best_entry is not None:
+                best[key] = best_entry
+    full = frozenset(rels)
+    if full not in best:
+        raise ReproError("DP failed: join graph admits no cross-product-free plan")
+    cost, tree = best[full]
+    return tree, cost
+
+
+def dp_optimal_leftdeep(graph: JoinGraph, cost_model: "CostModel | None" = None, max_relations: int = 16, avoid_cross: bool = True) -> tuple[JoinTree, float]:
+    """Exact optimum over left-deep trees (Selinger DP)."""
+    _check_size(graph, max_relations, "dp_optimal_leftdeep")
+    cm = cost_model or CostModel(graph)
+    rels = graph.relations
+    allow_cross = not avoid_cross or not graph.is_connected()
+    best: dict[frozenset, tuple[float, list[str]]] = {}
+    for r in rels:
+        best[frozenset([r])] = (0.0, [r])
+    for size in range(2, len(rels) + 1):
+        for subset in combinations(rels, size):
+            key = frozenset(subset)
+            best_entry = None
+            for last in subset:
+                prefix = key - {last}
+                if prefix not in best:
+                    continue
+                if not allow_cross and size > 1 and not graph.connects(prefix, [last]):
+                    continue
+                cost = best[prefix][0] + cm.set_cardinality(key)
+                if best_entry is None or cost < best_entry[0]:
+                    best_entry = (cost, best[prefix][1] + [last])
+            if best_entry is not None:
+                best[key] = best_entry
+    full = frozenset(rels)
+    if full not in best:
+        if avoid_cross:
+            # Retry allowing cross products (disconnected or pathological).
+            return dp_optimal_leftdeep(graph, cm, max_relations, avoid_cross=False)
+        raise ReproError("left-deep DP found no complete plan")
+    cost, order = best[full]
+    return leftdeep_tree_from_order(order), cost
+
+
+def greedy_operator_ordering(graph: JoinGraph, cost_model: "CostModel | None" = None) -> tuple[JoinTree, float]:
+    """GOO: repeatedly merge the pair of subtrees with the smallest result."""
+    cm = cost_model or CostModel(graph)
+    forest = [JoinTree.leaf(r) for r in graph.relations]
+    if not forest:
+        raise ReproError("empty join graph")
+    total = 0.0
+    while len(forest) > 1:
+        best_pair = None
+        best_card = None
+        for i in range(len(forest)):
+            for j in range(i + 1, len(forest)):
+                li, lj = forest[i], forest[j]
+                connected = graph.connects(li.relations(), lj.relations())
+                card = cm.set_cardinality(li.relations() | lj.relations())
+                # Prefer connected pairs; among them pick the smallest result.
+                rank = (0 if connected else 1, card)
+                if best_pair is None or rank < best_card:
+                    best_pair = (i, j)
+                    best_card = rank
+        i, j = best_pair
+        joined = JoinTree.join(forest[i], forest[j])
+        total += cm.set_cardinality(joined.relations())
+        forest = [t for k, t in enumerate(forest) if k not in (i, j)] + [joined]
+    return forest[0], total
+
+
+def random_order(graph: JoinGraph, rng=None, cost_model: "CostModel | None" = None) -> tuple[JoinTree, float]:
+    """A uniformly random left-deep order (the weakest baseline)."""
+    rng = ensure_rng(rng)
+    cm = cost_model or CostModel(graph)
+    order = list(graph.relations)
+    rng.shuffle(order)
+    tree = leftdeep_tree_from_order(order)
+    return tree, cm.cost(tree)

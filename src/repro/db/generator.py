@@ -1,0 +1,98 @@
+"""Synthetic query-graph generators.
+
+The surveyed join-ordering papers evaluate on the classic topology families
+(chain, star, cycle, clique) with random cardinalities and selectivities
+[55]-[57]; these generators reproduce that workload space deterministically
+given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.query import JoinGraph
+from repro.exceptions import ReproError
+from repro.utils.rngtools import ensure_rng
+
+
+def _relation_names(n: int) -> list[str]:
+    return [f"R{i}" for i in range(n)]
+
+
+def _random_card(rng, lo: float = 10.0, hi: float = 10_000.0) -> float:
+    """Log-uniform cardinality in [lo, hi]."""
+    return float(round(10 ** rng.uniform(np.log10(lo), np.log10(hi))))
+
+
+def _random_sel(rng, lo: float = 1e-3, hi: float = 0.5) -> float:
+    """Log-uniform selectivity in [lo, hi]."""
+    return float(10 ** rng.uniform(np.log10(lo), np.log10(hi)))
+
+
+def chain_query(num_relations: int, rng=None) -> JoinGraph:
+    """R0 - R1 - ... - R(n-1)."""
+    rng = ensure_rng(rng)
+    if num_relations < 2:
+        raise ReproError("need at least two relations")
+    jg = JoinGraph()
+    names = _relation_names(num_relations)
+    for name in names:
+        jg.add_relation(name, _random_card(rng))
+    for a, b in zip(names, names[1:]):
+        jg.add_join(a, b, _random_sel(rng))
+    return jg
+
+
+def star_query(num_relations: int, rng=None) -> JoinGraph:
+    """Fact table R0 joined to n-1 dimension tables (the DW pattern)."""
+    rng = ensure_rng(rng)
+    if num_relations < 2:
+        raise ReproError("need at least two relations")
+    jg = JoinGraph()
+    names = _relation_names(num_relations)
+    jg.add_relation(names[0], _random_card(rng, lo=1_000.0, hi=100_000.0))
+    for name in names[1:]:
+        jg.add_relation(name, _random_card(rng, lo=10.0, hi=1_000.0))
+        jg.add_join(names[0], name, _random_sel(rng))
+    return jg
+
+
+def cycle_query(num_relations: int, rng=None) -> JoinGraph:
+    """A chain closed into a ring."""
+    rng = ensure_rng(rng)
+    if num_relations < 3:
+        raise ReproError("a cycle needs at least three relations")
+    jg = chain_query(num_relations, rng)
+    names = _relation_names(num_relations)
+    jg.add_join(names[-1], names[0], _random_sel(rng))
+    return jg
+
+
+def clique_query(num_relations: int, rng=None) -> JoinGraph:
+    """Every pair of relations joined (the hardest topology)."""
+    rng = ensure_rng(rng)
+    if num_relations < 2:
+        raise ReproError("need at least two relations")
+    jg = JoinGraph()
+    names = _relation_names(num_relations)
+    for name in names:
+        jg.add_relation(name, _random_card(rng))
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            jg.add_join(a, b, _random_sel(rng))
+    return jg
+
+
+_TOPOLOGIES = {
+    "chain": chain_query,
+    "star": star_query,
+    "cycle": cycle_query,
+    "clique": clique_query,
+}
+
+
+def random_query(num_relations: int, topology: str = "chain", rng=None) -> JoinGraph:
+    """Dispatch by topology name (``chain``/``star``/``cycle``/``clique``)."""
+    if topology not in _TOPOLOGIES:
+        raise ReproError(f"unknown topology {topology!r}; choose from {sorted(_TOPOLOGIES)}")
+    return _TOPOLOGIES[topology](num_relations, rng=rng)

@@ -1,0 +1,107 @@
+"""Join graphs: the query representation all optimizers work over.
+
+A :class:`JoinGraph` has one node per base relation (with its cardinality)
+and one edge per join predicate (with its selectivity) — the standard input
+of the join-ordering literature [55]-[57] and of the QUBO mappings
+[23]-[26].
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.exceptions import ReproError
+
+
+class JoinGraph:
+    """Relations, cardinalities and join selectivities."""
+
+    def __init__(self):
+        self._graph = nx.Graph()
+
+    @classmethod
+    def build(
+        cls,
+        cardinalities: Mapping[str, float],
+        selectivities: Mapping[tuple[str, str], float],
+    ) -> "JoinGraph":
+        """Construct from ``{rel: card}`` and ``{(rel, rel): selectivity}``."""
+        jg = cls()
+        for name, card in cardinalities.items():
+            jg.add_relation(name, card)
+        for (u, v), sel in selectivities.items():
+            jg.add_join(u, v, sel)
+        return jg
+
+    def add_relation(self, name: str, cardinality: float) -> "JoinGraph":
+        if cardinality <= 0:
+            raise ReproError(f"relation {name!r} needs positive cardinality")
+        self._graph.add_node(name, cardinality=float(cardinality))
+        return self
+
+    def add_join(self, u: str, v: str, selectivity: float) -> "JoinGraph":
+        if u == v:
+            raise ReproError("self-joins need distinct aliases")
+        for r in (u, v):
+            if r not in self._graph:
+                raise ReproError(f"unknown relation {r!r}")
+        if not 0.0 < selectivity <= 1.0:
+            raise ReproError(f"selectivity must be in (0, 1], got {selectivity}")
+        self._graph.add_edge(u, v, selectivity=float(selectivity))
+        return self
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def relations(self) -> list[str]:
+        """Relation names in sorted order (stable across runs)."""
+        return sorted(self._graph.nodes)
+
+    @property
+    def num_relations(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def edges(self) -> list[tuple[str, str]]:
+        """Join edges with endpoints in sorted order."""
+        return sorted((min(u, v), max(u, v)) for u, v in self._graph.edges)
+
+    def cardinality(self, name: str) -> float:
+        try:
+            return self._graph.nodes[name]["cardinality"]
+        except KeyError:
+            raise ReproError(f"unknown relation {name!r}") from None
+
+    def selectivity(self, u: str, v: str) -> float:
+        """Selectivity of the edge (1.0 when no predicate connects them)."""
+        data = self._graph.get_edge_data(u, v)
+        return data["selectivity"] if data else 1.0
+
+    def has_join(self, u: str, v: str) -> bool:
+        return self._graph.has_edge(u, v)
+
+    def neighbors(self, name: str) -> list[str]:
+        return sorted(self._graph.neighbors(name))
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self._graph) if self.num_relations else True
+
+    def is_acyclic(self) -> bool:
+        """True when the join graph is a forest (chains, stars, trees)."""
+        return nx.is_forest(self._graph)
+
+    def connects(self, left: Iterable[str], right: Iterable[str]) -> bool:
+        """Whether any join predicate links the two relation sets."""
+        right_set = set(right)
+        return any(
+            self._graph.has_edge(u, v) for u in left for v in right_set
+        )
+
+    def nx_graph(self) -> nx.Graph:
+        """A copy of the underlying networkx graph."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"JoinGraph({self.num_relations} relations, {self._graph.number_of_edges()} joins)"

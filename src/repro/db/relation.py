@@ -1,0 +1,191 @@
+"""In-memory relations and physical operators.
+
+A :class:`Relation` is a named, schema-tagged bag of tuples with the
+classical operators the paper's quantum counterparts are compared against:
+selection, projection, hash join, nested-loop join, and the set operations
+(union / intersection / difference, Sec. III-A [45]-[50]).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.exceptions import ReproError
+
+Row = tuple
+
+
+class Relation:
+    """A named relation with positional columns.
+
+    Rows are tuples aligned with ``columns``.  Set semantics are applied on
+    demand by the set operations; the base container is a bag.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str], rows: "Iterable[Row] | None" = None):
+        if not columns:
+            raise ReproError("a relation needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ReproError(f"duplicate column names in {list(columns)}")
+        self.name = name
+        self.columns = tuple(columns)
+        self.rows: list[Row] = []
+        for row in rows or []:
+            self.insert(row)
+
+    # -- basics ---------------------------------------------------------------
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise ReproError(f"relation {self.name!r} has no column {column!r}") from None
+
+    def insert(self, row: Row) -> None:
+        """Append one tuple (arity-checked)."""
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise ReproError(
+                f"row arity {len(row)} does not match schema arity {len(self.columns)}"
+            )
+        self.rows.append(row)
+
+    def delete(self, predicate: Callable[[Row], bool]) -> int:
+        """Remove rows matching ``predicate``; returns the removed count."""
+        before = len(self.rows)
+        self.rows = [r for r in self.rows if not predicate(r)]
+        return before - len(self.rows)
+
+    def update(self, predicate: Callable[[Row], bool], setter: Callable[[Row], Row]) -> int:
+        """Rewrite rows matching ``predicate``; returns the touched count."""
+        touched = 0
+        new_rows = []
+        for r in self.rows:
+            if predicate(r):
+                new_row = tuple(setter(r))
+                if len(new_row) != len(self.columns):
+                    raise ReproError("updated row arity mismatch")
+                new_rows.append(new_row)
+                touched += 1
+            else:
+                new_rows.append(r)
+        self.rows = new_rows
+        return touched
+
+    def distinct(self) -> "Relation":
+        seen = set()
+        out = []
+        for r in self.rows:
+            if r not in seen:
+                seen.add(r)
+                out.append(r)
+        return Relation(self.name, self.columns, out)
+
+    # -- operators --------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Row], bool], name: "str | None" = None) -> "Relation":
+        """Sigma: keep rows satisfying ``predicate``."""
+        return Relation(name or f"sel({self.name})", self.columns, [r for r in self.rows if predicate(r)])
+
+    def select_eq(self, column: str, value) -> "Relation":
+        """Selection on a single equality, the common case."""
+        i = self.column_index(column)
+        return self.select(lambda r: r[i] == value, name=f"{self.name}[{column}={value!r}]")
+
+    def project(self, columns: Sequence[str], name: "str | None" = None) -> "Relation":
+        """Pi: keep (and reorder to) the named columns."""
+        idx = [self.column_index(c) for c in columns]
+        rows = [tuple(r[i] for i in idx) for r in self.rows]
+        return Relation(name or f"proj({self.name})", columns, rows)
+
+    def hash_join(self, other: "Relation", left_col: str, right_col: str) -> "Relation":
+        """Equi-join via a build/probe hash table (build on the smaller side)."""
+        if self.cardinality <= other.cardinality:
+            build, probe = self, other
+            build_col, probe_col = left_col, right_col
+            swapped = False
+        else:
+            build, probe = other, self
+            build_col, probe_col = right_col, left_col
+            swapped = True
+        bi = build.column_index(build_col)
+        pi = probe.column_index(probe_col)
+        table: dict = {}
+        for row in build.rows:
+            table.setdefault(row[bi], []).append(row)
+        out_rows = []
+        for row in probe.rows:
+            for match in table.get(row[pi], ()):  # noqa: B905
+                combined = (match + row) if not swapped else (row + match)
+                out_rows.append(combined)
+        left, right = (self, other)
+        columns = [f"{left.name}.{c}" if "." not in c else c for c in left.columns]
+        columns += [f"{right.name}.{c}" if "." not in c else c for c in right.columns]
+        return Relation(f"({self.name}|X|{other.name})", columns, out_rows)
+
+    def nested_loop_join(self, other: "Relation", predicate: Callable[[Row, Row], bool]) -> "Relation":
+        """Theta-join by nested loops (arbitrary predicate)."""
+        out_rows = [l + r for l in self.rows for r in other.rows if predicate(l, r)]
+        columns = [f"{self.name}.{c}" if "." not in c else c for c in self.columns]
+        columns += [f"{other.name}.{c}" if "." not in c else c for c in other.columns]
+        return Relation(f"({self.name}NLJ{other.name})", columns, out_rows)
+
+    def cross(self, other: "Relation") -> "Relation":
+        """Cartesian product."""
+        return self.nested_loop_join(other, lambda l, r: True)
+
+    # -- set operations (schema-compatible inputs) --------------------------------
+
+    def _check_compatible(self, other: "Relation") -> None:
+        if len(self.columns) != len(other.columns):
+            raise ReproError(
+                f"set operation on incompatible arities {len(self.columns)} vs {len(other.columns)}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union (duplicates removed)."""
+        self._check_compatible(other)
+        seen = set()
+        rows = []
+        for r in self.rows + other.rows:
+            if r not in seen:
+                seen.add(r)
+                rows.append(r)
+        return Relation(f"({self.name}+{other.name})", self.columns, rows)
+
+    def intersect(self, other: "Relation") -> "Relation":
+        """Set intersection."""
+        self._check_compatible(other)
+        other_set = set(other.rows)
+        seen = set()
+        rows = []
+        for r in self.rows:
+            if r in other_set and r not in seen:
+                seen.add(r)
+                rows.append(r)
+        return Relation(f"({self.name}&{other.name})", self.columns, rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference ``self - other``."""
+        self._check_compatible(other)
+        other_set = set(other.rows)
+        seen = set()
+        rows = []
+        for r in self.rows:
+            if r not in other_set and r not in seen:
+                seen.add(r)
+                rows.append(r)
+        return Relation(f"({self.name}-{other.name})", self.columns, rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.name!r}, {list(self.columns)}, {len(self.rows)} rows)"

@@ -1,0 +1,338 @@
+"""A small SQL dialect: SELECT-FROM-WHERE with equi-joins and filters.
+
+Grammar (case-insensitive keywords)::
+
+    query   := SELECT cols FROM tables [WHERE cond (AND cond)*]
+    cols    := '*' | colref (',' colref)*
+    tables  := name (',' name)*
+    cond    := colref op (colref | literal)
+    op      := '=' | '!=' | '<' | '<=' | '>' | '>='
+    colref  := [table '.'] column
+    literal := integer | float | 'single-quoted string'
+
+The parser produces a :class:`ParsedQuery`; :func:`execute` runs it against
+a :class:`~repro.db.catalog.Catalog` with registered relations, using the
+cost-based optimizer to pick the join order.  The same front end backs the
+quantum query language of :mod:`repro.qdb.qql`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.db.catalog import Catalog
+from repro.db.cost import CostModel
+from repro.db.dp import dp_optimal_bushy
+from repro.db.query import JoinGraph
+from repro.db.relation import Relation
+from repro.exceptions import ParseError, ReproError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<string>'[^']*')|(?P<number>\d+\.\d+|\d+)|(?P<op><=|>=|!=|=|<|>)"
+    r"|(?P<punct>[,.*()])|(?P<word>[A-Za-z_][A-Za-z_0-9]*))"
+)
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly table-qualified column reference."""
+
+    table: "str | None"
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One comparison in the WHERE clause."""
+
+    left: ColumnRef
+    op: str
+    right: "ColumnRef | int | float | str"
+
+    @property
+    def is_join(self) -> bool:
+        return isinstance(self.right, ColumnRef)
+
+
+@dataclass
+class ParsedQuery:
+    """Outcome of parsing a SELECT statement."""
+
+    tables: list[str]
+    projections: "list[ColumnRef] | None"  # None means SELECT *
+    conditions: list[Condition] = field(default_factory=list)
+
+    @property
+    def join_conditions(self) -> list[Condition]:
+        return [c for c in self.conditions if c.is_join]
+
+    @property
+    def filter_conditions(self) -> list[Condition]:
+        return [c for c in self.conditions if not c.is_join]
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise ParseError(f"unexpected character {text[pos]!r} at position {pos}")
+            break
+        pos = match.end()
+        for kind in ("string", "number", "op", "punct", "word"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> "tuple[str, str] | None":
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of query")
+        self.pos += 1
+        return tok
+
+    def expect_word(self, word: str) -> None:
+        kind, value = self.next()
+        if kind != "word" or value.upper() != word:
+            raise ParseError(f"expected {word}, got {value!r}")
+
+    def at_word(self, word: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok[0] == "word" and tok[1].upper() == word
+
+    def parse_colref(self) -> ColumnRef:
+        kind, value = self.next()
+        if kind != "word":
+            raise ParseError(f"expected column name, got {value!r}")
+        tok = self.peek()
+        if tok is not None and tok == ("punct", "."):
+            self.next()
+            kind2, column = self.next()
+            if kind2 != "word":
+                raise ParseError(f"expected column after '.', got {column!r}")
+            return ColumnRef(value, column)
+        return ColumnRef(None, value)
+
+    def parse_value(self):
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("expected a value")
+        kind, value = tok
+        if kind == "number":
+            self.next()
+            return float(value) if "." in value else int(value)
+        if kind == "string":
+            self.next()
+            return value[1:-1]
+        return self.parse_colref()
+
+
+def parse_sql(text: str) -> ParsedQuery:
+    """Parse a SELECT statement into a :class:`ParsedQuery`."""
+    parser = _Parser(_tokenize(text))
+    parser.expect_word("SELECT")
+    projections: "list[ColumnRef] | None"
+    if parser.peek() == ("punct", "*"):
+        parser.next()
+        projections = None
+    else:
+        projections = [parser.parse_colref()]
+        while parser.peek() == ("punct", ","):
+            parser.next()
+            projections.append(parser.parse_colref())
+    parser.expect_word("FROM")
+    tables = []
+    kind, value = parser.next()
+    if kind != "word":
+        raise ParseError(f"expected table name, got {value!r}")
+    tables.append(value)
+    while parser.peek() == ("punct", ","):
+        parser.next()
+        kind, value = parser.next()
+        if kind != "word":
+            raise ParseError(f"expected table name, got {value!r}")
+        tables.append(value)
+    conditions: list[Condition] = []
+    if parser.at_word("WHERE"):
+        parser.next()
+        while True:
+            left = parser.parse_colref()
+            kind, op = parser.next()
+            if kind != "op":
+                raise ParseError(f"expected comparison operator, got {op!r}")
+            right = parser.parse_value()
+            conditions.append(Condition(left, op, right))
+            if parser.at_word("AND"):
+                parser.next()
+                continue
+            break
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input near {parser.peek()[1]!r}")
+    if len(set(tables)) != len(tables):
+        raise ParseError("duplicate table names (aliases are not supported)")
+    return ParsedQuery(tables=tables, projections=projections, conditions=conditions)
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def _resolve_column(ref: ColumnRef, relations: dict[str, Relation]) -> tuple[str, str]:
+    """Return ``(table, column)`` for a reference, inferring the table."""
+    if ref.table is not None:
+        if ref.table not in relations:
+            raise ReproError(f"unknown table {ref.table!r} in column reference")
+        relations[ref.table].column_index(ref.column)  # validates
+        return ref.table, ref.column
+    owners = [t for t, rel in relations.items() if ref.column in rel.columns]
+    if not owners:
+        raise ReproError(f"column {ref.column!r} not found in any table")
+    if len(owners) > 1:
+        raise ReproError(f"ambiguous column {ref.column!r} (in {owners})")
+    return owners[0], ref.column
+
+
+def _qualified_index(relation: Relation, table: str, column: str) -> int:
+    """Index of ``table.column`` in a (possibly joined) relation."""
+    qualified = f"{table}.{column}"
+    if qualified in relation.columns:
+        return relation.columns.index(qualified)
+    if column in relation.columns:
+        return relation.columns.index(column)
+    raise ReproError(f"column {qualified} missing from intermediate result")
+
+
+def execute(query: "ParsedQuery | str", catalog: Catalog) -> Relation:
+    """Run a parsed query against concrete relations in ``catalog``.
+
+    Filters are pushed down; the join order is chosen by the bushy DP
+    optimizer over estimated selectivities.
+    """
+    if isinstance(query, str):
+        query = parse_sql(query)
+    relations = {t: catalog.relation(t) for t in query.tables}
+
+    # Push down filters.
+    filtered: dict[str, Relation] = {}
+    for table, rel in relations.items():
+        preds = []
+        for cond in query.filter_conditions:
+            t, c = _resolve_column(cond.left, relations)
+            if t == table:
+                idx = rel.column_index(c)
+                comparator = _COMPARATORS[cond.op]
+                preds.append((idx, comparator, cond.right))
+        if preds:
+            rel = rel.select(
+                lambda row, preds=preds: all(cmp(row[i], v) for i, cmp, v in preds),
+                name=table,
+            )
+            rel.name = table
+        filtered[table] = rel
+
+    if len(query.tables) == 1:
+        result = filtered[query.tables[0]]
+    else:
+        result = _join_all(query, filtered, catalog)
+
+    if query.projections is not None:
+        out_cols = []
+        for ref in query.projections:
+            t, c = _resolve_column(ref, relations)
+            idx = _qualified_index(result, t, c)
+            out_cols.append(result.columns[idx])
+        result = result.project(out_cols)
+    return result
+
+
+def _join_all(query: ParsedQuery, filtered: dict[str, Relation], catalog: Catalog) -> Relation:
+    """Join all tables along the equi-join conditions, DP-ordered."""
+    join_specs: dict[tuple[str, str], tuple[str, str]] = {}
+    jg = JoinGraph()
+    for table, rel in filtered.items():
+        jg.add_relation(table, max(rel.cardinality, 1))
+    for cond in query.join_conditions:
+        if cond.op != "=":
+            continue
+        lt, lc = _resolve_column(cond.left, filtered)
+        rt, rc = _resolve_column(cond.right, filtered)
+        if lt == rt:
+            continue
+        sel = catalog.equijoin_selectivity(lt, lc, rt, rc)
+        jg.add_join(lt, rt, sel)
+        key = (min(lt, rt), max(lt, rt))
+        join_specs[key] = (lc, rc) if lt < rt else (rc, lc)
+
+    tree, _ = dp_optimal_bushy(jg, CostModel(jg)) if jg.is_connected() else (None, 0.0)
+    if tree is None:
+        # Disconnected: fall back to joining in FROM order with cross products.
+        order = list(query.tables)
+        result = filtered[order[0]]
+        for t in order[1:]:
+            result = _pairwise_join(result, filtered[t], t, join_specs)
+        return result
+    return _execute_tree(tree, filtered, join_specs)
+
+
+def _execute_tree(tree, filtered: dict[str, Relation], join_specs) -> Relation:
+    if tree.is_leaf:
+        return filtered[tree.relation]
+    left = _execute_tree(tree.left, filtered, join_specs)
+    right = _execute_tree(tree.right, filtered, join_specs)
+    # Find a join spec connecting the two sides.
+    for lrel in sorted(tree.left.relations()):
+        for rrel in sorted(tree.right.relations()):
+            key = (min(lrel, rrel), max(lrel, rrel))
+            if key in join_specs:
+                lc, rc = join_specs[key]
+                if lrel > rrel:
+                    lc, rc = rc, lc
+                li = _qualified_index(left, lrel, lc)
+                ri = _qualified_index(right, rrel, rc)
+                return left.nested_loop_join(right, lambda a, b, li=li, ri=ri: a[li] == b[ri])
+    return left.cross(right)
+
+
+def _pairwise_join(result: Relation, rel: Relation, table: str, join_specs) -> Relation:
+    for (t1, t2), (c1, c2) in join_specs.items():
+        if table == t1:
+            other, other_col, my_col = t2, c2, c1
+        elif table == t2:
+            other, other_col, my_col = t1, c1, c2
+        else:
+            continue
+        try:
+            li = _qualified_index(result, other, other_col)
+            ri = _qualified_index(rel, table, my_col)
+        except ReproError:
+            continue
+        return result.nested_loop_join(rel, lambda a, b, li=li, ri=ri: a[li] == b[ri])
+    return result.cross(rel)

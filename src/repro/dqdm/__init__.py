@@ -1,0 +1,36 @@
+"""Distributed quantum data management (Sec. IV-B opportunities).
+
+The paper poses the design questions; this package builds concrete
+first-cut answers on top of :mod:`repro.qnet`:
+
+* :mod:`.data` — move-only quantum data items (no-cloning enforced at the
+  type level) vs freely copyable classical items;
+* :mod:`.store` — a distributed store whose quantum payloads move via
+  teleportation, consuming end-to-end entanglement;
+* :mod:`.replication` — availability analysis: replication (classical) vs
+  re-preparation (quantum with a recipe) vs irreplaceable quantum state;
+* :mod:`.consistency` — classical two-phase commit vs a GHZ-shared-coin
+  termination rule, trading blocking for possible divergence;
+* :mod:`.recovery` — failure injection and recovery of stored items.
+"""
+
+from repro.dqdm.consistency import CommitStats, GhzAssistedCommit, TwoPhaseCommit
+from repro.dqdm.data import ClassicalDataItem, QuantumDataItem
+from repro.dqdm.replication import availability_classical, availability_quantum, simulate_availability
+from repro.dqdm.recovery import RecoveryReport, simulate_failures_and_recovery
+from repro.dqdm.store import DistributedQuantumStore, TransferReceipt
+
+__all__ = [
+    "CommitStats",
+    "GhzAssistedCommit",
+    "TwoPhaseCommit",
+    "ClassicalDataItem",
+    "QuantumDataItem",
+    "availability_classical",
+    "availability_quantum",
+    "simulate_availability",
+    "RecoveryReport",
+    "simulate_failures_and_recovery",
+    "DistributedQuantumStore",
+    "TransferReceipt",
+]

@@ -1,0 +1,113 @@
+"""Data items with physics-aware copy semantics.
+
+The paper's Sec. IV-B.1 question — "How to design data models, when
+quantum data cannot be copied?" — is answered here at the type level:
+:class:`QuantumDataItem` is *move-only* (copying raises
+:class:`~repro.exceptions.NoCloningError`), optionally carrying a
+*classical recipe* that allows re-preparation (which is not copying: the
+original may be gone).
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import NoCloningError, ProtocolError
+from repro.quantum.state import Statevector
+
+
+@dataclass
+class ClassicalDataItem:
+    """Ordinary data: freely copyable and replicable."""
+
+    item_id: str
+    payload: bytes
+
+    def copy(self) -> "ClassicalDataItem":
+        return ClassicalDataItem(self.item_id, self.payload)
+
+
+class QuantumDataItem:
+    """A quantum payload with move-only semantics.
+
+    The payload is accessed by *taking* it (ownership transfer) or by
+    *consuming* it (measurement).  ``copy.copy``/``copy.deepcopy`` raise.
+    A ``recipe`` — a classical description able to re-prepare the state —
+    makes the item *re-preparable* but never copyable.
+    """
+
+    def __init__(
+        self,
+        item_id: str,
+        state: Statevector,
+        recipe: "Callable[[], Statevector] | None" = None,
+    ):
+        self.item_id = item_id
+        self._state: "Statevector | None" = state
+        self.recipe = recipe
+        self.fidelity_estimate = 1.0
+
+    @property
+    def is_held(self) -> bool:
+        """Whether the payload is currently present (not taken/consumed)."""
+        return self._state is not None
+
+    @property
+    def is_repreparable(self) -> bool:
+        return self.recipe is not None
+
+    def take(self) -> Statevector:
+        """Move the payload out; the item becomes empty."""
+        if self._state is None:
+            raise ProtocolError(f"item {self.item_id!r} holds no state (already taken?)")
+        state = self._state
+        self._state = None
+        return state
+
+    def put(self, state: Statevector) -> None:
+        """Move a payload back in (e.g. after teleportation)."""
+        if self._state is not None:
+            raise ProtocolError(f"item {self.item_id!r} already holds a state")
+        self._state = state
+
+    def peek_fidelity(self, reference: Statevector) -> float:
+        """Diagnostic fidelity against a reference (simulation-only)."""
+        if self._state is None:
+            raise ProtocolError(f"item {self.item_id!r} holds no state")
+        return self._state.fidelity(reference)
+
+    def consume(self, rng=None) -> tuple[int, ...]:
+        """Destructively measure the payload (read-once semantics)."""
+        state = self.take()
+        bits, _ = state.measure(rng=rng)
+        return bits
+
+    def reprepare(self) -> None:
+        """Re-create the payload from the classical recipe."""
+        if self.recipe is None:
+            raise NoCloningError(
+                f"item {self.item_id!r} has no classical recipe; the state is "
+                "irreplaceable once lost"
+            )
+        if self._state is not None:
+            raise ProtocolError(f"item {self.item_id!r} still holds a state")
+        self._state = self.recipe()
+        self.fidelity_estimate = 1.0
+
+    # -- no-cloning enforcement ---------------------------------------------------
+
+    def __copy__(self):
+        raise NoCloningError(f"quantum item {self.item_id!r} cannot be copied")
+
+    def __deepcopy__(self, memo):
+        raise NoCloningError(f"quantum item {self.item_id!r} cannot be copied")
+
+    def clone(self) -> "QuantumDataItem":
+        """Explicit copy attempt — always refused."""
+        return _copy.copy(self)  # raises NoCloningError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "held" if self.is_held else "empty"
+        return f"QuantumDataItem({self.item_id!r}, {status}, repreparable={self.is_repreparable})"

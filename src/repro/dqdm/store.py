@@ -1,0 +1,127 @@
+"""A distributed store over a quantum network.
+
+Classical items replicate freely; quantum items live on exactly one node
+and *move* via teleportation, consuming one end-to-end entangled pair per
+qubit and inheriting the pair's (possibly purified) fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dqdm.data import ClassicalDataItem, QuantumDataItem
+from repro.exceptions import NoCloningError, ProtocolError
+from repro.qnet.network import QuantumNetwork
+from repro.qnet.teleport import teleport_fidelity_via_werner
+from repro.utils.rngtools import ensure_rng
+
+
+@dataclass
+class TransferReceipt:
+    """Accounting record of one quantum data movement."""
+
+    item_id: str
+    source: str
+    destination: str
+    path: list[str]
+    pair_fidelity: float
+    payload_fidelity: float
+    time: float
+    pairs_consumed: float
+    info: dict = field(default_factory=dict)
+
+
+class DistributedQuantumStore:
+    """Node-resident classical and quantum items over a quantum network."""
+
+    def __init__(self, network: QuantumNetwork):
+        self.network = network
+        self._classical: dict[str, dict[str, ClassicalDataItem]] = {n: {} for n in network.nodes}
+        self._quantum: dict[str, dict[str, QuantumDataItem]] = {n: {} for n in network.nodes}
+        self.transfer_log: list[TransferReceipt] = []
+
+    def _node_bucket(self, node: str, quantum: bool) -> dict:
+        table = self._quantum if quantum else self._classical
+        if node not in table:
+            raise ProtocolError(f"unknown node {node!r}")
+        return table[node]
+
+    # -- placement ------------------------------------------------------------------
+
+    def put_classical(self, node: str, item: ClassicalDataItem) -> None:
+        self._node_bucket(node, quantum=False)[item.item_id] = item
+
+    def put_quantum(self, node: str, item: QuantumDataItem) -> None:
+        bucket = self._node_bucket(node, quantum=True)
+        if item.item_id in bucket:
+            raise ProtocolError(f"node {node!r} already stores item {item.item_id!r}")
+        for other in self.network.nodes:
+            if item.item_id in self._quantum[other]:
+                raise NoCloningError(
+                    f"quantum item {item.item_id!r} already lives on {other!r}; "
+                    "quantum data cannot exist at two places"
+                )
+        bucket[item.item_id] = item
+
+    def locate_quantum(self, item_id: str) -> str:
+        for node in self.network.nodes:
+            if item_id in self._quantum[node]:
+                return node
+        raise ProtocolError(f"quantum item {item_id!r} not found")
+
+    def quantum_items_at(self, node: str) -> list[str]:
+        return sorted(self._node_bucket(node, quantum=True))
+
+    def classical_items_at(self, node: str) -> list[str]:
+        return sorted(self._node_bucket(node, quantum=False))
+
+    # -- movement --------------------------------------------------------------------
+
+    def replicate_classical(self, item_id: str, source: str, destination: str) -> None:
+        """Copy a classical item to another node (always allowed)."""
+        bucket = self._node_bucket(source, quantum=False)
+        if item_id not in bucket:
+            raise ProtocolError(f"classical item {item_id!r} not at {source!r}")
+        self._node_bucket(destination, quantum=False)[item_id] = bucket[item_id].copy()
+
+    def move_quantum(
+        self,
+        item_id: str,
+        destination: str,
+        rng=None,
+        min_pair_fidelity: "float | None" = None,
+    ) -> TransferReceipt:
+        """Teleport a quantum item to ``destination``.
+
+        Consumes one end-to-end pair (per qubit of payload); the payload's
+        fidelity estimate is multiplied by the teleportation fidelity the
+        pair supports.
+        """
+        rng = ensure_rng(rng)
+        source = self.locate_quantum(item_id)
+        if source == destination:
+            raise ProtocolError(f"item {item_id!r} is already at {destination!r}")
+        item = self._quantum[source][item_id]
+        if not item.is_held:
+            raise ProtocolError(f"item {item_id!r} holds no state to move")
+        e2e = self.network.distribute(source, destination, rng=rng, min_fidelity=min_pair_fidelity)
+        state = item.take()
+        payload_qubits = state.num_qubits
+        tele_f = teleport_fidelity_via_werner(e2e.fidelity)
+        del self._quantum[source][item_id]
+        item.put(state)
+        item.fidelity_estimate *= tele_f**payload_qubits
+        self._quantum[destination][item_id] = item
+        receipt = TransferReceipt(
+            item_id=item_id,
+            source=source,
+            destination=destination,
+            path=e2e.path,
+            pair_fidelity=e2e.fidelity,
+            payload_fidelity=item.fidelity_estimate,
+            time=e2e.time,
+            pairs_consumed=e2e.pairs_consumed * payload_qubits,
+            info={"swaps": e2e.swaps, "purification_rounds": e2e.purification_rounds},
+        )
+        self.transfer_log.append(receipt)
+        return receipt

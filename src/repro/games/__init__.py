@@ -1,0 +1,32 @@
+"""Nonlocal games (Sec. IV-A): the theory behind quantum-internet advantages.
+
+* :mod:`.framework` — two-player game IR, strategies, exact win
+  probabilities;
+* :mod:`.classical` — optimal classical values by deterministic-strategy
+  enumeration;
+* :mod:`.chsh` — the CHSH game of Example IV.2 (0.75 vs cos^2(pi/8));
+* :mod:`.ghz` — the three-player GHZ game (0.75 vs 1.0);
+* :mod:`.xor_games` — general two-player XOR games and Tsirelson-style
+  quantum values via alternating optimization;
+* :mod:`.magic_square` — the Mermin-Peres magic square (extension).
+"""
+
+from repro.games.chsh import chsh_game, chsh_quantum_strategy
+from repro.games.classical import optimal_classical_value
+from repro.games.framework import QuantumStrategy, TwoPlayerGame
+from repro.games.ghz import ghz_classical_value, ghz_game_quantum_value, ghz_quantum_win_probability
+from repro.games.xor_games import XorGame, xor_classical_value, xor_quantum_value
+
+__all__ = [
+    "chsh_game",
+    "chsh_quantum_strategy",
+    "optimal_classical_value",
+    "QuantumStrategy",
+    "TwoPlayerGame",
+    "ghz_classical_value",
+    "ghz_game_quantum_value",
+    "ghz_quantum_win_probability",
+    "XorGame",
+    "xor_classical_value",
+    "xor_quantum_value",
+]

@@ -1,0 +1,39 @@
+"""Optimal classical values by exhaustive deterministic-strategy search.
+
+Shared randomness never helps beyond the best deterministic strategy (the
+value is a max over a convex combination), so enumerating deterministic
+strategies yields the exact classical value.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.games.framework import TwoPlayerGame
+
+
+def optimal_classical_value(game: TwoPlayerGame) -> tuple[float, dict, dict]:
+    """Exact classical value and an optimal deterministic strategy pair.
+
+    Returns ``(value, alice_answers, bob_answers)`` where the answer maps
+    send each question to the fixed bit the player outputs.
+    """
+    best = -1.0
+    best_a: dict = {}
+    best_b: dict = {}
+    qa = list(game.questions_a)
+    qb = list(game.questions_b)
+    for a_bits in itertools.product((0, 1), repeat=len(qa)):
+        a_map = dict(zip(qa, a_bits))
+        for b_bits in itertools.product((0, 1), repeat=len(qb)):
+            b_map = dict(zip(qb, b_bits))
+            value = sum(
+                game.probability_of(x, y)
+                for x in qa
+                for y in qb
+                if game.predicate(x, y, a_map[x], b_map[y])
+            )
+            if value > best:
+                best = value
+                best_a, best_b = a_map, b_map
+    return best, best_a, best_b

@@ -1,0 +1,133 @@
+"""Two-player nonlocal games: the referee, the strategies, the values.
+
+A game has question sets ``X``, ``Y`` with a distribution ``pi(x, y)`` and
+a win predicate ``V(x, y, a, b)`` over one-bit answers.  A *quantum
+strategy* is a shared two-qubit state plus one measurement angle per
+question: player ``P`` measures their qubit in the basis rotated by the
+angle for the received question.  Win probabilities are computed exactly
+from the statevector (and can also be estimated by sampled play).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.quantum.gates import ry_matrix
+from repro.quantum.state import Statevector
+from repro.utils.rngtools import ensure_rng
+
+
+@dataclass(frozen=True)
+class TwoPlayerGame:
+    """A two-player one-bit-answer nonlocal game."""
+
+    name: str
+    questions_a: tuple
+    questions_b: tuple
+    predicate: Callable[[int, int, int, int], bool]
+    distribution: "dict[tuple, float] | None" = None
+
+    def question_pairs(self) -> list[tuple]:
+        return [(x, y) for x in self.questions_a for y in self.questions_b]
+
+    def probability_of(self, x, y) -> float:
+        if self.distribution is None:
+            return 1.0 / (len(self.questions_a) * len(self.questions_b))
+        return self.distribution.get((x, y), 0.0)
+
+
+@dataclass
+class QuantumStrategy:
+    """Shared state + per-question measurement angles.
+
+    Measuring in the basis rotated by ``theta`` is implemented as applying
+    ``RY(-2 theta)`` and measuring in the computational basis.
+    """
+
+    state: Statevector
+    angles_a: dict
+    angles_b: dict
+
+    def outcome_distribution(self, x, y) -> np.ndarray:
+        """P(a, b | x, y) as a 2x2 array (exact)."""
+        if self.state.num_qubits != 2:
+            raise ReproError("two-player strategies need a two-qubit shared state")
+        rotated = self.state.copy()
+        rotated.apply_matrix(ry_matrix(-2.0 * self.angles_a[x]), [0])
+        rotated.apply_matrix(ry_matrix(-2.0 * self.angles_b[y]), [1])
+        probs = rotated.probabilities()
+        return probs.reshape(2, 2)
+
+
+def quantum_win_probability(game: TwoPlayerGame, strategy: QuantumStrategy) -> float:
+    """Exact success probability of the strategy on the game."""
+    total = 0.0
+    for x, y in game.question_pairs():
+        weight = game.probability_of(x, y)
+        if weight == 0.0:
+            continue
+        dist = strategy.outcome_distribution(x, y)
+        for a in (0, 1):
+            for b in (0, 1):
+                if game.predicate(x, y, a, b):
+                    total += weight * dist[a, b]
+    return total
+
+
+def play_quantum_rounds(
+    game: TwoPlayerGame, strategy: QuantumStrategy, rounds: int, rng=None
+) -> float:
+    """Empirical win rate over sampled rounds (finite statistics)."""
+    rng = ensure_rng(rng)
+    pairs = game.question_pairs()
+    weights = np.array([game.probability_of(x, y) for x, y in pairs])
+    weights = weights / weights.sum()
+    wins = 0
+    for _ in range(rounds):
+        x, y = pairs[int(rng.choice(len(pairs), p=weights))]
+        dist = strategy.outcome_distribution(x, y).reshape(-1)
+        outcome = int(rng.choice(4, p=dist / dist.sum()))
+        a, b = outcome >> 1, outcome & 1
+        if game.predicate(x, y, a, b):
+            wins += 1
+    return wins / rounds
+
+
+def optimize_quantum_strategy(
+    game: TwoPlayerGame,
+    state: Statevector,
+    restarts: int = 8,
+    rng=None,
+) -> tuple[QuantumStrategy, float]:
+    """Tune measurement angles for a fixed shared state (Nelder-Mead)."""
+    from scipy.optimize import minimize
+
+    rng = ensure_rng(rng)
+    qa = list(game.questions_a)
+    qb = list(game.questions_b)
+
+    def unpack(vec: np.ndarray) -> QuantumStrategy:
+        return QuantumStrategy(
+            state,
+            {x: float(vec[i]) for i, x in enumerate(qa)},
+            {y: float(vec[len(qa) + j]) for j, y in enumerate(qb)},
+        )
+
+    def loss(vec: np.ndarray) -> float:
+        return -quantum_win_probability(game, unpack(vec))
+
+    best_vec = None
+    best_value = float("inf")
+    for _ in range(restarts):
+        x0 = rng.uniform(-math.pi / 2, math.pi / 2, size=len(qa) + len(qb))
+        result = minimize(loss, x0, method="Nelder-Mead", options={"maxiter": 400})
+        if result.fun < best_value:
+            best_value = float(result.fun)
+            best_vec = result.x
+    strategy = unpack(best_vec)
+    return strategy, -best_value

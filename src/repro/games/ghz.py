@@ -1,0 +1,105 @@
+"""The three-player GHZ game (Greenberger-Horne-Zeilinger [65]).
+
+Questions ``(r, s, t)`` are drawn uniformly from {000, 011, 101, 110};
+the players win iff ``a XOR b XOR c = r OR s OR t``.  Classical strategies
+reach at most 3/4; measuring a shared GHZ state in the X basis (question 0)
+or Y basis (question 1) wins with probability exactly 1 — the paper's
+"with entanglement, we can achieve a task that is not possible with
+classical resources".
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.quantum.bell import ghz_state
+from repro.quantum.state import Statevector
+
+GHZ_QUESTIONS = ((0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0))
+
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+_SDG = np.array([[1, 0], [0, -1j]], dtype=complex)
+
+
+def ghz_predicate(questions: tuple[int, int, int], answers: tuple[int, int, int]) -> bool:
+    """Win condition: XOR of answers equals OR of questions."""
+    r, s, t = questions
+    a, b, c = answers
+    return (a ^ b ^ c) == (r | s | t)
+
+
+def ghz_classical_value() -> tuple[float, tuple]:
+    """Exact classical value (3/4) by deterministic enumeration.
+
+    Each player's strategy is a function of their own bit: 4 options per
+    player, 64 joint strategies.
+    """
+    best = -1.0
+    best_strategy = None
+    options = list(itertools.product((0, 1), repeat=2))  # answer for input 0, input 1
+    for fa in options:
+        for fb in options:
+            for fc in options:
+                wins = sum(
+                    1
+                    for (r, s, t) in GHZ_QUESTIONS
+                    if ghz_predicate((r, s, t), (fa[r], fb[s], fc[t]))
+                )
+                value = wins / len(GHZ_QUESTIONS)
+                if value > best:
+                    best = value
+                    best_strategy = (fa, fb, fc)
+    return best, best_strategy
+
+
+def _measure_basis(state: Statevector, qubit: int, basis: int, rng) -> tuple[int, Statevector]:
+    """Measure ``qubit`` in the X (basis=0) or Y (basis=1) basis."""
+    rotated = state.copy()
+    if basis == 0:
+        rotated.apply_matrix(_H, [qubit])
+    else:
+        rotated.apply_matrix(_H @ _SDG, [qubit])
+    bits, post = rotated.measure([qubit], rng=rng)
+    return bits[0], post
+
+
+def ghz_quantum_win_probability(questions: tuple[int, int, int]) -> float:
+    """Exact win probability of the GHZ strategy on one question triple."""
+    state = ghz_state(3)
+    # Rotate every qubit into its measurement basis, then read the joint
+    # distribution and sum the winning outcomes.
+    rotated = state.copy()
+    for qubit, q in enumerate(questions):
+        if q == 0:
+            rotated.apply_matrix(_H, [qubit])
+        else:
+            rotated.apply_matrix(_H @ _SDG, [qubit])
+    probs = rotated.probabilities()
+    total = 0.0
+    for idx in range(8):
+        answers = ((idx >> 2) & 1, (idx >> 1) & 1, idx & 1)
+        if ghz_predicate(questions, answers):
+            total += probs[idx]
+    return float(total)
+
+
+def ghz_game_quantum_value() -> float:
+    """Exact quantum value: the average over the four question triples."""
+    return float(np.mean([ghz_quantum_win_probability(q) for q in GHZ_QUESTIONS]))
+
+
+def play_ghz_rounds(rounds: int, rng) -> float:
+    """Empirical win rate of the quantum strategy with sequential measurement."""
+    wins = 0
+    for _ in range(rounds):
+        questions = GHZ_QUESTIONS[int(rng.integers(0, len(GHZ_QUESTIONS)))]
+        state = ghz_state(3)
+        answers = []
+        for qubit, q in enumerate(questions):
+            bit, state = _measure_basis(state, qubit, q, rng)
+            answers.append(bit)
+        if ghz_predicate(questions, tuple(answers)):
+            wins += 1
+    return wins / rounds

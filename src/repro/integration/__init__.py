@@ -1,0 +1,32 @@
+"""Data integration: schema matching on quantum computers (Table I row [28]).
+
+Fritsch & Scherzinger map the hard one-to-one schema-matching variant to a
+QUBO solved with QAOA/annealing; this package reproduces the mapping with
+name/type similarity metrics, classical baselines (Hungarian algorithm,
+greedy), and a synthetic schema-pair generator with ground truth.
+"""
+
+from repro.integration.classical import greedy_matching, hungarian_matching
+from repro.integration.generator import generate_schema_pair
+from repro.integration.qubo import decode_matching, matching_to_qubo
+from repro.integration.schema import Attribute, Schema
+from repro.integration.similarity import (
+    combined_similarity,
+    jaccard_ngrams,
+    levenshtein_similarity,
+    type_compatibility,
+)
+
+__all__ = [
+    "greedy_matching",
+    "hungarian_matching",
+    "generate_schema_pair",
+    "decode_matching",
+    "matching_to_qubo",
+    "Attribute",
+    "Schema",
+    "combined_similarity",
+    "jaccard_ngrams",
+    "levenshtein_similarity",
+    "type_compatibility",
+]

@@ -1,0 +1,122 @@
+"""Synthetic schema-pair generator with ground-truth correspondences.
+
+Builds a source schema from a realistic attribute pool, then derives a
+target schema by renaming (abbreviations, synonyms, typos), retyping,
+dropping and adding attributes — the noise model typical of schema-matching
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+from repro.integration.schema import ATTRIBUTE_TYPES, Attribute, Schema
+from repro.utils.rngtools import ensure_rng
+
+_ATTRIBUTE_POOL = [
+    ("customer_id", "int"),
+    ("customer_name", "string"),
+    ("order_id", "int"),
+    ("order_date", "date"),
+    ("total_amount", "float"),
+    ("shipping_address", "string"),
+    ("email_address", "string"),
+    ("phone_number", "string"),
+    ("product_id", "int"),
+    ("product_name", "string"),
+    ("unit_price", "float"),
+    ("quantity", "int"),
+    ("discount_rate", "float"),
+    ("is_active", "bool"),
+    ("created_at", "date"),
+    ("updated_at", "date"),
+    ("country_code", "string"),
+    ("postal_code", "string"),
+    ("birth_date", "date"),
+    ("account_balance", "float"),
+]
+
+_SYNONYMS = {
+    "customer_id": "client_id",
+    "customer_name": "client_name",
+    "order_date": "purchase_date",
+    "total_amount": "order_total",
+    "shipping_address": "delivery_address",
+    "email_address": "email",
+    "phone_number": "phone",
+    "unit_price": "price_per_unit",
+    "quantity": "qty",
+    "is_active": "active_flag",
+    "account_balance": "balance",
+}
+
+
+def _abbreviate(name: str) -> str:
+    parts = name.split("_")
+    return "_".join(p[:4] for p in parts)
+
+
+def _typo(name: str, rng) -> str:
+    if len(name) < 3:
+        return name
+    i = int(rng.integers(1, len(name) - 1))
+    return name[:i] + name[i + 1 :]
+
+
+def generate_schema_pair(
+    num_attributes: int,
+    rename_probability: float = 0.6,
+    drop_probability: float = 0.1,
+    extra_attributes: int = 1,
+    rng=None,
+) -> tuple[Schema, Schema, dict[str, str]]:
+    """Generate ``(source, target, ground_truth)``.
+
+    ``ground_truth`` maps source attribute names to their true target
+    counterparts (dropped attributes are absent).
+    """
+    if num_attributes < 1 or num_attributes > len(_ATTRIBUTE_POOL):
+        raise ReproError(f"num_attributes must be in 1..{len(_ATTRIBUTE_POOL)}")
+    rng = ensure_rng(rng)
+    pool_idx = rng.choice(len(_ATTRIBUTE_POOL), size=num_attributes, replace=False)
+    source_attrs = [Attribute(*_ATTRIBUTE_POOL[i]) for i in pool_idx]
+    target_attrs = []
+    truth: dict[str, str] = {}
+    for attr in source_attrs:
+        if rng.random() < drop_probability:
+            continue
+        name = attr.name
+        if rng.random() < rename_probability:
+            style = rng.random()
+            if style < 0.4 and name in _SYNONYMS:
+                name = _SYNONYMS[name]
+            elif style < 0.7:
+                name = _abbreviate(name)
+            else:
+                name = _typo(name, rng)
+        dtype = attr.dtype
+        if rng.random() < 0.1:
+            dtype = str(rng.choice([t for t in ATTRIBUTE_TYPES if t != attr.dtype]))
+        target_attrs.append(Attribute(name, dtype))
+        truth[attr.name] = name
+    for j in range(extra_attributes):
+        target_attrs.append(Attribute(f"extra_field_{j}", "string"))
+    rng.shuffle(target_attrs)
+    # Guard against accidental duplicate names after renaming.
+    seen: set[str] = set()
+    unique_attrs = []
+    renames: dict[str, str] = {}
+    for a in target_attrs:
+        name = a.name
+        while name in seen:
+            name = name + "_x"
+        if name != a.name:
+            renames[a.name] = name
+        seen.add(name)
+        unique_attrs.append(Attribute(name, a.dtype))
+    if renames:
+        truth = {k: renames.get(v, v) for k, v in truth.items()}
+    return (
+        Schema("source", source_attrs),
+        Schema("target", unique_attrs),
+        truth,
+    )

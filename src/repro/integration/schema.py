@@ -1,0 +1,50 @@
+"""Schemas and attributes for the matching problem."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ReproError
+
+ATTRIBUTE_TYPES = ("int", "float", "string", "date", "bool")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a schema."""
+
+    name: str
+    dtype: str = "string"
+
+    def __post_init__(self):
+        if self.dtype not in ATTRIBUTE_TYPES:
+            raise ReproError(f"unknown attribute type {self.dtype!r}; choose from {ATTRIBUTE_TYPES}")
+
+
+@dataclass
+class Schema:
+    """A named list of attributes."""
+
+    name: str
+    attributes: list[Attribute] = field(default_factory=list)
+
+    def __post_init__(self):
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate attribute names in schema {self.name!r}")
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return [a.name for a in self.attributes]
+
+    def attribute(self, name: str) -> Attribute:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise ReproError(f"schema {self.name!r} has no attribute {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)

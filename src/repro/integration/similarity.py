@@ -1,0 +1,80 @@
+"""Attribute similarity metrics for schema matching.
+
+The standard lexical matchers: normalised Levenshtein, n-gram Jaccard, and
+a type-compatibility prior, combined into one score in [0, 1].
+"""
+
+from __future__ import annotations
+
+from repro.integration.schema import Attribute
+
+_TYPE_AFFINITY = {
+    ("int", "int"): 1.0,
+    ("float", "float"): 1.0,
+    ("string", "string"): 1.0,
+    ("date", "date"): 1.0,
+    ("bool", "bool"): 1.0,
+    ("int", "float"): 0.8,
+    ("int", "bool"): 0.4,
+    ("string", "date"): 0.5,
+    ("int", "string"): 0.3,
+    ("float", "string"): 0.3,
+}
+
+
+def _normalise(name: str) -> str:
+    return "".join(c for c in name.lower() if c.isalnum())
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic edit distance (insert/delete/substitute)."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        cur = [i]
+        for j, cb in enumerate(b, start=1):
+            cur.append(min(prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + (ca != cb)))
+        prev = cur
+    return prev[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """``1 - distance / max_len`` on normalised names."""
+    a, b = _normalise(a), _normalise(b)
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaccard_ngrams(a: str, b: str, n: int = 3) -> float:
+    """Jaccard similarity of character n-gram sets (padded)."""
+    a, b = _normalise(a), _normalise(b)
+
+    def grams(s: str) -> set[str]:
+        padded = f"#{s}#"
+        if len(padded) < n:
+            return {padded}
+        return {padded[i : i + n] for i in range(len(padded) - n + 1)}
+
+    ga, gb = grams(a), grams(b)
+    union = ga | gb
+    if not union:
+        return 1.0
+    return len(ga & gb) / len(union)
+
+
+def type_compatibility(a: str, b: str) -> float:
+    """Affinity of two attribute types in [0, 1]."""
+    if a == b:
+        return 1.0
+    return _TYPE_AFFINITY.get((a, b), _TYPE_AFFINITY.get((b, a), 0.1))
+
+
+def combined_similarity(a: Attribute, b: Attribute, name_weight: float = 0.8) -> float:
+    """Weighted blend of lexical similarity and type compatibility."""
+    lexical = 0.5 * levenshtein_similarity(a.name, b.name) + 0.5 * jaccard_ngrams(a.name, b.name)
+    return name_weight * lexical + (1.0 - name_weight) * type_compatibility(a.dtype, b.dtype)

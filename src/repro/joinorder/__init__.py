@@ -1,0 +1,30 @@
+"""Join ordering on quantum hardware (Table I rows [23]-[27]).
+
+Four routes are implemented:
+
+* :mod:`.leftdeep_qubo` — permutation-matrix QUBO for left-deep trees with
+  the log-cardinality surrogate cost (Schonberger et al. [23], [24]);
+* :mod:`.bushy_qubo` — edge-contraction-sequence QUBO for bushy trees
+  (Schonberger/Trummer [25], Nayak et al. [26]);
+* :mod:`.milp` — the MILP/BILP intermediate formulation and its
+  transformation to QUBO (the [24] co-design pipeline), plus a small exact
+  branch-and-bound;
+* :mod:`.vqc_agent` — join ordering as reinforcement learning with a
+  variational-quantum-circuit policy (Winker et al. [27]).
+"""
+
+from repro.joinorder.bushy_qubo import BushyJoinQubo
+from repro.joinorder.leftdeep_qubo import LeftDeepJoinQubo
+from repro.joinorder.milp import Bilp, bilp_to_qubo, formulate_leftdeep_bilp, solve_branch_and_bound
+from repro.joinorder.vqc_agent import JoinOrderEnv, VQCJoinOrderAgent
+
+__all__ = [
+    "BushyJoinQubo",
+    "LeftDeepJoinQubo",
+    "Bilp",
+    "bilp_to_qubo",
+    "formulate_leftdeep_bilp",
+    "solve_branch_and_bound",
+    "JoinOrderEnv",
+    "VQCJoinOrderAgent",
+]

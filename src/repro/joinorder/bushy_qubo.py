@@ -1,0 +1,128 @@
+"""Bushy join trees as an edge-contraction-sequence QUBO.
+
+Encoding (in the spirit of Schonberger/Trummer [25] and Nayak et al. [26]):
+binary variable ``x[e, s]`` = "join-graph edge e is contracted at step s"
+for steps ``s = 0..n-2``.  Contracting an edge joins the two current
+subtrees containing its endpoints, so a sequence of ``n-1`` distinct edges
+of a connected join graph yields a valid bushy tree (redundant edges —
+endpoints already merged — are skipped at decode time and repaired).
+
+The quadratic cost surrogate charges each contraction its *local* log size
+(log cardinalities of the two endpoint relations plus the predicate's log
+selectivity) and adds a growth interaction: an edge contracted after an
+adjacent edge also absorbs that edge's far relation.  This truncates the
+exact (non-quadratic) cost at pairwise interactions — the same compromise
+the published QUBO mappings make — and decoded trees are re-costed with
+exact C_out.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.db.cost import CostModel
+from repro.db.plans import JoinTree, tree_from_edge_sequence
+from repro.db.query import JoinGraph
+from repro.exceptions import InfeasibleError
+from repro.qubo.model import QuboModel
+from repro.qubo.penalty import add_at_most_one, add_exactly_one
+
+
+class BushyJoinQubo:
+    """Builder + decoder for the bushy edge-sequence QUBO."""
+
+    def __init__(self, graph: JoinGraph, penalty: "float | None" = None):
+        self.graph = graph
+        self.relations = graph.relations
+        self.edges = graph.edges
+        self.n = len(self.relations)
+        self.num_steps = self.n - 1
+        self.penalty = penalty
+
+    def _log_card(self, r: str) -> float:
+        return math.log10(self.graph.cardinality(r))
+
+    def _log_sel(self, a: str, b: str) -> float:
+        return math.log10(self.graph.selectivity(a, b))
+
+    def build(self) -> QuboModel:
+        model = QuboModel()
+        for e in self.edges:
+            for s in range(self.num_steps):
+                model.variable((e, s))
+
+        # Base cost of contracting edge e at any step: local log size.
+        for a, b in self.edges:
+            base = self._log_card(a) + self._log_card(b) + self._log_sel(a, b)
+            for s in range(self.num_steps):
+                model.add_linear(((a, b), s), base)
+
+        # Growth interaction: if f = (c, d) shares a relation with e and is
+        # contracted strictly earlier, e's intermediate also contains f's far
+        # relation (and f's predicate applies).
+        for e in self.edges:
+            ea, eb = e
+            for f in self.edges:
+                if f == e:
+                    continue
+                fa, fb = f
+                shared = {ea, eb} & {fa, fb}
+                if not shared:
+                    continue
+                far = fa if fb in shared else fb
+                growth = self._log_card(far) + self._log_sel(fa, fb)
+                for s_e in range(self.num_steps):
+                    for s_f in range(s_e):
+                        model.add_quadratic((e, s_e), (f, s_f), growth)
+
+        weight = self.penalty if self.penalty is not None else self._default_penalty()
+        for s in range(self.num_steps):
+            add_exactly_one(model, [(e, s) for e in self.edges], weight)
+        for e in self.edges:
+            if len(self.edges) == self.num_steps:
+                add_exactly_one(model, [(e, s) for s in range(self.num_steps)], weight)
+            else:
+                # Cyclic graphs have more edges than steps: each edge at most once.
+                add_at_most_one(model, [(e, s) for s in range(self.num_steps)], weight)
+        return model
+
+    def _default_penalty(self) -> float:
+        max_lc = max(self._log_card(r) for r in self.relations)
+        return (max_lc + 2.0) * self.n * max(len(self.edges), 1) + 1.0
+
+    # -- decoding -------------------------------------------------------------
+
+    def decode(self, model: QuboModel, bits, repair: bool = True) -> JoinTree:
+        """Assignment -> bushy join tree (with repair of invalid sequences)."""
+        assignment = model.decode(bits)
+        sequence: list[tuple[str, str]] = []
+        used: set[tuple[str, str]] = set()
+        for s in range(self.num_steps):
+            chosen = [e for e in self.edges if assignment.get((e, s), 0) == 1]
+            if len(chosen) == 1 and chosen[0] not in used:
+                sequence.append(chosen[0])
+                used.add(chosen[0])
+            elif not repair:
+                raise InfeasibleError(f"step {s} selects {len(chosen)} edges")
+        if repair:
+            for e in self.edges:
+                if e not in used:
+                    sequence.append(e)
+        try:
+            return tree_from_edge_sequence(sequence, self.relations)
+        except Exception as exc:  # disconnected after skipping redundant edges
+            if not repair:
+                raise
+            raise InfeasibleError(f"unrepairable edge sequence: {exc}") from exc
+
+    def true_cost(self, tree: JoinTree) -> float:
+        return CostModel(self.graph).cost(tree)
+
+    def energy_of_sequence(self, model: QuboModel, sequence: list[tuple[str, str]]) -> float:
+        """QUBO energy of an explicit edge order (for cross-checks)."""
+        bits = np.zeros(model.num_variables, dtype=int)
+        for s, e in enumerate(sequence):
+            bits[model.index_of((e, s))] = 1
+        return model.energy(bits)

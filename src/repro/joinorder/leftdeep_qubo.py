@@ -1,0 +1,123 @@
+"""Left-deep join ordering as a permutation QUBO.
+
+Encoding (Schonberger et al. [23], [24] style): binary variable
+``x[r, pos]`` = "relation r sits at position pos" with row/column
+exactly-one constraints.  The objective is the standard *log-cost*
+surrogate: the sum over prefix lengths ``s >= 2`` of the log cardinality of
+the intermediate result after ``s`` relations,
+
+    log |prefix_s| = sum_r log(card_r) [r in prefix_s]
+                   + sum_{(a,b) in E} log(sel_ab) [a, b in prefix_s]
+
+Both indicator groups expand to terms linear/quadratic in ``x`` (prefix
+membership is a *sum* of position variables), so the whole objective is
+quadratic — this is why the log-cost (not C_out itself) is what the
+published QUBO mappings optimise.  Decoded orders are always re-costed with
+the exact C_out model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.db.cost import CostModel
+from repro.db.plans import leftdeep_tree_from_order
+from repro.db.query import JoinGraph
+from repro.exceptions import InfeasibleError
+from repro.qubo.model import QuboModel
+from repro.qubo.penalty import add_exactly_one
+
+
+class LeftDeepJoinQubo:
+    """Builder + decoder for the left-deep permutation QUBO."""
+
+    def __init__(self, graph: JoinGraph, penalty: "float | None" = None):
+        self.graph = graph
+        self.relations = graph.relations
+        self.n = len(self.relations)
+        self.penalty = penalty
+
+    # -- building -------------------------------------------------------------
+
+    def build(self) -> QuboModel:
+        """The QUBO over ``n^2`` position variables."""
+        n = self.n
+        model = QuboModel()
+        for r in self.relations:
+            for pos in range(n):
+                model.variable((r, pos))
+
+        # Objective: sum over prefix lengths s=2..n of log10 |prefix_s|.
+        # A variable x[r, pos] contributes log10(card_r) to every prefix with
+        # s >= max(pos+1, 2); there are n - max(pos+1, 2) + 1 such prefixes.
+        for r in self.relations:
+            lc = math.log10(self.graph.cardinality(r))
+            for pos in range(n):
+                count = n - max(pos + 1, 2) + 1
+                if count > 0:
+                    model.add_linear((r, pos), lc * count)
+        # A predicate (a, b) contributes log10(sel) to every prefix
+        # containing both; the pair (x[a,p], x[b,q]) is inside prefixes with
+        # s >= max(p, q) + 1 (and s >= 2, implied since p != q).
+        for a, b in self.graph.edges:
+            ls = math.log10(self.graph.selectivity(a, b))
+            for p in range(n):
+                for q in range(n):
+                    if p == q:
+                        continue
+                    count = n - max(p, q)
+                    model.add_quadratic((a, p), (b, q), ls * count)
+
+        weight = self.penalty if self.penalty is not None else self._default_penalty()
+        for r in self.relations:
+            add_exactly_one(model, [(r, pos) for pos in range(n)], weight)
+        for pos in range(n):
+            add_exactly_one(model, [(r, pos) for r in self.relations], weight)
+        return model
+
+    def _default_penalty(self) -> float:
+        """Dominates the largest possible objective swing of one variable."""
+        n = self.n
+        max_lc = max(math.log10(self.graph.cardinality(r)) for r in self.relations)
+        max_ls = max(abs(math.log10(self.graph.selectivity(a, b))) for a, b in self.graph.edges) if self.graph.edges else 1.0
+        return (max_lc + max_ls * max(len(self.graph.edges), 1)) * n + 1.0
+
+    # -- decoding ----------------------------------------------------------------
+
+    def decode(self, model: QuboModel, bits, repair: bool = True) -> list[str]:
+        """Assignment -> join order, with greedy repair of broken permutations."""
+        assignment = model.decode(bits)
+        order: list["str | None"] = [None] * self.n
+        used: set[str] = set()
+        for pos in range(self.n):
+            chosen = [r for r in self.relations if assignment.get((r, pos), 0) == 1]
+            if len(chosen) == 1 and chosen[0] not in used:
+                order[pos] = chosen[0]
+                used.add(chosen[0])
+            elif not repair:
+                raise InfeasibleError(f"position {pos} has {len(chosen)} relations")
+        if repair:
+            remaining = [r for r in self.relations if r not in used]
+            for pos in range(self.n):
+                if order[pos] is None:
+                    order[pos] = remaining.pop(0)
+        return [r for r in order if r is not None]
+
+    def surrogate_cost(self, order: list[str]) -> float:
+        """The log-cost the QUBO optimises, computed directly."""
+        cm = CostModel(self.graph)
+        return cm.log_cost(leftdeep_tree_from_order(order))
+
+    def true_cost(self, order: list[str]) -> float:
+        """Exact C_out of the decoded plan."""
+        cm = CostModel(self.graph)
+        return cm.cost(leftdeep_tree_from_order(order))
+
+    def energy_of_order(self, model: QuboModel, order: list[str]) -> float:
+        """QUBO energy of a (feasible) permutation, for cross-checks."""
+        bits = np.zeros(model.num_variables, dtype=int)
+        for pos, r in enumerate(order):
+            bits[model.index_of((r, pos))] = 1
+        return model.energy(bits)

@@ -1,0 +1,201 @@
+"""Join ordering as reinforcement learning with a VQC policy (Winker et al. [27]).
+
+The environment builds a left-deep plan one relation at a time; the policy
+is a data re-uploading variational quantum circuit whose measurement
+distribution over action qubits selects the next relation.  Training uses
+REINFORCE with a moving-average baseline; the reward is the negative
+log-cost of the finished plan, so maximising reward minimises plan cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.vqc import VariationalCircuit
+from repro.db.cost import CostModel
+from repro.db.dp import dp_optimal_leftdeep
+from repro.db.plans import leftdeep_tree_from_order
+from repro.db.query import JoinGraph
+from repro.exceptions import ReproError
+from repro.utils.rngtools import ensure_rng
+
+
+class JoinOrderEnv:
+    """Episodic left-deep plan construction over a join graph."""
+
+    def __init__(self, graph: JoinGraph):
+        self.graph = graph
+        self.relations = graph.relations
+        self.n = len(self.relations)
+        self.cost_model = CostModel(graph)
+        self._joined: list[str] = []
+
+    def reset(self) -> np.ndarray:
+        self._joined = []
+        return self.features()
+
+    def features(self) -> np.ndarray:
+        """Feature vector: joined-indicator per relation (0/1)."""
+        joined = set(self._joined)
+        return np.array([1.0 if r in joined else 0.0 for r in self.relations])
+
+    @property
+    def done(self) -> bool:
+        return len(self._joined) == self.n
+
+    def valid_actions(self) -> list[int]:
+        """Remaining relations; prefer graph neighbours of the prefix."""
+        joined = set(self._joined)
+        remaining = [i for i, r in enumerate(self.relations) if r not in joined]
+        if not self._joined:
+            return remaining
+        connected = [
+            i for i in remaining
+            if self.graph.connects(joined, [self.relations[i]])
+        ]
+        return connected or remaining
+
+    def step(self, action: int) -> np.ndarray:
+        rel = self.relations[action]
+        if rel in self._joined:
+            raise ReproError(f"relation {rel} already joined")
+        self._joined.append(rel)
+        return self.features()
+
+    def final_cost(self) -> float:
+        if not self.done:
+            raise ReproError("episode not finished")
+        return self.cost_model.cost(leftdeep_tree_from_order(self._joined))
+
+    def final_order(self) -> list[str]:
+        return list(self._joined)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-episode training metrics."""
+
+    costs: list[float] = field(default_factory=list)
+    ratios: list[float] = field(default_factory=list)
+    rewards: list[float] = field(default_factory=list)
+
+    def mean_ratio(self, window: int = 20) -> float:
+        """Mean cost ratio (vs optimal) over the last ``window`` episodes."""
+        if not self.ratios:
+            return float("nan")
+        return float(np.mean(self.ratios[-window:]))
+
+
+class VQCJoinOrderAgent:
+    """REINFORCE agent with a variational-quantum-circuit policy."""
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        num_layers: int = 2,
+        learning_rate: float = 0.15,
+        gradient_eps: float = 0.05,
+    ):
+        self.env = JoinOrderEnv(graph)
+        self.n = self.env.n
+        num_qubits = max(2, (self.n - 1).bit_length(), 2)
+        # Qubit count must cover the action space *and* give the encoding
+        # enough width for the feature vector.
+        self.vqc = VariationalCircuit(max(num_qubits, min(self.n, 6)), num_layers=num_layers)
+        self.learning_rate = learning_rate
+        self.gradient_eps = gradient_eps
+        _, self.optimal_cost = dp_optimal_leftdeep(graph)
+        self.params: "np.ndarray | None" = None
+
+    # -- acting ---------------------------------------------------------------
+
+    def _policy(self, features: np.ndarray, valid: list[int], params: np.ndarray) -> np.ndarray:
+        return self.vqc.policy(features, params, num_actions=self.n, valid_actions=valid)
+
+    def run_episode(self, params: np.ndarray, rng, greedy: bool = False, exploration: float = 0.0):
+        """Play one episode; returns (trajectory, final_cost).
+
+        ``exploration`` mixes the quantum policy with a uniform distribution
+        over valid actions (epsilon-greedy style) so early near-deterministic
+        policies still explore the plan space.
+        """
+        env = self.env
+        features = env.reset()
+        trajectory = []
+        while not env.done:
+            valid = env.valid_actions()
+            probs = self._policy(features, valid, params)
+            if greedy:
+                action = int(np.argmax(probs))
+            else:
+                if exploration > 0.0:
+                    uniform = np.zeros(self.n)
+                    uniform[valid] = 1.0 / len(valid)
+                    probs = (1.0 - exploration) * probs + exploration * uniform
+                    probs = probs / probs.sum()
+                action = int(rng.choice(self.n, p=probs))
+            trajectory.append((features.copy(), valid, action))
+            features = env.step(action)
+        return trajectory, env.final_cost()
+
+    def greedy_order(self, params: "np.ndarray | None" = None) -> list[str]:
+        """The deterministic plan under the (trained) policy."""
+        params = params if params is not None else self.params
+        if params is None:
+            raise ReproError("agent is untrained; call train() first")
+        rng = ensure_rng(0)
+        self.run_episode(params, rng, greedy=True)
+        return self.env.final_order()
+
+    # -- training ----------------------------------------------------------------
+
+    def _reward(self, cost: float) -> float:
+        """Negative log cost ratio: 0 when optimal, below 0 otherwise."""
+        return -math.log10(max(cost / max(self.optimal_cost, 1e-12), 1.0))
+
+    def train(self, episodes: int = 100, rng=None, exploration: float = 0.4) -> TrainingHistory:
+        """REINFORCE with finite-difference policy gradients.
+
+        ``exploration`` is the initial epsilon of the uniform mixing; it
+        decays linearly to zero over the training run.
+        """
+        rng = ensure_rng(rng)
+        params = rng.uniform(-0.8, 0.8, size=self.vqc.num_parameters)
+        history = TrainingHistory()
+        baseline = 0.0
+        for episode in range(episodes):
+            eps = exploration * max(0.0, 1.0 - episode / max(episodes - 1, 1))
+            trajectory, cost = self.run_episode(params, rng, exploration=eps)
+            reward = self._reward(cost)
+            history.costs.append(cost)
+            history.ratios.append(cost / max(self.optimal_cost, 1e-12))
+            history.rewards.append(reward)
+            baseline = reward if episode == 0 else 0.9 * baseline + 0.1 * reward
+            advantage = reward - baseline
+            if abs(advantage) < 1e-12:
+                continue
+            grad = np.zeros_like(params)
+            for features, valid, action in trajectory:
+                grad += self._log_policy_gradient(features, valid, action, params)
+            params = params + self.learning_rate * advantage * grad
+        self.params = params
+        return history
+
+    def _log_policy_gradient(
+        self, features: np.ndarray, valid: list[int], action: int, params: np.ndarray
+    ) -> np.ndarray:
+        """Central finite differences of ``log pi(action | features)``."""
+        eps = self.gradient_eps
+        grad = np.zeros_like(params)
+        for k in range(params.size):
+            plus = params.copy()
+            plus[k] += eps
+            minus = params.copy()
+            minus[k] -= eps
+            lp = math.log(self._policy(features, valid, plus)[action])
+            lm = math.log(self._policy(features, valid, minus)[action])
+            grad[k] = (lp - lm) / (2.0 * eps)
+        return grad

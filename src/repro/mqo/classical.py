@@ -1,0 +1,107 @@
+"""Classical MQO baselines: exhaustive, greedy, and hill climbing.
+
+These play the role of the "state-of-the-art MQO solutions" Trummer & Koch
+compare their annealer against; the exhaustive solver doubles as the
+ground-truth optimum for quality measurements.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exceptions import ReproError
+from repro.mqo.problem import MQOProblem
+from repro.utils.rngtools import ensure_rng
+
+
+def exhaustive_mqo(problem: MQOProblem, max_combinations: int = 2_000_000) -> tuple[dict[str, str], float]:
+    """Enumerate every plan combination (exact, exponential)."""
+    space = 1
+    for q in problem.queries:
+        space *= len(problem.plans_of(q))
+    if space > max_combinations:
+        raise ReproError(f"search space {space} exceeds limit {max_combinations}")
+    best_sel = None
+    best_cost = float("inf")
+    plan_lists = [problem.plans_of(q) for q in problem.queries]
+    for combo in itertools.product(*plan_lists):
+        selection = {p.query: p.plan for p in combo}
+        cost = problem.total_cost(selection)
+        if cost < best_cost:
+            best_cost = cost
+            best_sel = selection
+    return best_sel, best_cost
+
+
+def greedy_mqo(problem: MQOProblem) -> tuple[dict[str, str], float]:
+    """Pick each query's cheapest plan, ignoring sharing."""
+    selection = {
+        q: min(problem.plans_of(q), key=lambda p: p.cost).plan for q in problem.queries
+    }
+    return selection, problem.total_cost(selection)
+
+
+def local_search_from(problem: MQOProblem, selection: dict[str, str]) -> tuple[dict[str, str], float]:
+    """First-improvement plan-swap descent from a given selection.
+
+    This is the classical half of the hybrid pipeline (Sec. III-C.2 of the
+    paper): the quantum sampler proposes a basin, a cheap local search
+    finishes the job.
+    """
+    selection = dict(selection)
+    cost = problem.total_cost(selection)
+    improved = True
+    while improved:
+        improved = False
+        for q in problem.queries:
+            current = selection[q]
+            for p in problem.plans_of(q):
+                if p.plan == current:
+                    continue
+                candidate = dict(selection)
+                candidate[q] = p.plan
+                c = problem.total_cost(candidate)
+                if c < cost - 1e-12:
+                    selection, cost = candidate, c
+                    improved = True
+                    break
+            if improved:
+                break
+    return selection, cost
+
+
+def hill_climbing_mqo(
+    problem: MQOProblem, restarts: int = 8, max_iterations: int = 200, rng=None
+) -> tuple[dict[str, str], float]:
+    """First-improvement hill climbing over single-query plan swaps."""
+    rng = ensure_rng(rng)
+    best_sel = None
+    best_cost = float("inf")
+    for _ in range(restarts):
+        selection = {
+            q: problem.plans_of(q)[int(rng.integers(0, len(problem.plans_of(q))))].plan
+            for q in problem.queries
+        }
+        cost = problem.total_cost(selection)
+        for _ in range(max_iterations):
+            improved = False
+            for q in problem.queries:
+                current = selection[q]
+                for p in problem.plans_of(q):
+                    if p.plan == current:
+                        continue
+                    candidate = dict(selection)
+                    candidate[q] = p.plan
+                    c = problem.total_cost(candidate)
+                    if c < cost - 1e-12:
+                        selection, cost = candidate, c
+                        improved = True
+                        break
+                if improved:
+                    break
+            if not improved:
+                break
+        if cost < best_cost:
+            best_cost = cost
+            best_sel = selection
+    return best_sel, best_cost

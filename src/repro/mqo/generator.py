@@ -1,0 +1,54 @@
+"""Synthetic MQO workload generator.
+
+Mirrors the synthetic benchmark of Trummer & Koch [20]: ``q`` queries with
+``p`` candidate plans each, and randomly chosen cross-query plan pairs that
+share intermediate results (a sharing density knob controls how many).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+from repro.mqo.problem import MQOProblem
+from repro.utils.rngtools import ensure_rng
+
+
+def generate_mqo_problem(
+    num_queries: int,
+    plans_per_query: int,
+    sharing_density: float = 0.3,
+    cost_range: tuple[float, float] = (10.0, 50.0),
+    max_saving_fraction: float = 0.8,
+    rng=None,
+) -> MQOProblem:
+    """Generate a random MQO instance.
+
+    Args:
+        num_queries: Number of queries in the batch.
+        plans_per_query: Candidate plans per query.
+        sharing_density: Probability that a cross-query plan pair shares an
+            intermediate result.
+        cost_range: Uniform range of individual plan costs.
+        max_saving_fraction: A sharing pair saves a uniform fraction (up to
+            this value) of the cheaper plan's cost, keeping totals positive.
+        rng: Seed or generator.
+    """
+    if num_queries < 1 or plans_per_query < 1:
+        raise ReproError("need at least one query and one plan per query")
+    if not 0.0 <= sharing_density <= 1.0:
+        raise ReproError("sharing_density must be in [0, 1]")
+    rng = ensure_rng(rng)
+    problem = MQOProblem()
+    lo, hi = cost_range
+    for q in range(num_queries):
+        for p in range(plans_per_query):
+            problem.add_plan(f"q{q}", f"p{p}", float(rng.uniform(lo, hi)))
+    plans = problem.all_plans
+    for i, a in enumerate(plans):
+        for b in plans[i + 1 :]:
+            if a.query == b.query:
+                continue
+            if rng.random() < sharing_density:
+                cheaper = min(a.cost, b.cost)
+                saving = float(rng.uniform(0.1, max_saving_fraction) * cheaper)
+                problem.add_saving(a.key, b.key, saving)
+    return problem

@@ -1,0 +1,121 @@
+"""The multiple-query-optimization problem model (Sellis [52]).
+
+Given a batch of queries, each with several candidate plans, choose one
+plan per query minimising total cost, where pairs of plans (of different
+queries) that share intermediate results yield cost *savings* when selected
+together.  NP-hard; the QUBO mapping is due to Trummer & Koch [20].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import InfeasibleError, ReproError
+
+PlanKey = tuple[str, str]  # (query_id, plan_id)
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """One candidate plan for one query."""
+
+    query: str
+    plan: str
+    cost: float
+
+    @property
+    def key(self) -> PlanKey:
+        return (self.query, self.plan)
+
+
+class MQOProblem:
+    """Queries, candidate plans and pairwise savings."""
+
+    def __init__(self):
+        self._plans: dict[str, list[PlanChoice]] = {}
+        self._savings: dict[tuple[PlanKey, PlanKey], float] = {}
+
+    # -- construction -------------------------------------------------------------
+
+    def add_plan(self, query: str, plan: str, cost: float) -> PlanChoice:
+        if cost < 0:
+            raise ReproError("plan cost must be non-negative")
+        choice = PlanChoice(query, plan, float(cost))
+        bucket = self._plans.setdefault(query, [])
+        if any(p.plan == plan for p in bucket):
+            raise ReproError(f"duplicate plan {plan!r} for query {query!r}")
+        bucket.append(choice)
+        return choice
+
+    def add_saving(self, a: PlanKey, b: PlanKey, amount: float) -> None:
+        """Record that selecting both plans saves ``amount`` cost units."""
+        if amount < 0:
+            raise ReproError("savings must be non-negative")
+        if a[0] == b[0]:
+            raise ReproError("savings apply to plans of *different* queries")
+        self._plan_or_raise(a)
+        self._plan_or_raise(b)
+        key = (min(a, b), max(a, b))
+        self._savings[key] = self._savings.get(key, 0.0) + float(amount)
+
+    def _plan_or_raise(self, key: PlanKey) -> PlanChoice:
+        for p in self._plans.get(key[0], []):
+            if p.plan == key[1]:
+                return p
+        raise ReproError(f"unknown plan {key!r}")
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def queries(self) -> list[str]:
+        return sorted(self._plans)
+
+    def plans_of(self, query: str) -> list[PlanChoice]:
+        if query not in self._plans:
+            raise ReproError(f"unknown query {query!r}")
+        return list(self._plans[query])
+
+    @property
+    def all_plans(self) -> list[PlanChoice]:
+        return [p for q in self.queries for p in self._plans[q]]
+
+    @property
+    def savings(self) -> dict[tuple[PlanKey, PlanKey], float]:
+        return dict(self._savings)
+
+    @property
+    def num_plans(self) -> int:
+        return sum(len(v) for v in self._plans.values())
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def validate_selection(self, selection: Mapping[str, str]) -> None:
+        """Every query must have exactly one known plan selected."""
+        missing = [q for q in self.queries if q not in selection]
+        if missing:
+            raise InfeasibleError(f"queries without a selected plan: {missing}")
+        for q, plan in selection.items():
+            self._plan_or_raise((q, plan))
+
+    def total_cost(self, selection: Mapping[str, str]) -> float:
+        """Total plan cost minus all savings activated by the selection."""
+        self.validate_selection(selection)
+        cost = sum(self._plan_or_raise((q, p)).cost for q, p in selection.items())
+        for ((qa, pa), (qb, pb)), amount in self._savings.items():
+            if selection.get(qa) == pa and selection.get(qb) == pb:
+                cost -= amount
+        return cost
+
+    def cost_bounds(self) -> tuple[float, float]:
+        """(loose lower bound, upper bound) on achievable total cost."""
+        lower = sum(min(p.cost for p in self._plans[q]) for q in self.queries)
+        lower -= sum(self._savings.values())
+        upper = sum(max(p.cost for p in self._plans[q]) for q in self.queries)
+        return lower, upper
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MQOProblem({len(self._plans)} queries, {self.num_plans} plans, "
+            f"{len(self._savings)} savings)"
+        )

@@ -1,0 +1,92 @@
+"""The Trummer-Koch logical QUBO mapping for MQO [20].
+
+One binary variable per (query, plan) pair; the energy is
+
+    E(x) = sum_p cost_p x_p  -  sum_{p,p'} saving_{pp'} x_p x_{p'}
+           + w_L * sum_q (1 - sum_{p in q} x_p)^2
+
+The penalty weight ``w_L`` dominates every possible objective swing so the
+minimum always selects exactly one plan per query (their "logical level");
+the "physical level" — embedding onto the annealer topology — is handled by
+:class:`repro.annealing.device.AnnealerDevice`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import InfeasibleError
+from repro.mqo.problem import MQOProblem, PlanKey
+from repro.qubo.model import QuboModel
+from repro.qubo.penalty import add_exactly_one
+
+
+def penalty_weight(problem: MQOProblem, query: "str | None" = None) -> float:
+    """Penalty weight dominating the energy swing of one query's choices.
+
+    Violating the exactly-one constraint of query ``q`` can gain at most the
+    largest plan cost of ``q`` plus all savings touching ``q``'s plans, so a
+    per-query weight just above that swing suffices (a tight weight keeps
+    the QUBO well conditioned for annealers — Trummer & Koch's choice).
+    Without ``query``, returns the maximum over all queries.
+    """
+    queries = [query] if query is not None else problem.queries
+    weights = []
+    for q in queries:
+        max_cost = max(p.cost for p in problem.plans_of(q))
+        touching = sum(
+            amount
+            for (a, b), amount in problem.savings.items()
+            if a[0] == q or b[0] == q
+        )
+        weights.append(max_cost + touching + 1.0)
+    return max(weights)
+
+
+def mqo_to_qubo(problem: MQOProblem, weight: "float | None" = None) -> QuboModel:
+    """Build the logical QUBO; variable labels are ``(query, plan)`` keys."""
+    model = QuboModel()
+    for plan in problem.all_plans:
+        model.variable(plan.key)
+        model.add_linear(plan.key, plan.cost)
+    for (a, b), amount in problem.savings.items():
+        model.add_quadratic(a, b, -amount)
+    for q in problem.queries:
+        w = penalty_weight(problem, q) if weight is None else weight
+        add_exactly_one(model, [p.key for p in problem.plans_of(q)], w)
+    return model
+
+
+def decode_sample(
+    problem: MQOProblem, model: QuboModel, bits, repair: bool = True
+) -> dict[str, str]:
+    """Turn a QUBO assignment into a plan selection.
+
+    With ``repair=True`` (the post-processing every annealing paper applies)
+    queries with zero or multiple selected plans fall back to their cheapest
+    (or cheapest-selected) plan; with ``repair=False`` invalid assignments
+    raise :class:`~repro.exceptions.InfeasibleError`.
+    """
+    assignment = model.decode(bits)
+    selection: dict[str, str] = {}
+    for q in problem.queries:
+        chosen = [p for p in problem.plans_of(q) if assignment.get((q, p.plan), 0) == 1]
+        if len(chosen) == 1:
+            selection[q] = chosen[0].plan
+        elif not repair:
+            raise InfeasibleError(
+                f"query {q!r} has {len(chosen)} plans selected in the sample"
+            )
+        elif chosen:
+            selection[q] = min(chosen, key=lambda p: p.cost).plan
+        else:
+            selection[q] = min(problem.plans_of(q), key=lambda p: p.cost).plan
+    return selection
+
+
+def selection_to_bits(problem: MQOProblem, model: QuboModel, selection: Mapping[str, str]) -> list[int]:
+    """Inverse of :func:`decode_sample` for tests and warm starts."""
+    bits = [0] * model.num_variables
+    for q, plan in selection.items():
+        bits[model.index_of((q, plan))] = 1
+    return bits

@@ -1,0 +1,33 @@
+"""Quantum database search and manipulation (Sec. III-A of the paper).
+
+* :mod:`.encoding` / :mod:`.table` — basis-state encoding of records and
+  the :class:`~repro.qdb.table.QuantumTable` abstraction;
+* :mod:`.search` — Grover record search with query-complexity accounting
+  ([19], [39]-[44]);
+* :mod:`.setops` — quantum set intersection/union/difference ([47], [48]);
+* :mod:`.join` — Grover-over-pairs equi-join ([45], [50]);
+* :mod:`.dml` — insert/update/delete on superposition databases
+  ([46], [49], [51]);
+* :mod:`.qql` — a small SQL-like quantum query language front end.
+"""
+
+from repro.qdb.encoding import KeyEncoding
+from repro.qdb.join import quantum_join
+from repro.qdb.qql import QQLEngine, QQLResult
+from repro.qdb.search import QuantumSearchResult, quantum_select, classical_select
+from repro.qdb.setops import quantum_difference, quantum_intersection, quantum_union
+from repro.qdb.table import QuantumTable
+
+__all__ = [
+    "KeyEncoding",
+    "quantum_join",
+    "QQLEngine",
+    "QQLResult",
+    "QuantumSearchResult",
+    "quantum_select",
+    "classical_select",
+    "quantum_difference",
+    "quantum_intersection",
+    "quantum_union",
+    "QuantumTable",
+]

@@ -1,0 +1,72 @@
+"""Data manipulation directly on superposition states (Younes [51]).
+
+These functions transform an *existing* database superposition without
+re-preparing it from scratch — the amplitude-redistribution view of
+INSERT/DELETE in the quantum-DB literature.  :class:`~repro.qdb.table.QuantumTable`
+offers the classical-description counterpart; both views agree, which the
+tests verify.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.quantum.state import Statevector
+
+_ATOL = 1e-9
+
+
+def support(state: Statevector, atol: float = _ATOL) -> frozenset[int]:
+    """Basis indices with non-negligible amplitude."""
+    return frozenset(int(i) for i in np.nonzero(np.abs(state.data) > atol)[0])
+
+
+def insert_into_superposition(state: Statevector, key: int) -> Statevector:
+    """Add ``|key>`` to a uniform superposition, staying uniform.
+
+    With ``k`` records, the new state is
+    ``sqrt(k/(k+1)) |db> + sqrt(1/(k+1)) |key>``.
+    """
+    if not 0 <= key < state.dim:
+        raise ReproError(f"key {key} outside the register domain")
+    keys = support(state)
+    if key in keys:
+        raise ReproError(f"key {key} already present in the superposition")
+    k = len(keys)
+    new_data = math.sqrt(k / (k + 1)) * state.data.copy()
+    new_data[key] += math.sqrt(1.0 / (k + 1))
+    return Statevector(new_data)
+
+
+def delete_from_superposition(state: Statevector, key: int) -> Statevector:
+    """Project ``|key>`` out of the superposition and renormalise."""
+    if not 0 <= key < state.dim:
+        raise ReproError(f"key {key} outside the register domain")
+    keys = support(state)
+    if key not in keys:
+        raise ReproError(f"key {key} not present in the superposition")
+    if len(keys) == 1:
+        raise ReproError("cannot delete the last record of a superposition")
+    new_data = state.data.copy()
+    new_data[key] = 0.0
+    return Statevector(new_data)
+
+
+def update_superposition(state: Statevector, old_key: int, new_key: int) -> Statevector:
+    """Move the amplitude of ``old_key`` onto ``new_key``.
+
+    This is a permutation of basis states (a unitary), so unlike insert or
+    delete it needs no renormalisation.
+    """
+    keys = support(state)
+    if old_key not in keys:
+        raise ReproError(f"key {old_key} not present")
+    if new_key in keys:
+        raise ReproError(f"key {new_key} already present")
+    new_data = state.data.copy()
+    new_data[new_key] = new_data[old_key]
+    new_data[old_key] = 0.0
+    return Statevector(new_data, validate=False)

@@ -1,0 +1,66 @@
+"""Basis-state encoding of records.
+
+A record with an integer key ``k`` is encoded as the computational basis
+state ``|k>`` of an ``n``-qubit register; a table of records becomes the
+uniform superposition over its keys (Sec. III-A's "database of N = 2^n
+records identified by n-bit labels").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import ReproError
+from repro.quantum.state import Statevector
+
+
+class KeyEncoding:
+    """Fixed-width integer-key encoding for one register."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise ReproError("encoding needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.capacity = 2**num_qubits
+
+    @classmethod
+    def for_domain(cls, max_key: int) -> "KeyEncoding":
+        """The narrowest encoding fitting keys ``0..max_key``."""
+        if max_key < 0:
+            raise ReproError("keys must be non-negative")
+        return cls(max(1, max_key.bit_length()))
+
+    def validate(self, key: int) -> int:
+        key = int(key)
+        if not 0 <= key < self.capacity:
+            raise ReproError(f"key {key} outside encoding domain [0, {self.capacity})")
+        return key
+
+    def encode_key(self, key: int) -> Statevector:
+        """``|key>`` as a statevector."""
+        return Statevector.from_basis_index(self.validate(key), self.num_qubits)
+
+    def encode_table(self, keys: Iterable[int]) -> Statevector:
+        """Uniform superposition over the (distinct) keys."""
+        distinct = sorted({self.validate(k) for k in keys})
+        if not distinct:
+            raise ReproError("cannot encode an empty table")
+        return Statevector.uniform_over(distinct, self.num_qubits)
+
+    def decode_counts(self, counts: dict[str, int]) -> dict[int, int]:
+        """Measurement counts keyed by integer key."""
+        return {int(bits, 2): c for bits, c in counts.items()}
+
+    def pair_encoding(self, other: "KeyEncoding") -> "KeyEncoding":
+        """Encoding for the concatenated (self, other) key pair."""
+        return KeyEncoding(self.num_qubits + other.num_qubits)
+
+    def pair_index(self, left_key: int, right_key: int, other: "KeyEncoding") -> int:
+        """Basis index of ``|left>|right>`` in the pair register."""
+        return (self.validate(left_key) << other.num_qubits) | other.validate(right_key)
+
+    def split_pair_index(self, index: int, other: "KeyEncoding") -> tuple[int, int]:
+        """Inverse of :meth:`pair_index`."""
+        right = index & (other.capacity - 1)
+        left = index >> other.num_qubits
+        return self.validate(left), other.validate(right)

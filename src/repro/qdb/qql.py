@@ -1,0 +1,186 @@
+"""QQL — a small quantum query language.
+
+An SQL-flavoured front end over the quantum-database primitives, in the
+spirit of the "quantum query languages akin to SQL" line of work the paper
+cites ([45]-[51]).  Supported statements::
+
+    CREATE TABLE t QUBITS 4
+    INSERT INTO t VALUES (1, 5, 9)
+    DELETE FROM t WHERE key = 5
+    UPDATE t SET key = 7 WHERE key = 9
+    SELECT * FROM t
+    SELECT * FROM t WHERE key = 5
+    SELECT * FROM t WHERE key < 8
+    SELECT * FROM a INTERSECT b
+    SELECT * FROM a UNION b
+    SELECT * FROM a EXCEPT b
+    SELECT * FROM a JOIN b
+
+Selections with a WHERE clause run Grover search; set operations run the
+amplitude-amplified set algorithms; JOIN runs the pair-register Grover
+join.  Every result reports its oracle-call count.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.exceptions import ParseError, ReproError
+from repro.qdb.join import quantum_join
+from repro.qdb.search import classical_select, quantum_select
+from repro.qdb.setops import quantum_difference, quantum_intersection, quantum_union
+from repro.qdb.table import QuantumTable
+from repro.utils.rngtools import ensure_rng
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_CREATE_RE = re.compile(r"^CREATE\s+TABLE\s+(\w+)\s+QUBITS\s+(\d+)$", re.IGNORECASE)
+_INSERT_RE = re.compile(r"^INSERT\s+INTO\s+(\w+)\s+VALUES\s*\(([^)]*)\)$", re.IGNORECASE)
+_DELETE_RE = re.compile(
+    r"^DELETE\s+FROM\s+(\w+)\s+WHERE\s+key\s*(=|!=|<=|>=|<|>)\s*(\d+)$", re.IGNORECASE
+)
+_UPDATE_RE = re.compile(
+    r"^UPDATE\s+(\w+)\s+SET\s+key\s*=\s*(\d+)\s+WHERE\s+key\s*=\s*(\d+)$", re.IGNORECASE
+)
+_SELECT_ALL_RE = re.compile(r"^SELECT\s+\*\s+FROM\s+(\w+)$", re.IGNORECASE)
+_SELECT_WHERE_RE = re.compile(
+    r"^SELECT\s+\*\s+FROM\s+(\w+)\s+WHERE\s+key\s*(=|!=|<=|>=|<|>)\s*(\d+)$", re.IGNORECASE
+)
+_SETOP_RE = re.compile(
+    r"^SELECT\s+\*\s+FROM\s+(\w+)\s+(INTERSECT|UNION|EXCEPT)\s+(\w+)$", re.IGNORECASE
+)
+_JOIN_RE = re.compile(r"^SELECT\s+\*\s+FROM\s+(\w+)\s+JOIN\s+(\w+)$", re.IGNORECASE)
+
+
+@dataclass
+class QQLResult:
+    """Outcome of one QQL statement."""
+
+    statement: str
+    keys: "list[int] | None" = None
+    pairs: "list[tuple[int, int]] | None" = None
+    oracle_calls: int = 0
+    method: str = "classical"
+    rows_affected: int = 0
+    info: dict = field(default_factory=dict)
+
+
+class QQLEngine:
+    """Holds named quantum tables and executes QQL statements."""
+
+    def __init__(self, backend: str = "quantum"):
+        if backend not in ("quantum", "classical"):
+            raise ReproError("backend must be 'quantum' or 'classical'")
+        self.backend = backend
+        self.tables: dict[str, QuantumTable] = {}
+
+    def table(self, name: str) -> QuantumTable:
+        if name not in self.tables:
+            raise ReproError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    def execute(self, statement: str, rng=None) -> QQLResult:
+        """Parse and run one statement."""
+        rng = ensure_rng(rng)
+        text = statement.strip().rstrip(";").strip()
+
+        match = _CREATE_RE.match(text)
+        if match:
+            name, qubits = match.group(1), int(match.group(2))
+            if name in self.tables:
+                raise ReproError(f"table {name!r} already exists")
+            self.tables[name] = QuantumTable(name, qubits)
+            return QQLResult(text, method="ddl")
+
+        match = _INSERT_RE.match(text)
+        if match:
+            table = self.table(match.group(1))
+            values = [int(v) for v in match.group(2).split(",") if v.strip()]
+            if not values:
+                raise ParseError("INSERT needs at least one value")
+            inserted = sum(1 for v in values if table.insert(v))
+            return QQLResult(text, method="dml", rows_affected=inserted)
+
+        match = _DELETE_RE.match(text)
+        if match:
+            table = self.table(match.group(1))
+            cmp_fn = _COMPARATORS[match.group(2)]
+            value = int(match.group(3))
+            removed = table.delete_where(lambda k: cmp_fn(k, value))
+            return QQLResult(text, method="dml", rows_affected=removed)
+
+        match = _UPDATE_RE.match(text)
+        if match:
+            table = self.table(match.group(1))
+            new, old = int(match.group(2)), int(match.group(3))
+            changed = table.update(old, new)
+            return QQLResult(text, method="dml", rows_affected=int(changed))
+
+        match = _SELECT_WHERE_RE.match(text)
+        if match:
+            table = self.table(match.group(1))
+            cmp_fn = _COMPARATORS[match.group(2)]
+            value = int(match.group(3))
+            select = quantum_select if self.backend == "quantum" else classical_select
+            result = select(table, lambda k: cmp_fn(k, value), rng=rng)
+            return QQLResult(
+                text,
+                keys=result.matches,
+                oracle_calls=result.oracle_calls,
+                method=result.method,
+                info=result.info,
+            )
+
+        match = _SELECT_ALL_RE.match(text)
+        if match:
+            table = self.table(match.group(1))
+            return QQLResult(text, keys=sorted(table.keys), method="scan")
+
+        match = _SETOP_RE.match(text)
+        if match:
+            a = self.table(match.group(1))
+            op = match.group(2).upper()
+            b = self.table(match.group(3))
+            if self.backend == "classical":
+                keys = {
+                    "INTERSECT": a.keys & b.keys,
+                    "UNION": a.keys | b.keys,
+                    "EXCEPT": a.keys - b.keys,
+                }[op]
+                return QQLResult(text, keys=sorted(keys), oracle_calls=a.cardinality, method="classical_setop")
+            fn = {
+                "INTERSECT": quantum_intersection,
+                "UNION": quantum_union,
+                "EXCEPT": quantum_difference,
+            }[op]
+            result = fn(a, b, rng=rng)
+            return QQLResult(
+                text,
+                keys=sorted(result.keys),
+                oracle_calls=result.oracle_calls,
+                method=result.method,
+                info=result.info,
+            )
+
+        match = _JOIN_RE.match(text)
+        if match:
+            a = self.table(match.group(1))
+            b = self.table(match.group(2))
+            result = quantum_join(a, b, rng=rng)
+            return QQLResult(
+                text,
+                pairs=sorted(result.pairs),
+                oracle_calls=result.oracle_calls,
+                method=result.method,
+                info=result.info,
+            )
+
+        raise ParseError(f"cannot parse QQL statement: {statement!r}")

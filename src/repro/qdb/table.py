@@ -1,0 +1,96 @@
+"""The :class:`QuantumTable`: a keyed table with a superposition view.
+
+The classical key set is the table's *classical description*; the quantum
+state is (re-)prepared from it on demand.  DML operations (Younes [51],
+Gueddana et al. [46], [49]) update the key set and therefore the state the
+next preparation yields — re-preparation rather than copying is exactly
+what the no-cloning theorem permits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.exceptions import ReproError
+from repro.qdb.encoding import KeyEncoding
+from repro.quantum.state import Statevector
+
+
+class QuantumTable:
+    """A named set of integer keys with quantum encoding."""
+
+    def __init__(self, name: str, num_qubits: int, keys: "Iterable[int] | None" = None):
+        self.name = name
+        self.encoding = KeyEncoding(num_qubits)
+        self._keys: set[int] = set()
+        for k in keys or []:
+            self.insert(k)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.encoding.num_qubits
+
+    @property
+    def keys(self) -> frozenset[int]:
+        return frozenset(self._keys)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._keys)
+
+    # -- DML --------------------------------------------------------------------
+
+    def insert(self, key: int) -> bool:
+        """Add ``key``; returns False when it was already present."""
+        key = self.encoding.validate(key)
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        return True
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns False when absent."""
+        key = self.encoding.validate(key)
+        if key not in self._keys:
+            return False
+        self._keys.remove(key)
+        return True
+
+    def delete_where(self, predicate: Callable[[int], bool]) -> int:
+        """Remove all keys matching ``predicate``; returns removed count."""
+        victims = {k for k in self._keys if predicate(k)}
+        self._keys -= victims
+        return len(victims)
+
+    def update(self, old_key: int, new_key: int) -> bool:
+        """Rename a key (delete + insert as one logical operation)."""
+        old_key = self.encoding.validate(old_key)
+        new_key = self.encoding.validate(new_key)
+        if old_key not in self._keys:
+            return False
+        if new_key in self._keys and new_key != old_key:
+            raise ReproError(f"key {new_key} already exists in table {self.name!r}")
+        self._keys.remove(old_key)
+        self._keys.add(new_key)
+        return True
+
+    def contains(self, key: int) -> bool:
+        return self.encoding.validate(key) in self._keys
+
+    # -- quantum view --------------------------------------------------------------
+
+    def prepare_state(self) -> Statevector:
+        """A fresh uniform superposition over the current keys.
+
+        Every call prepares a *new* state: quantum data cannot be copied
+        (no-cloning), only re-prepared from the classical description.
+        """
+        if not self._keys:
+            raise ReproError(f"table {self.name!r} is empty; nothing to prepare")
+        return self.encoding.encode_table(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuantumTable({self.name!r}, {self.num_qubits}q, {len(self._keys)} keys)"

@@ -1,0 +1,46 @@
+"""Quantum-internet substrate (Sec. IV and Fig. 1(c) of the paper).
+
+Protocol layer (exact, statevector-level): :mod:`.epr` (Bell pairs and
+Bell measurement), :mod:`.teleport`, :mod:`.superdense`.
+
+Network layer (analytic Werner-state algebra, cross-validated against the
+density-matrix simulator): :mod:`.link` (heralded entanglement
+generation), :mod:`.repeater` (entanglement swapping, BBPSSW
+purification), :mod:`.network` (topologies, fidelity-aware routing,
+end-to-end distribution).
+
+Applications: :mod:`.qkd` (BB84 and E91 key distribution), and
+:mod:`.nocloning` (no-cloning checks and the Buzek-Hillery universal
+cloner) backing the Sec. IV-B data-management discussion.
+"""
+
+from repro.qnet.epr import bell_measurement, create_epr_pair
+from repro.qnet.link import EntanglementLink, LinkResult
+from repro.qnet.network import EndToEndResult, QuantumNetwork
+from repro.qnet.nocloning import UniversalCloner, cloning_is_impossible
+from repro.qnet.qkd import BB84Result, E91Result, run_bb84, run_e91
+from repro.qnet.repeater import purify, purify_to_target, swap_fidelity
+from repro.qnet.superdense import superdense_decode, superdense_encode
+from repro.qnet.teleport import teleport, teleport_fidelity_via_werner
+
+__all__ = [
+    "bell_measurement",
+    "create_epr_pair",
+    "EntanglementLink",
+    "LinkResult",
+    "EndToEndResult",
+    "QuantumNetwork",
+    "UniversalCloner",
+    "cloning_is_impossible",
+    "BB84Result",
+    "E91Result",
+    "run_bb84",
+    "run_e91",
+    "purify",
+    "purify_to_target",
+    "swap_fidelity",
+    "superdense_decode",
+    "superdense_encode",
+    "teleport",
+    "teleport_fidelity_via_werner",
+]

@@ -1,0 +1,35 @@
+"""Bell-pair primitives: creation and Bell-state measurement."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.bell import bell_state
+from repro.quantum.gates import H_MATRIX, cnot_gate
+from repro.quantum.state import Statevector
+from repro.utils.rngtools import ensure_rng
+
+
+def create_epr_pair() -> Statevector:
+    """A fresh ``|Phi+>`` pair (Example IV.1)."""
+    return bell_state("phi+")
+
+
+def bell_measurement(state: Statevector, qubits: tuple[int, int], rng=None) -> tuple[tuple[int, int], Statevector]:
+    """Measure two qubits in the Bell basis.
+
+    Implemented by rotating the Bell basis onto the computational basis
+    (CNOT then H) and measuring.  The outcome bits ``(m_z, m_x)`` identify
+    the Bell state: ``00 -> Phi+``, ``01 -> Psi+``, ``10 -> Phi-``,
+    ``11 -> Psi-``.
+    """
+    rng = ensure_rng(rng)
+    a, b = qubits
+    if a == b:
+        raise SimulationError("Bell measurement needs two distinct qubits")
+    rotated = state.copy()
+    rotated.apply_matrix(cnot_gate().matrix, [a, b])
+    rotated.apply_matrix(H_MATRIX, [a])
+    bits, post = rotated.measure([a, b], rng=rng)
+    return (bits[0], bits[1]), post

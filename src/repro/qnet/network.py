@@ -1,0 +1,164 @@
+"""Network-level entanglement distribution: topology, routing, end-to-end.
+
+A :class:`QuantumNetwork` is a graph of nodes connected by
+:class:`~repro.qnet.link.EntanglementLink` edges (Fig. 1(c) generalised to
+arbitrary topologies).  End-to-end entanglement is produced by generating
+pairs on every link of a path (in parallel) and swapping at the
+intermediate repeaters; routing can minimise hops or maximise end-to-end
+fidelity (Dijkstra over ``-log w``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.exceptions import ProtocolError, ReproError
+from repro.qnet.link import EntanglementLink, fidelity_to_werner
+from repro.qnet.repeater import chain_fidelity, purify_to_target
+from repro.qnet.teleport import teleport_fidelity_via_werner
+from repro.utils.rngtools import ensure_rng
+
+
+@dataclass
+class EndToEndResult:
+    """One end-to-end entanglement distribution."""
+
+    path: list[str]
+    fidelity: float
+    time: float
+    attempts: int
+    swaps: int
+    purification_rounds: int = 0
+    pairs_consumed: float = 1.0
+    info: dict = field(default_factory=dict)
+
+
+class QuantumNetwork:
+    """Nodes + entanglement links with routing and distribution."""
+
+    def __init__(self):
+        self._graph = nx.Graph()
+
+    @classmethod
+    def chain(cls, num_nodes: int, link: "EntanglementLink | None" = None) -> "QuantumNetwork":
+        """A repeater chain ``n0 - n1 - ... - n(k-1)`` (Fig. 1(c) shape)."""
+        if num_nodes < 2:
+            raise ReproError("a chain needs at least two nodes")
+        net = cls()
+        for i in range(num_nodes):
+            net.add_node(f"n{i}")
+        for i in range(num_nodes - 1):
+            net.add_link(f"n{i}", f"n{i + 1}", link or EntanglementLink())
+        return net
+
+    @classmethod
+    def grid(cls, rows: int, cols: int, link: "EntanglementLink | None" = None) -> "QuantumNetwork":
+        """A 2-D grid of repeaters (a metro-network shape)."""
+        net = cls()
+        for r in range(rows):
+            for c in range(cols):
+                net.add_node(f"n{r}_{c}")
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    net.add_link(f"n{r}_{c}", f"n{r}_{c + 1}", link or EntanglementLink())
+                if r + 1 < rows:
+                    net.add_link(f"n{r}_{c}", f"n{r + 1}_{c}", link or EntanglementLink())
+        return net
+
+    def add_node(self, name: str) -> "QuantumNetwork":
+        self._graph.add_node(name)
+        return self
+
+    def add_link(self, u: str, v: str, link: "EntanglementLink | None" = None) -> "QuantumNetwork":
+        for node in (u, v):
+            if node not in self._graph:
+                raise ReproError(f"unknown node {node!r}")
+        self._graph.add_edge(u, v, link=link or EntanglementLink())
+        return self
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._graph.nodes)
+
+    def link_between(self, u: str, v: str) -> EntanglementLink:
+        data = self._graph.get_edge_data(u, v)
+        if data is None:
+            raise ProtocolError(f"no link between {u!r} and {v!r}")
+        return data["link"]
+
+    # -- routing -----------------------------------------------------------------
+
+    def shortest_path(self, src: str, dst: str) -> list[str]:
+        """Minimum-hop path."""
+        try:
+            return nx.shortest_path(self._graph, src, dst)
+        except nx.NetworkXNoPath:
+            raise ProtocolError(f"no path from {src!r} to {dst!r}") from None
+
+    def best_fidelity_path(self, src: str, dst: str) -> list[str]:
+        """Path maximising end-to-end fidelity (min sum of ``-log w``)."""
+
+        def weight(u, v, data):
+            w = fidelity_to_werner(data["link"].base_fidelity)
+            return -math.log(max(w, 1e-12))
+
+        try:
+            return nx.dijkstra_path(self._graph, src, dst, weight=weight)
+        except nx.NetworkXNoPath:
+            raise ProtocolError(f"no path from {src!r} to {dst!r}") from None
+
+    # -- distribution ---------------------------------------------------------------
+
+    def distribute(
+        self,
+        src: str,
+        dst: str,
+        rng=None,
+        routing: str = "fidelity",
+        min_fidelity: "float | None" = None,
+    ) -> EndToEndResult:
+        """Create end-to-end entanglement between ``src`` and ``dst``.
+
+        All links of the chosen path generate pairs in parallel (time =
+        slowest link); the repeaters then swap.  With ``min_fidelity``,
+        entanglement pumping upgrades the end-to-end pair, consuming extra
+        pairs.
+        """
+        rng = ensure_rng(rng)
+        if src == dst:
+            raise ProtocolError("source and destination coincide")
+        path = (
+            self.best_fidelity_path(src, dst)
+            if routing == "fidelity"
+            else self.shortest_path(src, dst)
+        )
+        link_results = []
+        for u, v in zip(path, path[1:]):
+            link_results.append(self.link_between(u, v).generate(rng=rng))
+        fidelity = chain_fidelity([r.fidelity for r in link_results])
+        time = max(r.time for r in link_results)
+        attempts = sum(r.attempts for r in link_results)
+        swaps = max(0, len(path) - 2)
+        rounds = 0
+        pairs = 1.0
+        if min_fidelity is not None and fidelity < min_fidelity:
+            fidelity, rounds, pairs = purify_to_target(fidelity, min_fidelity)
+        return EndToEndResult(
+            path=path,
+            fidelity=fidelity,
+            time=time,
+            attempts=attempts,
+            swaps=swaps,
+            purification_rounds=rounds,
+            pairs_consumed=pairs,
+            info={"routing": routing},
+        )
+
+    def teleport_quality(self, src: str, dst: str, rng=None, **kwargs) -> tuple[EndToEndResult, float]:
+        """Distribute a pair and report the implied teleportation fidelity."""
+        result = self.distribute(src, dst, rng=rng, **kwargs)
+        return result, teleport_fidelity_via_werner(result.fidelity)

@@ -1,0 +1,72 @@
+"""The no-cloning theorem, operationally (Sec. IV-B.1 of the paper).
+
+Two artefacts back the data-management discussion:
+
+* :func:`cloning_is_impossible` — the linearity argument: no unitary can
+  clone two non-orthogonal states (checked numerically for any pair);
+* :class:`UniversalCloner` — the optimal Buzek-Hillery 1 -> 2 universal
+  cloning machine, whose copies reach fidelity exactly 5/6: the best
+  physics allows, and the reason quantum "replication" in Sec. IV-B must
+  be re-preparation instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NoCloningError, SimulationError
+from repro.quantum.density import DensityMatrix
+from repro.quantum.state import Statevector
+
+UNIVERSAL_CLONER_FIDELITY = 5.0 / 6.0
+
+
+def cloning_is_impossible(psi: Statevector, phi: Statevector, atol: float = 1e-9) -> bool:
+    """Whether linearity forbids a device cloning both ``psi`` and ``phi``.
+
+    A unitary ``U`` with ``U|s,0> = |s,s>`` for both states forces
+    ``<psi|phi> = <psi|phi>^2``, possible only for orthogonal or identical
+    states.  Returns ``True`` when the pair *cannot* be cloned.
+    """
+    if psi.num_qubits != phi.num_qubits:
+        raise SimulationError("states must share the register width")
+    overlap = psi.inner(phi)
+    return bool(abs(overlap - overlap**2) > atol)
+
+
+def attempt_exact_clone(state: Statevector) -> None:
+    """A 'copy' API for quantum payloads: always refuses.
+
+    Raised rather than returned so data-management layers can surface the
+    physical impossibility as an error class
+    (:class:`~repro.exceptions.NoCloningError`).
+    """
+    raise NoCloningError(
+        "arbitrary quantum states cannot be copied (no-cloning theorem); "
+        "re-prepare from a classical description or move the state instead"
+    )
+
+
+class UniversalCloner:
+    """The optimal universal quantum cloning machine (Buzek-Hillery).
+
+    Each output copy carries the shrunken state
+    ``rho = (2/3)|psi><psi| + (1/3)(I/2)``, giving fidelity exactly 5/6
+    for every pure input.
+    """
+
+    shrink_factor = 2.0 / 3.0
+
+    def clone(self, state: Statevector) -> tuple[DensityMatrix, DensityMatrix]:
+        """Return the two (identical, imperfect) output copies."""
+        if state.num_qubits != 1:
+            raise SimulationError("the universal cloner copies single qubits")
+        pure = np.outer(state.data, state.data.conj())
+        mixed = self.shrink_factor * pure + (1.0 - self.shrink_factor) * np.eye(2) / 2.0
+        copy = DensityMatrix(mixed)
+        return copy, copy.copy()
+
+    def copy_fidelity(self, state: Statevector) -> float:
+        """Fidelity of each copy to the input (always 5/6)."""
+        copy, _ = self.clone(state)
+        return copy.fidelity_with_pure(state)

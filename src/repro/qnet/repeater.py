@@ -1,0 +1,110 @@
+"""Repeater operations: entanglement swapping and BBPSSW purification.
+
+Both operations are expressed in the Werner-state algebra (exact for
+Werner inputs); the test suite cross-validates the swap formula against a
+full 4-qubit density-matrix simulation of the Bell measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+from repro.qnet.link import fidelity_to_werner, werner_to_fidelity
+
+
+def swap_fidelity(f1: float, f2: float) -> float:
+    """Fidelity after swapping two Werner pairs at a repeater.
+
+    Werner parameters multiply: ``w_out = w1 * w2``, i.e.
+    ``F_out = (1 + 3 w1 w2) / 4`` — fidelity decays geometrically with the
+    number of swaps, which is why long paths need purification.
+    """
+    for f in (f1, f2):
+        if not 0.25 <= f <= 1.0:
+            raise ReproError("swap expects Werner fidelities in [0.25, 1]")
+    w = fidelity_to_werner(f1) * fidelity_to_werner(f2)
+    return werner_to_fidelity(w)
+
+
+@dataclass
+class PurificationResult:
+    """Outcome of one BBPSSW purification round."""
+
+    success_probability: float
+    output_fidelity: float
+
+
+def purify(f1: float, f2: float) -> PurificationResult:
+    """BBPSSW purification of two Werner pairs (keep one, consume one).
+
+    Standard formulas (Bennett et al. 1996):
+
+    * ``p = F1 F2 + F1 (1-F2)/3 + (1-F1) F2 / 3 + 5 (1-F1)(1-F2)/9``
+    * ``F_out = (F1 F2 + (1-F1)(1-F2)/9) / p``
+    """
+    for f in (f1, f2):
+        if not 0.25 <= f <= 1.0:
+            raise ReproError("purification expects fidelities in [0.25, 1]")
+    a = f1 * f2
+    b = f1 * (1 - f2) / 3.0
+    c = (1 - f1) * f2 / 3.0
+    d = (1 - f1) * (1 - f2) * 5.0 / 9.0
+    p = a + b + c + d
+    f_out = (a + (1 - f1) * (1 - f2) / 9.0) / p
+    return PurificationResult(success_probability=p, output_fidelity=f_out)
+
+
+def purify_to_target(
+    fidelity: float, target: float, max_rounds: int = 32, scheme: str = "nested"
+) -> tuple[float, int, float]:
+    """Purify repeatedly until ``target`` fidelity.
+
+    Two schemes:
+
+    * ``"nested"`` (recurrence): purify two pairs of the *current* fidelity
+      — converges to 1 for any input above 1/2, at exponentially growing
+      pair cost (pairs double per round, divided by the success
+      probability).
+    * ``"pumping"``: purify the kept pair with a *fresh* base-fidelity pair
+      — cheap but saturates at a fixed point below 1.
+
+    Returns ``(achieved_fidelity, rounds, expected_pairs_consumed)``;
+    raises when the target is unreachable within ``max_rounds`` (always
+    possible for pumping, whose fixed point may sit below the target).
+    """
+    if not 0.5 < fidelity <= 1.0:
+        raise ReproError("purification needs input fidelity above 1/2")
+    if scheme not in ("nested", "pumping"):
+        raise ReproError("scheme must be 'nested' or 'pumping'")
+    current = fidelity
+    rounds = 0
+    expected_pairs = 1.0
+    while current < target:
+        if rounds >= max_rounds:
+            raise ReproError(
+                f"target fidelity {target} unreachable from {fidelity} in {max_rounds} rounds"
+            )
+        partner = current if scheme == "nested" else fidelity
+        step = purify(current, partner)
+        if step.output_fidelity <= current + 1e-12:
+            raise ReproError(
+                f"purification stalled at fidelity {current:.4f} below target {target}"
+            )
+        if scheme == "nested":
+            expected_pairs = 2.0 * expected_pairs / step.success_probability
+        else:
+            expected_pairs += 1.0 / step.success_probability
+        current = step.output_fidelity
+        rounds += 1
+    return current, rounds, expected_pairs
+
+
+def chain_fidelity(link_fidelities: list[float]) -> float:
+    """End-to-end fidelity of swapping a chain of Werner links."""
+    if not link_fidelities:
+        raise ReproError("empty repeater chain")
+    result = link_fidelities[0]
+    for f in link_fidelities[1:]:
+        result = swap_fidelity(result, f)
+    return result

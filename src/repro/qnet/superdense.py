@@ -1,0 +1,32 @@
+"""Superdense coding: two classical bits through one qubit + entanglement."""
+
+from __future__ import annotations
+
+from repro.exceptions import SimulationError
+from repro.qnet.epr import bell_measurement, create_epr_pair
+from repro.quantum.gates import X_MATRIX, Z_MATRIX
+from repro.quantum.state import Statevector
+from repro.utils.rngtools import ensure_rng
+
+
+def superdense_encode(bits: tuple[int, int]) -> Statevector:
+    """Encode two bits by acting on the sender's half of ``|Phi+>``.
+
+    ``00 -> I``, ``01 -> X``, ``10 -> Z``, ``11 -> ZX`` on qubit 0.
+    """
+    b1, b2 = bits
+    if b1 not in (0, 1) or b2 not in (0, 1):
+        raise SimulationError("bits must be 0 or 1")
+    state = create_epr_pair()
+    if b2:
+        state.apply_matrix(X_MATRIX, [0])
+    if b1:
+        state.apply_matrix(Z_MATRIX, [0])
+    return state
+
+
+def superdense_decode(state: Statevector, rng=None) -> tuple[int, int]:
+    """Bell-measure both qubits to recover the two bits (deterministic)."""
+    rng = ensure_rng(rng)
+    (m_z, m_x), _ = bell_measurement(state, (0, 1), rng=rng)
+    return (m_z, m_x)

@@ -1,0 +1,49 @@
+"""Gate-model quantum computing substrate.
+
+This subpackage is the from-scratch replacement for Qiskit/Cirq that the
+paper's surveyed prototypes rely on: a circuit IR (:mod:`.circuit`), a gate
+library (:mod:`.gates`), an exact statevector simulator (:mod:`.state`,
+:mod:`.simulator`), a density-matrix simulator with Kraus noise channels
+(:mod:`.density`, :mod:`.noise`), Pauli/Ising operator tooling
+(:mod:`.pauli`) and entangled-state helpers (:mod:`.bell`).
+
+Bit convention: qubit 0 is the leftmost (most significant) position of a
+basis label, so ``|q0 q1 ... q(n-1)>`` has integer index
+``sum(q_j << (n-1-j))``.
+"""
+
+from repro.quantum.circuit import Operation, QuantumCircuit
+from repro.quantum.density import DensityMatrix, DensitySimulator
+from repro.quantum.gates import Gate, controlled, standard_gate
+from repro.quantum.measurement import expectation_value, sample_counts
+from repro.quantum.noise import NoiseModel, amplitude_damping, bit_flip, depolarizing, phase_damping, phase_flip
+from repro.quantum.pauli import IsingHamiltonian, PauliString, PauliSum
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.state import Statevector
+from repro.quantum.bell import bell_state, ghz_state, w_state
+
+__all__ = [
+    "Operation",
+    "QuantumCircuit",
+    "DensityMatrix",
+    "DensitySimulator",
+    "Gate",
+    "controlled",
+    "standard_gate",
+    "expectation_value",
+    "sample_counts",
+    "NoiseModel",
+    "amplitude_damping",
+    "bit_flip",
+    "depolarizing",
+    "phase_damping",
+    "phase_flip",
+    "IsingHamiltonian",
+    "PauliString",
+    "PauliSum",
+    "StatevectorSimulator",
+    "Statevector",
+    "bell_state",
+    "ghz_state",
+    "w_state",
+]

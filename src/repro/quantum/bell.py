@@ -1,0 +1,76 @@
+"""Canonical entangled states: Bell pairs, GHZ, and W states.
+
+These are the resource states of Sec. IV of the paper — the Bell state of
+Example IV.1, the GHZ state of the GHZ game, and W states as a contrasting
+entanglement class.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.state import Statevector
+
+_BELL_KINDS = ("phi+", "phi-", "psi+", "psi-")
+
+
+def bell_state(kind: str = "phi+") -> Statevector:
+    """One of the four Bell states.
+
+    ``phi+`` is the state of Example IV.1: ``(|00> + |11>)/sqrt(2)``.
+    """
+    if kind not in _BELL_KINDS:
+        raise SimulationError(f"unknown Bell state {kind!r}; choose from {_BELL_KINDS}")
+    amp = 1.0 / math.sqrt(2.0)
+    data = np.zeros(4, dtype=complex)
+    if kind == "phi+":
+        data[0b00], data[0b11] = amp, amp
+    elif kind == "phi-":
+        data[0b00], data[0b11] = amp, -amp
+    elif kind == "psi+":
+        data[0b01], data[0b10] = amp, amp
+    else:  # psi-
+        data[0b01], data[0b10] = amp, -amp
+    return Statevector(data, validate=False)
+
+
+def bell_circuit() -> QuantumCircuit:
+    """Circuit preparing ``|Phi+>`` from ``|00>`` (H then CNOT)."""
+    qc = QuantumCircuit(2, name="bell")
+    qc.h(0).cx(0, 1)
+    return qc
+
+
+def ghz_state(num_qubits: int = 3) -> Statevector:
+    """The GHZ state ``(|0...0> + |1...1>)/sqrt(2)``."""
+    if num_qubits < 2:
+        raise SimulationError("GHZ needs at least 2 qubits")
+    data = np.zeros(2**num_qubits, dtype=complex)
+    amp = 1.0 / math.sqrt(2.0)
+    data[0] = amp
+    data[-1] = amp
+    return Statevector(data, validate=False)
+
+
+def ghz_circuit(num_qubits: int = 3) -> QuantumCircuit:
+    """Circuit preparing the GHZ state (H + CNOT ladder)."""
+    qc = QuantumCircuit(num_qubits, name="ghz")
+    qc.h(0)
+    for q in range(num_qubits - 1):
+        qc.cx(q, q + 1)
+    return qc
+
+
+def w_state(num_qubits: int = 3) -> Statevector:
+    """The W state: equal superposition of all weight-1 basis states."""
+    if num_qubits < 2:
+        raise SimulationError("W state needs at least 2 qubits")
+    data = np.zeros(2**num_qubits, dtype=complex)
+    amp = 1.0 / math.sqrt(num_qubits)
+    for q in range(num_qubits):
+        data[1 << (num_qubits - 1 - q)] = amp
+    return Statevector(data, validate=False)

@@ -1,0 +1,260 @@
+"""Quantum circuit intermediate representation.
+
+A :class:`QuantumCircuit` is an ordered list of :class:`Operation` records
+(gate + target qubits).  Circuits here are purely unitary: measurement and
+classical control live in :class:`~repro.quantum.state.Statevector` and the
+protocol modules (e.g. teleportation), which keeps the simulator simple and
+matches how the deferred-measurement principle is normally applied.
+
+Parameterised ansätze (QAOA, VQE, VQC) are built as plain Python functions
+``params -> QuantumCircuit``; see :mod:`repro.algorithms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum import gates as G
+from repro.quantum.gates import Gate, controlled, diagonal_gate, standard_gate
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One gate application inside a circuit."""
+
+    gate: Gate
+    qubits: tuple[int, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        qs = ",".join(str(q) for q in self.qubits)
+        return f"{self.gate.name}[{qs}]"
+
+
+class QuantumCircuit:
+    """A sequence of gates on a fixed-width qubit register."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit"):
+        if num_qubits < 1:
+            raise SimulationError("circuit needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.name = name
+        self._ops: list[Operation] = []
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        """The gate sequence as an immutable tuple."""
+        return tuple(self._ops)
+
+    def size(self) -> int:
+        """Total number of gate applications."""
+        return len(self._ops)
+
+    def depth(self) -> int:
+        """Circuit depth: length of the critical path over shared qubits."""
+        level = [0] * self.num_qubits
+        depth = 0
+        for op in self._ops:
+            start = max(level[q] for q in op.qubits)
+            for q in op.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    def count_ops(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        counts: dict[str, int] = {}
+        for op in self._ops:
+            counts[op.gate.name] = counts.get(op.gate.name, 0) + 1
+        return counts
+
+    # -- building ------------------------------------------------------------
+
+    def append(self, gate: Gate, qubits: Sequence[int]) -> "QuantumCircuit":
+        """Append ``gate`` acting on ``qubits``; returns self for chaining."""
+        qubits = tuple(int(q) for q in qubits)
+        if len(qubits) != gate.num_qubits:
+            raise SimulationError(
+                f"gate {gate.name!r} needs {gate.num_qubits} qubit(s), got {len(qubits)}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise SimulationError(f"duplicate qubits {qubits} for gate {gate.name!r}")
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise SimulationError(f"qubit {q} out of range (width {self.num_qubits})")
+        self._ops.append(Operation(gate, qubits))
+        return self
+
+    # Named helpers for the common gates ------------------------------------
+
+    def i(self, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("i"), (q,))
+
+    def x(self, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("x"), (q,))
+
+    def y(self, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("y"), (q,))
+
+    def z(self, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("z"), (q,))
+
+    def h(self, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("h"), (q,))
+
+    def s(self, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("s"), (q,))
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("sdg"), (q,))
+
+    def t(self, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("t"), (q,))
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("tdg"), (q,))
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("rx", theta), (q,))
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("ry", theta), (q,))
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("rz", theta), (q,))
+
+    def p(self, phi: float, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("p", phi), (q,))
+
+    def u3(self, theta: float, phi: float, lam: float, q: int) -> "QuantumCircuit":
+        return self.append(standard_gate("u3", theta, phi, lam), (q,))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.append(standard_gate("swap"), (a, b))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(controlled(standard_gate("x")), (control, target))
+
+    def cy(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(controlled(standard_gate("y")), (control, target))
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(controlled(standard_gate("z")), (control, target))
+
+    def ch(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append(controlled(standard_gate("h")), (control, target))
+
+    def cp(self, phi: float, control: int, target: int) -> "QuantumCircuit":
+        return self.append(controlled(standard_gate("p", phi)), (control, target))
+
+    def crz(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.append(controlled(standard_gate("rz", theta)), (control, target))
+
+    def cry(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.append(controlled(standard_gate("ry", theta)), (control, target))
+
+    def ccx(self, c1: int, c2: int, target: int) -> "QuantumCircuit":
+        return self.append(controlled(standard_gate("x"), num_controls=2), (c1, c2, target))
+
+    def mcx(self, controls: Sequence[int], target: int) -> "QuantumCircuit":
+        """Multi-controlled X with arbitrarily many controls."""
+        gate = controlled(standard_gate("x"), num_controls=len(controls))
+        return self.append(gate, (*controls, target))
+
+    def mcz(self, qubits: Sequence[int]) -> "QuantumCircuit":
+        """Multi-controlled Z over all the listed qubits (symmetric)."""
+        if len(qubits) == 1:
+            return self.z(qubits[0])
+        gate = controlled(standard_gate("z"), num_controls=len(qubits) - 1)
+        return self.append(gate, tuple(qubits))
+
+    def rzz(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        return self.append(standard_gate("rzz", theta), (a, b))
+
+    def rxx(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        return self.append(standard_gate("rxx", theta), (a, b))
+
+    def diagonal(self, phases: "np.ndarray | list[float]", qubits: Sequence[int], name: str = "diag") -> "QuantumCircuit":
+        """Apply a diagonal phase unitary over the listed qubits."""
+        return self.append(diagonal_gate(phases, name=name), tuple(qubits))
+
+    def unitary(self, matrix: np.ndarray, qubits: Sequence[int], name: str = "unitary") -> "QuantumCircuit":
+        """Append an arbitrary unitary matrix."""
+        return self.append(Gate(name, np.asarray(matrix, dtype=complex)), tuple(qubits))
+
+    def h_all(self) -> "QuantumCircuit":
+        """Hadamard on every qubit (the uniform-superposition prefix)."""
+        for q in range(self.num_qubits):
+            self.h(q)
+        return self
+
+    def barrier(self) -> "QuantumCircuit":
+        """No-op kept for readability of long builder chains."""
+        return self
+
+    # -- composition ---------------------------------------------------------
+
+    def compose(self, other: "QuantumCircuit", qubits: "Sequence[int] | None" = None) -> "QuantumCircuit":
+        """Append all of ``other``'s gates (optionally remapped to ``qubits``)."""
+        if qubits is None:
+            mapping = list(range(other.num_qubits))
+        else:
+            mapping = list(qubits)
+        if len(mapping) != other.num_qubits:
+            raise SimulationError("qubit mapping width mismatch in compose")
+        for op in other:
+            self.append(op.gate, tuple(mapping[q] for q in op.qubits))
+        return self
+
+    def inverse(self) -> "QuantumCircuit":
+        """The adjoint circuit (gates inverted, order reversed)."""
+        inv = QuantumCircuit(self.num_qubits, name=f"{self.name}_dg")
+        for op in reversed(self._ops):
+            inv.append(op.gate.inverse(), op.qubits)
+        return inv
+
+    def copy(self) -> "QuantumCircuit":
+        """A shallow copy (gates are immutable, so sharing them is safe)."""
+        dup = QuantumCircuit(self.num_qubits, name=self.name)
+        dup._ops = list(self._ops)
+        return dup
+
+    def power(self, exponent: int) -> "QuantumCircuit":
+        """The circuit repeated ``exponent`` times (``exponent >= 0``)."""
+        if exponent < 0:
+            raise SimulationError("negative powers: call inverse() first")
+        out = QuantumCircuit(self.num_qubits, name=f"{self.name}^{exponent}")
+        for _ in range(exponent):
+            out.compose(self)
+        return out
+
+    # -- dense form ----------------------------------------------------------
+
+    def to_matrix(self) -> np.ndarray:
+        """The full ``2**n x 2**n`` unitary of the circuit (small n only)."""
+        if self.num_qubits > 12:
+            raise SimulationError("to_matrix is limited to 12 qubits")
+        from repro.quantum.state import apply_unitary  # local to avoid cycle at import
+
+        dim = 2**self.num_qubits
+        mat = np.eye(dim, dtype=complex)
+        for col in range(dim):
+            vec = mat[:, col].copy()
+            for op in self._ops:
+                vec = apply_unitary(vec, self.num_qubits, op.gate.matrix, list(op.qubits))
+            mat[:, col] = vec
+        return mat
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuantumCircuit({self.name!r}, {self.num_qubits}q, {len(self._ops)} ops)"

@@ -1,0 +1,236 @@
+"""Density-matrix simulation for mixed states and noisy circuits."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.state import Statevector
+from repro.utils.bits import index_to_bitstring
+from repro.utils.rngtools import ensure_rng
+
+_ATOL = 1e-9
+
+
+def _apply_matrix_tensor(
+    rho: np.ndarray, num_qubits: int, matrix: np.ndarray, targets: Sequence[int]
+) -> np.ndarray:
+    """Compute ``U rho U^dagger`` with U acting on ``targets``.
+
+    ``rho`` is viewed as a tensor with ``2*num_qubits`` axes (row axes first);
+    ``U`` multiplies the row axes, ``U*`` the column axes.
+    """
+    n = num_qubits
+    k = len(targets)
+    tensor = rho.reshape((2,) * (2 * n))
+    gate = matrix.reshape((2,) * (2 * k))
+    # Left multiplication on the row axes.
+    moved = np.tensordot(gate, tensor, axes=(list(range(k, 2 * k)), list(targets)))
+    tensor = np.moveaxis(moved, list(range(k)), list(targets))
+    # Right multiplication by U^dagger on the column axes.
+    col_targets = [n + t for t in targets]
+    gate_conj = matrix.conj().reshape((2,) * (2 * k))
+    moved = np.tensordot(gate_conj, tensor, axes=(list(range(k, 2 * k)), col_targets))
+    tensor = np.moveaxis(moved, list(range(k)), col_targets)
+    return tensor.reshape(2**n, 2**n)
+
+
+class DensityMatrix:
+    """An ``n``-qubit mixed state ``rho``."""
+
+    def __init__(self, matrix: np.ndarray, validate: bool = True):
+        rho = np.asarray(matrix, dtype=complex)
+        dim = rho.shape[0]
+        if rho.ndim != 2 or rho.shape[0] != rho.shape[1]:
+            raise SimulationError("density matrix must be square")
+        if dim == 0 or dim & (dim - 1):
+            raise SimulationError(f"dimension {dim} is not a power of 2")
+        if validate:
+            if not np.allclose(rho, rho.conj().T, atol=1e-8):
+                raise SimulationError("density matrix must be Hermitian")
+            tr = np.trace(rho).real
+            if abs(tr - 1.0) > 1e-6:
+                if tr < _ATOL:
+                    raise SimulationError("density matrix has zero trace")
+                rho = rho / tr
+        self._rho = rho
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_statevector(cls, state: Statevector) -> "DensityMatrix":
+        """The pure state ``|psi><psi|``."""
+        return cls(state.density_matrix(), validate=False)
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "DensityMatrix":
+        return cls.from_statevector(Statevector.zero_state(num_qubits))
+
+    @classmethod
+    def maximally_mixed(cls, num_qubits: int) -> "DensityMatrix":
+        dim = 2**num_qubits
+        return cls(np.eye(dim, dtype=complex) / dim, validate=False)
+
+    @classmethod
+    def werner(cls, fidelity: float) -> "DensityMatrix":
+        """Two-qubit Werner state with the given fidelity to ``|Phi+>``.
+
+        ``rho = F |Phi+><Phi+| + (1-F)/3 (I - |Phi+><Phi+|)`` — the standard
+        noise model for imperfect entanglement links in quantum networks.
+        """
+        if not 0.0 <= fidelity <= 1.0:
+            raise SimulationError("fidelity must be in [0, 1]")
+        phi_plus = np.zeros(4, dtype=complex)
+        phi_plus[0] = phi_plus[3] = 1.0 / np.sqrt(2.0)
+        proj = np.outer(phi_plus, phi_plus.conj())
+        rest = (np.eye(4, dtype=complex) - proj) / 3.0
+        return cls(fidelity * proj + (1.0 - fidelity) * rest, validate=False)
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return int(self._rho.shape[0]).bit_length() - 1
+
+    @property
+    def dim(self) -> int:
+        return int(self._rho.shape[0])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._rho
+
+    def copy(self) -> "DensityMatrix":
+        return DensityMatrix(self._rho.copy(), validate=False)
+
+    def purity(self) -> float:
+        """``Tr(rho^2)`` — 1 for pure states, ``1/2**n`` for maximally mixed."""
+        return float(np.real(np.trace(self._rho @ self._rho)))
+
+    def probabilities(self) -> np.ndarray:
+        """Z-basis outcome probabilities (the diagonal of rho)."""
+        return np.real(np.diag(self._rho)).clip(min=0.0)
+
+    # -- evolution -----------------------------------------------------------
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "DensityMatrix":
+        """Conjugate by a unitary on ``qubits``, in place."""
+        self._rho = _apply_matrix_tensor(self._rho, self.num_qubits, np.asarray(matrix, dtype=complex), list(qubits))
+        return self
+
+    def apply_gate(self, gate, qubits: Sequence[int]) -> "DensityMatrix":
+        if gate.num_qubits != len(qubits):
+            raise SimulationError("gate arity does not match target count")
+        return self.apply_matrix(gate.matrix, qubits)
+
+    def apply_kraus(self, kraus_ops: Sequence[np.ndarray], qubits: Sequence[int]) -> "DensityMatrix":
+        """Apply a CPTP channel given by Kraus operators on ``qubits``."""
+        qubits = list(qubits)
+        acc = np.zeros_like(self._rho)
+        for kraus in kraus_ops:
+            acc = acc + _apply_matrix_tensor(self._rho, self.num_qubits, np.asarray(kraus, dtype=complex), qubits)
+        self._rho = acc
+        return self
+
+    # -- measurement / metrics -----------------------------------------------
+
+    def measure(self, qubits: "Sequence[int] | None" = None, rng=None) -> tuple[tuple[int, ...], "DensityMatrix"]:
+        """Projective Z-basis measurement of ``qubits`` (default all)."""
+        rng = ensure_rng(rng)
+        n = self.num_qubits
+        if qubits is None:
+            qubits = list(range(n))
+        qubits = list(qubits)
+        probs = self.probabilities()
+        indices = np.arange(self.dim)
+        outcome_probs = np.zeros(2 ** len(qubits))
+        patterns = []
+        for pat in range(2 ** len(qubits)):
+            mask = np.ones(self.dim, dtype=bool)
+            for pos, q in enumerate(qubits):
+                bit = (pat >> (len(qubits) - 1 - pos)) & 1
+                mask &= ((indices >> (n - 1 - q)) & 1) == bit
+            patterns.append(mask)
+            outcome_probs[pat] = probs[mask].sum()
+        outcome_probs = outcome_probs / outcome_probs.sum()
+        pat = int(rng.choice(len(outcome_probs), p=outcome_probs))
+        bits = tuple((pat >> (len(qubits) - 1 - i)) & 1 for i in range(len(qubits)))
+        mask = patterns[pat]
+        proj = np.where(mask, 1.0, 0.0)
+        post = self._rho * np.outer(proj, proj)
+        tr = np.trace(post).real
+        if tr < _ATOL:
+            raise SimulationError("measurement collapsed onto a zero-probability branch")
+        return bits, DensityMatrix(post / tr, validate=False)
+
+    def sample_counts(self, shots: int, rng=None) -> dict[str, int]:
+        """Sample Z-basis outcomes on all qubits without collapsing."""
+        rng = ensure_rng(rng)
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        draws = rng.multinomial(shots, probs)
+        return {
+            index_to_bitstring(i, self.num_qubits): int(c)
+            for i, c in enumerate(draws)
+            if c > 0
+        }
+
+    def fidelity_with_pure(self, state: Statevector) -> float:
+        """``<psi| rho |psi>`` — fidelity against a pure reference state."""
+        if state.dim != self.dim:
+            raise SimulationError("dimension mismatch")
+        return float(np.real(np.vdot(state.data, self._rho @ state.data)))
+
+    def expectation(self, observable: np.ndarray) -> float:
+        """``Tr(rho M)`` for a Hermitian matrix observable."""
+        observable = np.asarray(observable, dtype=complex)
+        return float(np.real(np.trace(self._rho @ observable)))
+
+    def partial_trace(self, keep: Sequence[int]) -> "DensityMatrix":
+        """Reduced state over the ``keep`` qubits."""
+        n = self.num_qubits
+        keep = list(keep)
+        drop = [q for q in range(n) if q not in keep]
+        tensor = self._rho.reshape((2,) * (2 * n))
+        for q in sorted(drop, reverse=True):
+            tensor = np.trace(tensor, axis1=q, axis2=q + tensor.ndim // 2)
+        dim = 2 ** len(keep)
+        return DensityMatrix(tensor.reshape(dim, dim), validate=False)
+
+    def tensor(self, other: "DensityMatrix") -> "DensityMatrix":
+        """``self (x) other`` (self's qubits first)."""
+        return DensityMatrix(np.kron(self._rho, other._rho), validate=False)
+
+
+class DensitySimulator:
+    """Runs circuits on density matrices, optionally inserting noise."""
+
+    def __init__(self, max_qubits: int = 10):
+        self.max_qubits = max_qubits
+
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        noise_model=None,
+        initial_state: "DensityMatrix | None" = None,
+    ) -> DensityMatrix:
+        """Apply gates (and the noise model's channels after each gate)."""
+        if circuit.num_qubits > self.max_qubits:
+            raise SimulationError(
+                f"density simulation limited to {self.max_qubits} qubits, circuit has {circuit.num_qubits}"
+            )
+        if initial_state is None:
+            rho = DensityMatrix.zero_state(circuit.num_qubits)
+        else:
+            if initial_state.num_qubits != circuit.num_qubits:
+                raise SimulationError("initial state width does not match circuit")
+            rho = initial_state.copy()
+        for op in circuit:
+            rho.apply_matrix(op.gate.matrix, op.qubits)
+            if noise_model is not None:
+                for kraus_ops, qubits in noise_model.channels_after(op):
+                    rho.apply_kraus(kraus_ops, qubits)
+        return rho

@@ -1,0 +1,233 @@
+"""Gate library: unitary matrices and the :class:`Gate` wrapper.
+
+Gates are plain unitary matrices tagged with a name and the parameters used
+to build them.  Controlled and multi-controlled versions of any gate are
+constructed with :func:`controlled`.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+_SQRT2 = math.sqrt(2.0)
+
+# ---------------------------------------------------------------------------
+# Fixed single-qubit matrices
+# ---------------------------------------------------------------------------
+
+I_MATRIX = np.eye(2, dtype=complex)
+X_MATRIX = np.array([[0, 1], [1, 0]], dtype=complex)
+Y_MATRIX = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z_MATRIX = np.array([[1, 0], [0, -1]], dtype=complex)
+H_MATRIX = np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2
+S_MATRIX = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG_MATRIX = np.array([[1, 0], [0, -1j]], dtype=complex)
+T_MATRIX = np.array([[1, 0], [0, cmath.exp(1j * math.pi / 4)]], dtype=complex)
+TDG_MATRIX = np.array([[1, 0], [0, cmath.exp(-1j * math.pi / 4)]], dtype=complex)
+
+SWAP_MATRIX = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """Rotation about the X axis by angle ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Rotation about the Y axis by angle ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """Rotation about the Z axis by angle ``theta``."""
+    return np.array(
+        [[cmath.exp(-1j * theta / 2), 0], [0, cmath.exp(1j * theta / 2)]],
+        dtype=complex,
+    )
+
+
+def phase_matrix(phi: float) -> np.ndarray:
+    """Phase gate ``diag(1, e^{i phi})``."""
+    return np.array([[1, 0], [0, cmath.exp(1j * phi)]], dtype=complex)
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """General single-qubit rotation (the IBM ``U3`` convention)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -cmath.exp(1j * lam) * s],
+            [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def rzz_matrix(theta: float) -> np.ndarray:
+    """Two-qubit ``exp(-i theta/2 Z(x)Z)`` interaction (diagonal)."""
+    plus = cmath.exp(-1j * theta / 2)
+    minus = cmath.exp(1j * theta / 2)
+    return np.diag([plus, minus, minus, plus]).astype(complex)
+
+
+def rxx_matrix(theta: float) -> np.ndarray:
+    """Two-qubit ``exp(-i theta/2 X(x)X)`` interaction."""
+    c = math.cos(theta / 2)
+    s = -1j * math.sin(theta / 2)
+    mat = np.eye(4, dtype=complex) * c
+    mat[0, 3] = mat[3, 0] = mat[1, 2] = mat[2, 1] = s
+    return mat
+
+
+def diagonal_matrix(phases: np.ndarray) -> np.ndarray:
+    """Diagonal unitary ``diag(e^{i phases})`` over ``len(phases)`` states."""
+    return np.diag(np.exp(1j * np.asarray(phases, dtype=float))).astype(complex)
+
+
+# ---------------------------------------------------------------------------
+# Gate wrapper
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A named unitary acting on ``num_qubits`` qubits.
+
+    Attributes:
+        name: Human-readable mnemonic, e.g. ``"h"`` or ``"rzz"``.
+        matrix: ``(2^k, 2^k)`` complex unitary.
+        params: Parameters the matrix was built from (for display/inverse).
+    """
+
+    name: str
+    matrix: np.ndarray
+    params: tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        mat = np.asarray(self.matrix, dtype=complex)
+        dim = mat.shape[0]
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise SimulationError(f"gate {self.name!r}: matrix must be square")
+        if dim == 0 or dim & (dim - 1):
+            raise SimulationError(f"gate {self.name!r}: dimension {dim} is not a power of 2")
+        object.__setattr__(self, "matrix", mat)
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return int(self.matrix.shape[0]).bit_length() - 1
+
+    def is_unitary(self, atol: float = 1e-9) -> bool:
+        """Check unitarity ``U U^dagger = I`` up to ``atol``."""
+        prod = self.matrix @ self.matrix.conj().T
+        return bool(np.allclose(prod, np.eye(self.matrix.shape[0]), atol=atol))
+
+    def inverse(self) -> "Gate":
+        """Return the adjoint gate."""
+        return Gate(f"{self.name}_dg", self.matrix.conj().T, self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.params:
+            args = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"Gate({self.name}({args}), {self.num_qubits}q)"
+        return f"Gate({self.name}, {self.num_qubits}q)"
+
+
+_FIXED_GATES: dict[str, np.ndarray] = {
+    "i": I_MATRIX,
+    "x": X_MATRIX,
+    "y": Y_MATRIX,
+    "z": Z_MATRIX,
+    "h": H_MATRIX,
+    "s": S_MATRIX,
+    "sdg": SDG_MATRIX,
+    "t": T_MATRIX,
+    "tdg": TDG_MATRIX,
+    "swap": SWAP_MATRIX,
+}
+
+_PARAMETRIC_GATES = {
+    "rx": (rx_matrix, 1),
+    "ry": (ry_matrix, 1),
+    "rz": (rz_matrix, 1),
+    "p": (phase_matrix, 1),
+    "u3": (u3_matrix, 3),
+    "rzz": (rzz_matrix, 1),
+    "rxx": (rxx_matrix, 1),
+}
+
+
+def standard_gate(name: str, *params: float) -> Gate:
+    """Build a standard gate by name.
+
+    Fixed gates (``x``, ``h``, ``swap``, ...) take no parameters; rotation
+    gates (``rx``, ``rz``, ``rzz``, ...) take the angles listed in
+    ``_PARAMETRIC_GATES``.
+
+    >>> standard_gate("h").num_qubits
+    1
+    >>> standard_gate("rzz", 0.5).num_qubits
+    2
+    """
+    key = name.lower()
+    if key in _FIXED_GATES:
+        if params:
+            raise SimulationError(f"gate {name!r} takes no parameters")
+        return Gate(key, _FIXED_GATES[key])
+    if key in _PARAMETRIC_GATES:
+        builder, arity = _PARAMETRIC_GATES[key]
+        if len(params) != arity:
+            raise SimulationError(f"gate {name!r} expects {arity} parameter(s), got {len(params)}")
+        return Gate(key, builder(*params), tuple(float(p) for p in params))
+    raise SimulationError(f"unknown gate {name!r}")
+
+
+def controlled(gate: Gate, num_controls: int = 1) -> Gate:
+    """Return the ``num_controls``-controlled version of ``gate``.
+
+    The control qubits are the *first* ``num_controls`` qubits of the
+    resulting gate; the target block occupies the last ``gate.num_qubits``.
+
+    >>> cx = controlled(standard_gate("x"))
+    >>> cx.num_qubits
+    2
+    """
+    if num_controls < 1:
+        raise SimulationError("num_controls must be >= 1")
+    dim = gate.matrix.shape[0]
+    total = dim * (2**num_controls)
+    mat = np.eye(total, dtype=complex)
+    mat[total - dim :, total - dim :] = gate.matrix
+    prefix = "c" * num_controls
+    return Gate(f"{prefix}{gate.name}", mat, gate.params)
+
+
+def cnot_gate() -> Gate:
+    """Controlled-X (control = qubit 0, target = qubit 1)."""
+    return controlled(standard_gate("x"))
+
+
+def cz_gate() -> Gate:
+    """Controlled-Z."""
+    return controlled(standard_gate("z"))
+
+
+def toffoli_gate() -> Gate:
+    """Doubly-controlled X."""
+    return controlled(standard_gate("x"), num_controls=2)
+
+
+def diagonal_gate(phases: "np.ndarray | list[float]", name: str = "diag") -> Gate:
+    """Diagonal unitary with the given per-basis-state phases (radians)."""
+    phases = np.asarray(phases, dtype=float)
+    return Gate(name, diagonal_matrix(phases))

@@ -1,0 +1,64 @@
+"""Measurement post-processing and expectation values."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.pauli import PauliSum
+from repro.quantum.state import Statevector
+from repro.utils.rngtools import ensure_rng
+
+
+def sample_counts(
+    state: Statevector,
+    shots: int,
+    rng=None,
+    qubits: "Sequence[int] | None" = None,
+) -> dict[str, int]:
+    """Sample ``shots`` Z-basis measurements from ``state``."""
+    return state.sample_counts(shots, rng=ensure_rng(rng), qubits=qubits)
+
+
+def counts_to_probabilities(counts: Mapping[str, int]) -> dict[str, float]:
+    """Normalise a counts dict into empirical probabilities."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise SimulationError("counts are empty")
+    return {k: v / total for k, v in counts.items()}
+
+
+def expectation_value(state: Statevector, observable) -> float:
+    """Expectation of ``observable`` in ``state``.
+
+    ``observable`` may be:
+
+    * a :class:`~repro.quantum.pauli.PauliSum` (fast diagonal path),
+    * an object with an ``expectation(state)`` method (e.g.
+      :class:`~repro.quantum.pauli.IsingHamiltonian`),
+    * a 1-D real array, treated as a diagonal observable,
+    * a 2-D Hermitian matrix.
+    """
+    if isinstance(observable, PauliSum):
+        return observable.expectation(state)
+    if hasattr(observable, "expectation"):
+        return float(observable.expectation(state))
+    arr = np.asarray(observable)
+    if arr.ndim == 1:
+        return state.expectation_diagonal(arr)
+    if arr.ndim == 2:
+        return float(np.real(state.expectation_matrix(arr)))
+    raise SimulationError("unsupported observable type")
+
+
+def expectation_from_counts(counts: Mapping[str, int], diagonal: np.ndarray) -> float:
+    """Estimate a diagonal observable's expectation from sampled counts."""
+    total = sum(counts.values())
+    if total <= 0:
+        raise SimulationError("counts are empty")
+    acc = 0.0
+    for bitstring, c in counts.items():
+        acc += diagonal[int(bitstring, 2)] * c
+    return acc / total

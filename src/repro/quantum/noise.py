@@ -1,0 +1,132 @@
+"""Kraus noise channels and per-gate noise models (Sec. III-C.3 of the paper:
+"noisy operations" as a practical constraint of NISQ machines)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import Operation
+from repro.quantum.gates import I_MATRIX, X_MATRIX, Y_MATRIX, Z_MATRIX
+
+KrausOps = list[np.ndarray]
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise SimulationError(f"probability {p} outside [0, 1]")
+
+
+def bit_flip(p: float) -> KrausOps:
+    """Flip X with probability ``p``."""
+    _check_probability(p)
+    return [math.sqrt(1 - p) * I_MATRIX, math.sqrt(p) * X_MATRIX]
+
+
+def phase_flip(p: float) -> KrausOps:
+    """Apply Z with probability ``p``."""
+    _check_probability(p)
+    return [math.sqrt(1 - p) * I_MATRIX, math.sqrt(p) * Z_MATRIX]
+
+
+def depolarizing(p: float, num_qubits: int = 1) -> KrausOps:
+    """Depolarizing channel: with probability ``p`` replace by random Pauli.
+
+    For ``num_qubits == 2`` the 16 two-qubit Pauli products are used.
+    """
+    _check_probability(p)
+    singles = [I_MATRIX, X_MATRIX, Y_MATRIX, Z_MATRIX]
+    if num_qubits == 1:
+        paulis = singles
+    elif num_qubits == 2:
+        paulis = [np.kron(a, b) for a in singles for b in singles]
+    else:
+        raise SimulationError("depolarizing supports 1 or 2 qubits")
+    d2 = len(paulis)
+    ops = [math.sqrt(1 - p * (d2 - 1) / d2) * paulis[0]]
+    ops.extend(math.sqrt(p / d2) * mat for mat in paulis[1:])
+    return ops
+
+
+def amplitude_damping(gamma: float) -> KrausOps:
+    """Energy relaxation (T1 decay) with damping rate ``gamma``."""
+    _check_probability(gamma)
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, math.sqrt(gamma)], [0, 0]], dtype=complex)
+    return [k0, k1]
+
+
+def phase_damping(lam: float) -> KrausOps:
+    """Pure dephasing (T2) with rate ``lam``."""
+    _check_probability(lam)
+    k0 = np.array([[1, 0], [0, math.sqrt(1 - lam)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, math.sqrt(lam)]], dtype=complex)
+    return [k0, k1]
+
+
+def is_cptp(kraus_ops: Iterable[np.ndarray], atol: float = 1e-9) -> bool:
+    """Completeness check: ``sum_k K^dagger K == I``."""
+    kraus_ops = list(kraus_ops)
+    dim = kraus_ops[0].shape[1]
+    acc = np.zeros((dim, dim), dtype=complex)
+    for k in kraus_ops:
+        acc = acc + k.conj().T @ k
+    return bool(np.allclose(acc, np.eye(dim), atol=atol))
+
+
+class NoiseModel:
+    """Attaches Kraus channels after gates, keyed by gate arity or name.
+
+    Args:
+        error_1q: channel applied after every 1-qubit gate (per target).
+        error_2q: channel (1- or 2-qubit Kraus set) applied after every gate
+            touching 2+ qubits.  A 1-qubit Kraus set is applied to each
+            involved qubit independently.
+        gate_errors: overrides keyed by gate name.
+    """
+
+    def __init__(
+        self,
+        error_1q: "KrausOps | None" = None,
+        error_2q: "KrausOps | None" = None,
+        gate_errors: "dict[str, KrausOps] | None" = None,
+    ):
+        for ops in filter(None, [error_1q, error_2q, *(gate_errors or {}).values()]):
+            if not is_cptp(ops):
+                raise SimulationError("Kraus set is not trace preserving")
+        self.error_1q = error_1q
+        self.error_2q = error_2q
+        self.gate_errors = dict(gate_errors or {})
+
+    @classmethod
+    def uniform_depolarizing(cls, p1: float, p2: "float | None" = None) -> "NoiseModel":
+        """Depolarizing noise after every gate (the standard NISQ proxy)."""
+        if p2 is None:
+            p2 = min(1.0, 10.0 * p1)
+        return cls(error_1q=depolarizing(p1), error_2q=depolarizing(p2, num_qubits=2))
+
+    def channels_after(self, op: Operation) -> list[tuple[KrausOps, tuple[int, ...]]]:
+        """Channels (with their target qubits) to apply after ``op``."""
+        chosen: "KrausOps | None"
+        if op.gate.name in self.gate_errors:
+            chosen = self.gate_errors[op.gate.name]
+        elif len(op.qubits) == 1:
+            chosen = self.error_1q
+        else:
+            chosen = self.error_2q
+        if chosen is None:
+            return []
+        channel_arity = int(chosen[0].shape[0]).bit_length() - 1
+        if channel_arity == len(op.qubits):
+            return [(chosen, op.qubits)]
+        if channel_arity == 1:
+            return [(chosen, (q,)) for q in op.qubits]
+        if channel_arity == 2 and len(op.qubits) > 2:
+            # Fall back to acting on the first two involved qubits.
+            return [(chosen, op.qubits[:2])]
+        raise SimulationError(
+            f"channel arity {channel_arity} incompatible with gate on {len(op.qubits)} qubits"
+        )

@@ -1,0 +1,216 @@
+"""Pauli-string algebra and diagonal Ising Hamiltonians.
+
+Two operator families cover everything the library needs:
+
+* :class:`PauliString` / :class:`PauliSum` — general observables used by VQE
+  and the nonlocal-games modules.
+* :class:`IsingHamiltonian` — diagonal ``sum h_i Z_i + sum J_ij Z_i Z_j``
+  cost Hamiltonians produced from QUBO models and consumed by QAOA/VQE.
+
+Spin convention: the computational basis state ``|0>`` has spin ``s = +1``
+(eigenvalue of Z), ``|1>`` has ``s = -1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.gates import I_MATRIX, X_MATRIX, Y_MATRIX, Z_MATRIX
+
+_PAULI_MATRICES = {"I": I_MATRIX, "X": X_MATRIX, "Y": Y_MATRIX, "Z": Z_MATRIX}
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """A tensor product of single-qubit Paulis with a complex coefficient.
+
+    ``PauliString("XIZ", 0.5)`` means ``0.5 * X(0) (x) I(1) (x) Z(2)``.
+    """
+
+    string: str
+    coefficient: complex = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.string or any(c not in "IXYZ" for c in self.string):
+            raise SimulationError(f"invalid Pauli string {self.string!r}")
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.string)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity factors."""
+        return sum(1 for c in self.string if c != "I")
+
+    def is_diagonal(self) -> bool:
+        """True when the string contains only I and Z (a diagonal operator)."""
+        return all(c in "IZ" for c in self.string)
+
+    def matrix(self) -> np.ndarray:
+        """Dense matrix (use only for small qubit counts)."""
+        mat = np.array([[1.0]], dtype=complex)
+        for c in self.string:
+            mat = np.kron(mat, _PAULI_MATRICES[c])
+        return self.coefficient * mat
+
+    def diagonal(self) -> np.ndarray:
+        """Diagonal vector for I/Z-only strings (raises otherwise)."""
+        if not self.is_diagonal():
+            raise SimulationError(f"Pauli string {self.string} is not diagonal")
+        diag = np.array([1.0], dtype=float)
+        for c in self.string:
+            factor = np.array([1.0, 1.0]) if c == "I" else np.array([1.0, -1.0])
+            diag = np.kron(diag, factor)
+        return self.coefficient.real * diag if np.isreal(self.coefficient) else self.coefficient * diag
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """Whether the two strings commute as operators."""
+        if other.num_qubits != self.num_qubits:
+            raise SimulationError("Pauli strings act on different register widths")
+        anti = sum(
+            1
+            for a, b in zip(self.string, other.string)
+            if a != "I" and b != "I" and a != b
+        )
+        return anti % 2 == 0
+
+    def __mul__(self, scalar: complex) -> "PauliString":
+        return PauliString(self.string, self.coefficient * scalar)
+
+    __rmul__ = __mul__
+
+
+class PauliSum:
+    """A linear combination of Pauli strings over a common register."""
+
+    def __init__(self, terms: Iterable[PauliString]):
+        terms = list(terms)
+        if not terms:
+            raise SimulationError("PauliSum needs at least one term")
+        width = terms[0].num_qubits
+        for t in terms:
+            if t.num_qubits != width:
+                raise SimulationError("all Pauli terms must share the register width")
+        self.terms = terms
+        self.num_qubits = width
+
+    def matrix(self) -> np.ndarray:
+        """Dense Hermitian matrix of the sum."""
+        return sum(t.matrix() for t in self.terms)
+
+    def is_diagonal(self) -> bool:
+        return all(t.is_diagonal() for t in self.terms)
+
+    def diagonal(self) -> np.ndarray:
+        """Diagonal vector when every term is I/Z-only."""
+        diag = np.zeros(2**self.num_qubits, dtype=float)
+        for t in self.terms:
+            diag = diag + np.real(t.diagonal())
+        return diag
+
+    def expectation(self, state) -> float:
+        """``<psi|H|psi>`` with a fast path for diagonal sums."""
+        if self.is_diagonal():
+            return state.expectation_diagonal(self.diagonal())
+        return float(np.real(state.expectation_matrix(self.matrix())))
+
+    def __add__(self, other: "PauliSum") -> "PauliSum":
+        return PauliSum(self.terms + other.terms)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+
+def _bits_matrix(num_qubits: int) -> np.ndarray:
+    """(2^n, n) matrix of bit values; column j is the bit of qubit j."""
+    indices = np.arange(2**num_qubits)
+    shifts = np.array([num_qubits - 1 - j for j in range(num_qubits)])
+    return (indices[:, None] >> shifts[None, :]) & 1
+
+
+@dataclass
+class IsingHamiltonian:
+    """Diagonal Hamiltonian ``sum_i h_i Z_i + sum_{i<j} J_ij Z_i Z_j + offset``.
+
+    This is the gate-model form of a QUBO: minimising the QUBO over binary
+    ``x`` is the same as finding the ground state here, with
+    ``x_i = (1 - s_i)/2``.
+    """
+
+    num_qubits: int
+    linear: dict[int, float] = field(default_factory=dict)
+    quadratic: dict[tuple[int, int], float] = field(default_factory=dict)
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        for i in self.linear:
+            if not 0 <= i < self.num_qubits:
+                raise SimulationError(f"linear index {i} out of range")
+        canonical: dict[tuple[int, int], float] = {}
+        for (i, j), v in self.quadratic.items():
+            if i == j:
+                raise SimulationError("quadratic terms need two distinct qubits")
+            if not (0 <= i < self.num_qubits and 0 <= j < self.num_qubits):
+                raise SimulationError(f"quadratic index ({i},{j}) out of range")
+            key = (min(i, j), max(i, j))
+            canonical[key] = canonical.get(key, 0.0) + float(v)
+        self.quadratic = canonical
+
+    def energies(self) -> np.ndarray:
+        """Energy of every computational basis state (length ``2**n``)."""
+        bits = _bits_matrix(self.num_qubits)
+        spins = 1.0 - 2.0 * bits
+        energy = np.full(2**self.num_qubits, self.offset, dtype=float)
+        for i, h in self.linear.items():
+            energy += h * spins[:, i]
+        for (i, j), jij in self.quadratic.items():
+            energy += jij * spins[:, i] * spins[:, j]
+        return energy
+
+    def energy_of_spins(self, spins: "np.ndarray | list[int]") -> float:
+        """Energy of one spin configuration (entries in {+1, -1})."""
+        spins = np.asarray(spins, dtype=float)
+        energy = self.offset
+        for i, h in self.linear.items():
+            energy += h * spins[i]
+        for (i, j), jij in self.quadratic.items():
+            energy += jij * spins[i] * spins[j]
+        return float(energy)
+
+    def energy_of_bits(self, bits: "np.ndarray | list[int]") -> float:
+        """Energy of one bit configuration (entries in {0, 1})."""
+        spins = 1.0 - 2.0 * np.asarray(bits, dtype=float)
+        return self.energy_of_spins(spins)
+
+    def ground(self) -> tuple[float, int]:
+        """Exact ground energy and the basis index attaining it."""
+        energies = self.energies()
+        idx = int(np.argmin(energies))
+        return float(energies[idx]), idx
+
+    def to_pauli_sum(self) -> PauliSum:
+        """The same operator as an explicit :class:`PauliSum`."""
+        terms: list[PauliString] = []
+        identity = "I" * self.num_qubits
+        if self.offset:
+            terms.append(PauliString(identity, self.offset))
+        for i, h in self.linear.items():
+            s = identity[:i] + "Z" + identity[i + 1 :]
+            terms.append(PauliString(s, h))
+        for (i, j), jij in self.quadratic.items():
+            chars = list(identity)
+            chars[i] = "Z"
+            chars[j] = "Z"
+            terms.append(PauliString("".join(chars), jij))
+        if not terms:
+            terms.append(PauliString(identity, 0.0))
+        return PauliSum(terms)
+
+    def expectation(self, state) -> float:
+        """``<psi|H|psi>`` via the precomputed diagonal."""
+        return state.expectation_diagonal(self.energies())

@@ -1,0 +1,68 @@
+"""Exact statevector simulation of :class:`~repro.quantum.circuit.QuantumCircuit`."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.state import Statevector
+from repro.utils.rngtools import ensure_rng
+
+
+class StatevectorSimulator:
+    """Runs unitary circuits exactly on a statevector.
+
+    The simulator is stateless; all methods are pure given their inputs plus
+    the supplied RNG.  Practical limit is ~20 qubits (16 M amplitudes).
+    """
+
+    def __init__(self, max_qubits: int = 24):
+        self.max_qubits = max_qubits
+
+    def run(self, circuit: QuantumCircuit, initial_state: "Statevector | None" = None) -> Statevector:
+        """Apply every gate of ``circuit`` and return the final state."""
+        if circuit.num_qubits > self.max_qubits:
+            raise SimulationError(
+                f"circuit has {circuit.num_qubits} qubits, simulator limit is {self.max_qubits}"
+            )
+        if initial_state is None:
+            state = Statevector.zero_state(circuit.num_qubits)
+        else:
+            if initial_state.num_qubits != circuit.num_qubits:
+                raise SimulationError("initial state width does not match circuit")
+            state = initial_state.copy()
+        for op in circuit:
+            state.apply_matrix(op.gate.matrix, op.qubits)
+        return state
+
+    def sample(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        rng=None,
+        qubits: "Sequence[int] | None" = None,
+        initial_state: "Statevector | None" = None,
+    ) -> dict[str, int]:
+        """Run the circuit and sample measurement outcomes ``shots`` times."""
+        rng = ensure_rng(rng)
+        state = self.run(circuit, initial_state=initial_state)
+        return state.sample_counts(shots, rng=rng, qubits=qubits)
+
+    def expectation(
+        self,
+        circuit: QuantumCircuit,
+        observable,
+        initial_state: "Statevector | None" = None,
+    ) -> float:
+        """Expectation value of ``observable`` in the circuit's output state.
+
+        ``observable`` may be a :class:`~repro.quantum.pauli.PauliSum`, a
+        real diagonal vector, or a dense Hermitian matrix.
+        """
+        from repro.quantum.measurement import expectation_value
+
+        state = self.run(circuit, initial_state=initial_state)
+        return expectation_value(state, observable)

@@ -1,0 +1,329 @@
+"""Pure quantum states: the :class:`Statevector` class and its apply kernel.
+
+The statevector is stored as a flat complex array of length ``2**n`` with the
+bit convention from :mod:`repro.utils.bits` (qubit 0 = leftmost/most
+significant).  Gate application uses tensor reshaping so a ``k``-qubit gate
+costs ``O(2**n * 2**k)`` instead of building the full ``2**n`` operator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.bits import bits_to_index, bitstring_to_index, index_to_bitstring
+from repro.utils.rngtools import ensure_rng
+
+_ATOL = 1e-10
+
+
+def apply_unitary(
+    amplitudes: np.ndarray, num_qubits: int, matrix: np.ndarray, targets: Sequence[int]
+) -> np.ndarray:
+    """Apply a ``k``-qubit unitary ``matrix`` to ``targets`` of a state array.
+
+    Args:
+        amplitudes: Flat complex array of length ``2**num_qubits``.
+        num_qubits: Total qubit count of the register.
+        matrix: ``(2**k, 2**k)`` unitary.
+        targets: ``k`` distinct qubit indices the unitary acts on, in the
+            order matching the matrix's tensor factors.
+
+    Returns:
+        A new flat array with the gate applied.
+    """
+    k = len(targets)
+    if len(set(targets)) != k:
+        raise SimulationError(f"duplicate target qubits: {targets}")
+    for q in targets:
+        if q < 0 or q >= num_qubits:
+            raise SimulationError(f"qubit {q} out of range for {num_qubits}-qubit register")
+    if matrix.shape != (2**k, 2**k):
+        raise SimulationError(
+            f"matrix of shape {matrix.shape} does not act on {k} qubit(s)"
+        )
+    tensor = amplitudes.reshape((2,) * num_qubits)
+    gate_tensor = matrix.reshape((2,) * (2 * k))
+    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), list(targets)))
+    result = np.moveaxis(moved, list(range(k)), list(targets))
+    return np.ascontiguousarray(result).reshape(-1)
+
+
+class Statevector:
+    """An ``n``-qubit pure state.
+
+    Instances are mutable: gate application methods update the state in place
+    and return ``self`` for chaining.  Use :meth:`copy` to branch.
+    """
+
+    def __init__(self, amplitudes: Iterable[complex], validate: bool = True):
+        data = np.asarray(list(amplitudes) if not isinstance(amplitudes, np.ndarray) else amplitudes, dtype=complex)
+        data = data.reshape(-1)
+        dim = data.shape[0]
+        if dim == 0 or dim & (dim - 1):
+            raise SimulationError(f"statevector length {dim} is not a power of 2")
+        if validate:
+            norm = np.linalg.norm(data)
+            if norm < _ATOL:
+                raise SimulationError("cannot normalise a zero statevector")
+            if abs(norm - 1.0) > 1e-8:
+                data = data / norm
+        self._data = data
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """The all-zeros computational basis state ``|0...0>``."""
+        if num_qubits < 1:
+            raise SimulationError("need at least one qubit")
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data, validate=False)
+
+    @classmethod
+    def from_label(cls, label: str) -> "Statevector":
+        """Basis state from a bitstring label, e.g. ``'010'``."""
+        index = bitstring_to_index(label)
+        data = np.zeros(2 ** len(label), dtype=complex)
+        data[index] = 1.0
+        return cls(data, validate=False)
+
+    @classmethod
+    def from_basis_index(cls, index: int, num_qubits: int) -> "Statevector":
+        """Basis state ``|index>`` of an ``num_qubits``-qubit register."""
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[index] = 1.0
+        return cls(data, validate=False)
+
+    @classmethod
+    def uniform_superposition(cls, num_qubits: int) -> "Statevector":
+        """The state ``H^{(x)n}|0...0>`` with equal amplitudes."""
+        dim = 2**num_qubits
+        return cls(np.full(dim, 1.0 / math.sqrt(dim), dtype=complex), validate=False)
+
+    @classmethod
+    def uniform_over(cls, indices: Sequence[int], num_qubits: int) -> "Statevector":
+        """Uniform superposition over the given basis indices.
+
+        Used by :mod:`repro.qdb` to encode a set of records as a state.
+        """
+        if not indices:
+            raise SimulationError("cannot build a superposition over an empty set")
+        data = np.zeros(2**num_qubits, dtype=complex)
+        amp = 1.0 / math.sqrt(len(indices))
+        for idx in indices:
+            if not 0 <= idx < 2**num_qubits:
+                raise SimulationError(f"basis index {idx} out of range")
+            if data[idx] != 0:
+                raise SimulationError(f"duplicate basis index {idx}")
+            data[idx] = amp
+        return cls(data, validate=False)
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the register."""
+        return int(self._data.shape[0]).bit_length() - 1
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension ``2**num_qubits``."""
+        return int(self._data.shape[0])
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying amplitude array (a direct reference, not a copy)."""
+        return self._data
+
+    def copy(self) -> "Statevector":
+        """An independent copy of this state."""
+        return Statevector(self._data.copy(), validate=False)
+
+    def amplitude(self, label: "str | int") -> complex:
+        """Amplitude of a basis state given by bitstring label or index."""
+        index = bitstring_to_index(label) if isinstance(label, str) else int(label)
+        return complex(self._data[index])
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each basis state (length ``2**n`` float array)."""
+        return np.abs(self._data) ** 2
+
+    def probability(self, label: "str | int") -> float:
+        """Probability of observing the given basis state."""
+        return float(abs(self.amplitude(label)) ** 2)
+
+    def norm(self) -> float:
+        """Euclidean norm (1.0 for a valid state)."""
+        return float(np.linalg.norm(self._data))
+
+    def is_normalized(self, atol: float = 1e-8) -> bool:
+        """Whether the state has unit norm up to ``atol``."""
+        return abs(self.norm() - 1.0) <= atol
+
+    # -- gate application ---------------------------------------------------
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "Statevector":
+        """Apply a raw unitary matrix to the given qubits, in place."""
+        self._data = apply_unitary(self._data, self.num_qubits, np.asarray(matrix, dtype=complex), list(qubits))
+        return self
+
+    def apply_gate(self, gate, qubits: Sequence[int]) -> "Statevector":
+        """Apply a :class:`~repro.quantum.gates.Gate`, in place."""
+        if gate.num_qubits != len(qubits):
+            raise SimulationError(
+                f"gate {gate.name!r} acts on {gate.num_qubits} qubit(s), got {len(qubits)} targets"
+            )
+        return self.apply_matrix(gate.matrix, qubits)
+
+    def evolved(self, gate, qubits: Sequence[int]) -> "Statevector":
+        """Return a new state with ``gate`` applied, leaving this one intact."""
+        return self.copy().apply_gate(gate, qubits)
+
+    def apply_diagonal(self, diagonal: np.ndarray) -> "Statevector":
+        """Multiply amplitudes elementwise by a length-``2**n`` diagonal."""
+        diagonal = np.asarray(diagonal, dtype=complex).reshape(-1)
+        if diagonal.shape != self._data.shape:
+            raise SimulationError("diagonal length does not match state dimension")
+        self._data = self._data * diagonal
+        return self
+
+    # -- measurement --------------------------------------------------------
+
+    def measure(
+        self, qubits: "Sequence[int] | None" = None, rng=None
+    ) -> tuple[tuple[int, ...], "Statevector"]:
+        """Projectively measure ``qubits`` (default: all) in the Z basis.
+
+        Returns:
+            ``(outcome_bits, post_state)`` — the sampled classical outcome in
+            qubit order, and the collapsed (renormalised) state.  ``self`` is
+            not modified.
+        """
+        rng = ensure_rng(rng)
+        n = self.num_qubits
+        if qubits is None:
+            qubits = list(range(n))
+        qubits = list(qubits)
+        marg = self.marginal_probabilities(qubits)
+        flat_outcome = int(rng.choice(len(marg), p=marg))
+        outcome_bits = tuple((flat_outcome >> (len(qubits) - 1 - i)) & 1 for i in range(len(qubits)))
+        mask = np.ones(self.dim, dtype=bool)
+        for bit, q in zip(outcome_bits, qubits):
+            axis_bits = (np.arange(self.dim) >> (n - 1 - q)) & 1
+            mask &= axis_bits == bit
+        new_data = np.where(mask, self._data, 0.0)
+        total = math.sqrt(float(np.sum(np.abs(new_data) ** 2)))
+        if total < _ATOL:
+            raise SimulationError("measurement collapsed onto a zero-probability branch")
+        return outcome_bits, Statevector(new_data / total, validate=False)
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Outcome distribution of measuring only ``qubits`` (Z basis).
+
+        The returned array has length ``2**len(qubits)``; entry ``i`` is the
+        probability of the outcome whose bits (in the order of ``qubits``)
+        spell the integer ``i``.
+        """
+        n = self.num_qubits
+        qubits = list(qubits)
+        for q in qubits:
+            if not 0 <= q < n:
+                raise SimulationError(f"qubit {q} out of range")
+        probs = self.probabilities().reshape((2,) * n)
+        keep = qubits
+        drop = [ax for ax in range(n) if ax not in keep]
+        if drop:
+            probs = probs.sum(axis=tuple(drop))
+        # axes of `probs` are now the kept qubits in increasing qubit order;
+        # permute to the caller's requested order.
+        order = np.argsort(np.argsort(keep))
+        probs = np.transpose(probs, axes=list(order)) if len(keep) > 1 else probs
+        return probs.reshape(-1)
+
+    def sample_counts(self, shots: int, rng=None, qubits: "Sequence[int] | None" = None) -> dict[str, int]:
+        """Sample measurement outcomes ``shots`` times without collapsing.
+
+        Returns a ``{bitstring: count}`` dict over the measured qubits.
+        """
+        rng = ensure_rng(rng)
+        if qubits is None:
+            qubits = list(range(self.num_qubits))
+        probs = self.marginal_probabilities(qubits)
+        draws = rng.multinomial(shots, probs)
+        width = len(list(qubits))
+        return {
+            index_to_bitstring(i, width): int(c) for i, c in enumerate(draws) if c > 0
+        }
+
+    # -- algebra ------------------------------------------------------------
+
+    def inner(self, other: "Statevector") -> complex:
+        """The inner product ``<self|other>``."""
+        if other.dim != self.dim:
+            raise SimulationError("dimension mismatch in inner product")
+        return complex(np.vdot(self._data, other._data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """Pure-state fidelity ``|<self|other>|^2``."""
+        return float(abs(self.inner(other)) ** 2)
+
+    def tensor(self, other: "Statevector") -> "Statevector":
+        """The product state ``|self> (x) |other>`` (self's qubits first)."""
+        return Statevector(np.kron(self._data, other._data), validate=False)
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """Expectation of a real diagonal observable given as a vector."""
+        diagonal = np.asarray(diagonal, dtype=float).reshape(-1)
+        if diagonal.shape != self._data.shape:
+            raise SimulationError("diagonal length does not match state dimension")
+        return float(np.dot(self.probabilities(), diagonal))
+
+    def expectation_matrix(self, matrix: np.ndarray) -> complex:
+        """Expectation ``<psi|M|psi>`` of a full matrix observable."""
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (self.dim, self.dim):
+            raise SimulationError("observable dimension mismatch")
+        return complex(np.vdot(self._data, matrix @ self._data))
+
+    def density_matrix(self) -> np.ndarray:
+        """The rank-1 density matrix ``|psi><psi|``."""
+        return np.outer(self._data, self._data.conj())
+
+    def partial_trace(self, keep: Sequence[int]) -> np.ndarray:
+        """Reduced density matrix over ``keep`` (all other qubits traced out)."""
+        n = self.num_qubits
+        keep = list(keep)
+        drop = [q for q in range(n) if q not in keep]
+        tensor = self._data.reshape((2,) * n)
+        perm = keep + drop
+        tensor = np.transpose(tensor, perm)
+        dim_keep = 2 ** len(keep)
+        dim_drop = 2 ** len(drop)
+        mat = tensor.reshape(dim_keep, dim_drop)
+        return mat @ mat.conj().T
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Statevector):
+            return NotImplemented
+        return self.dim == other.dim and bool(np.allclose(self._data, other._data))
+
+    def equiv(self, other: "Statevector", atol: float = 1e-9) -> bool:
+        """Equality up to a global phase."""
+        if other.dim != self.dim:
+            return False
+        return abs(abs(self.inner(other)) - 1.0) <= atol
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = []
+        for i, amp in enumerate(self._data):
+            if abs(amp) > 1e-9:
+                terms.append(f"({amp:.3g})|{index_to_bitstring(i, self.num_qubits)}>")
+            if len(terms) >= 6:
+                terms.append("...")
+                break
+        return f"Statevector({' + '.join(terms)})"

@@ -1,0 +1,36 @@
+"""QUBO / Ising modelling toolkit.
+
+QUBO (quadratic unconstrained binary optimization) is the central
+intermediate formulation of the paper (Fig. 2): every Table I work maps its
+data-management problem to a QUBO, which is then solved either on an
+annealer (:mod:`repro.annealing`) or a gate-based machine via QAOA/VQE
+(:mod:`repro.algorithms`).
+"""
+
+from repro.qubo.bruteforce import BruteForceSolver
+from repro.qubo.ising import ising_to_qubo, qubo_to_ising
+from repro.qubo.model import QuboModel
+from repro.qubo.penalty import (
+    add_at_most_one,
+    add_equality,
+    add_exactly_one,
+    add_implication,
+    suggest_penalty_weight,
+)
+from repro.qubo.sampleset import Sample, SampleSet
+from repro.qubo.tabu import TabuSolver
+
+__all__ = [
+    "QuboModel",
+    "Sample",
+    "SampleSet",
+    "BruteForceSolver",
+    "TabuSolver",
+    "qubo_to_ising",
+    "ising_to_qubo",
+    "add_exactly_one",
+    "add_at_most_one",
+    "add_equality",
+    "add_implication",
+    "suggest_penalty_weight",
+]

@@ -1,0 +1,42 @@
+"""Exact QUBO solving by exhaustive enumeration (ground truth for tests)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.qubo.model import QuboModel
+from repro.qubo.sampleset import SampleSet
+
+
+class BruteForceSolver:
+    """Enumerates all ``2**n`` assignments; exact but exponential.
+
+    Used as the optimality reference in tests and benchmarks, and as the
+    "classical exhaustive baseline" in the experiment harnesses.
+    """
+
+    def __init__(self, max_variables: int = 22):
+        self.max_variables = max_variables
+
+    def solve(self, model: QuboModel, keep: int = 16) -> SampleSet:
+        """Return the ``keep`` lowest-energy assignments."""
+        n = model.num_variables
+        if n == 0:
+            raise ReproError("cannot solve an empty QUBO")
+        if n > self.max_variables:
+            raise ReproError(
+                f"brute force limited to {self.max_variables} variables, model has {n}"
+            )
+        assignments = self._all_assignments(n)
+        energies = model.energies(assignments)
+        order = np.argsort(energies, kind="stable")[:keep]
+        return SampleSet.from_arrays(
+            assignments[order], energies[order], info={"solver": "bruteforce", "evaluated": 2**n}
+        )
+
+    @staticmethod
+    def _all_assignments(n: int) -> np.ndarray:
+        indices = np.arange(2**n)
+        shifts = np.arange(n - 1, -1, -1)
+        return ((indices[:, None] >> shifts[None, :]) & 1).astype(int)

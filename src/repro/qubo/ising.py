@@ -1,0 +1,55 @@
+"""QUBO <-> Ising conversions.
+
+Binary variables map to spins via ``x = (1 - s) / 2`` (so ``x=0`` is spin
+``+1``, the Z eigenvalue of ``|0>``).  Minimising the QUBO over ``x`` is the
+same problem as finding the Ising ground state.
+"""
+
+from __future__ import annotations
+
+from repro.quantum.pauli import IsingHamiltonian
+from repro.qubo.model import QuboModel
+
+
+def qubo_to_ising(model: QuboModel) -> IsingHamiltonian:
+    """Convert a QUBO to the equivalent Ising Hamiltonian.
+
+    With ``E = sum a_i x_i + sum_{i<j} b_ij x_i x_j + c`` and
+    ``x_i = (1 - s_i)/2``:
+
+    * ``h_i = -a_i/2 - sum_j b_ij/4``
+    * ``J_ij = b_ij / 4``
+    * ``offset = c + sum a_i/2 + sum b_ij/4``
+    """
+    n = model.num_variables
+    linear = {i: 0.0 for i in range(n)}
+    quadratic: dict[tuple[int, int], float] = {}
+    offset = model.offset
+    for i, a in model.linear.items():
+        linear[i] -= a / 2.0
+        offset += a / 2.0
+    for (i, j), b in model.quadratic.items():
+        quadratic[(i, j)] = quadratic.get((i, j), 0.0) + b / 4.0
+        linear[i] -= b / 4.0
+        linear[j] -= b / 4.0
+        offset += b / 4.0
+    linear = {i: h for i, h in linear.items() if h != 0.0}
+    quadratic = {k: v for k, v in quadratic.items() if v != 0.0}
+    return IsingHamiltonian(max(n, 1), linear=linear, quadratic=quadratic, offset=offset)
+
+
+def ising_to_qubo(ham: IsingHamiltonian) -> QuboModel:
+    """Inverse conversion; labels are plain indices."""
+    model = QuboModel(ham.num_qubits)
+    model.add_offset(ham.offset)
+    for i, h in ham.linear.items():
+        # h * s_i = h * (1 - 2 x_i)
+        model.add_linear(i, -2.0 * h)
+        model.add_offset(h)
+    for (i, j), jij in ham.quadratic.items():
+        # J s_i s_j = J (1 - 2x_i)(1 - 2x_j)
+        model.add_quadratic(i, j, 4.0 * jij)
+        model.add_linear(i, -2.0 * jij)
+        model.add_linear(j, -2.0 * jij)
+        model.add_offset(jij)
+    return model

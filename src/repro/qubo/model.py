@@ -1,0 +1,212 @@
+"""The :class:`QuboModel` builder.
+
+A QUBO is ``E(x) = sum_i a_i x_i + sum_{i<j} b_ij x_i x_j + c`` over binary
+variables.  Variables can be pure indices or carry hashable labels (the
+application layers label variables with things like ``("q1", "p3")`` for
+"plan 3 of query 1").
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+class QuboModel:
+    """Mutable QUBO under construction.
+
+    Use :meth:`variable` to create/look up labelled variables, then
+    :meth:`add_linear` / :meth:`add_quadratic` to accumulate coefficients.
+    """
+
+    def __init__(self, num_variables: int = 0):
+        self._labels: list[Hashable] = list(range(num_variables))
+        self._index: dict[Hashable, int] = {i: i for i in range(num_variables)}
+        self.linear: dict[int, float] = {}
+        self.quadratic: dict[tuple[int, int], float] = {}
+        self.offset: float = 0.0
+
+    # -- variables -----------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._labels)
+
+    @property
+    def labels(self) -> tuple[Hashable, ...]:
+        """Variable labels in index order."""
+        return tuple(self._labels)
+
+    def variable(self, label: Hashable) -> int:
+        """Return the index of ``label``, creating the variable if new."""
+        if label in self._index:
+            return self._index[label]
+        idx = len(self._labels)
+        self._labels.append(label)
+        self._index[label] = idx
+        return idx
+
+    def index_of(self, label: Hashable) -> int:
+        """Index of an existing labelled variable (KeyError if unknown)."""
+        return self._index[label]
+
+    def _resolve(self, var: Hashable) -> int:
+        """Accept either a known label or an in-range raw index.
+
+        Label lookup takes precedence: a model whose labels are themselves
+        integers (e.g. hardware qubit ids) must resolve them as labels, not
+        as positional indices.
+        """
+        try:
+            if var in self._index:
+                return self._index[var]
+        except TypeError:
+            pass  # unhashable: cannot be a label
+        if isinstance(var, (int, np.integer)) and 0 <= int(var) < len(self._labels):
+            return int(var)
+        raise ReproError(f"unknown QUBO variable {var!r}")
+
+    # -- coefficient accumulation ---------------------------------------------
+
+    def add_linear(self, var: Hashable, coeff: float) -> "QuboModel":
+        """Add ``coeff * x_var``."""
+        i = self._resolve(var)
+        self.linear[i] = self.linear.get(i, 0.0) + float(coeff)
+        return self
+
+    def add_quadratic(self, u: Hashable, v: Hashable, coeff: float) -> "QuboModel":
+        """Add ``coeff * x_u x_v`` (u != v; coefficients are merged)."""
+        i, j = self._resolve(u), self._resolve(v)
+        if i == j:
+            # x^2 == x for binary variables.
+            return self.add_linear(i, coeff)
+        key = (min(i, j), max(i, j))
+        self.quadratic[key] = self.quadratic.get(key, 0.0) + float(coeff)
+        return self
+
+    def add_offset(self, value: float) -> "QuboModel":
+        self.offset += float(value)
+        return self
+
+    def scale(self, factor: float) -> "QuboModel":
+        """Multiply every coefficient (and the offset) by ``factor``."""
+        self.linear = {i: v * factor for i, v in self.linear.items()}
+        self.quadratic = {k: v * factor for k, v in self.quadratic.items()}
+        self.offset *= factor
+        return self
+
+    # -- evaluation ------------------------------------------------------------
+
+    def energy(self, bits: "Sequence[int] | np.ndarray | Mapping[Hashable, int]") -> float:
+        """Energy of one assignment.
+
+        ``bits`` is either an array in index order or a mapping from labels
+        (or indices) to {0, 1}.
+        """
+        x = self._as_array(bits)
+        e = self.offset
+        for i, a in self.linear.items():
+            e += a * x[i]
+        for (i, j), b in self.quadratic.items():
+            e += b * x[i] * x[j]
+        return float(e)
+
+    def energies(self, assignments: np.ndarray) -> np.ndarray:
+        """Vectorised energies for a ``(batch, n)`` 0/1 matrix."""
+        X = np.asarray(assignments, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.num_variables:
+            raise ReproError("assignments must have shape (batch, num_variables)")
+        e = np.full(X.shape[0], self.offset, dtype=float)
+        for i, a in self.linear.items():
+            e += a * X[:, i]
+        for (i, j), b in self.quadratic.items():
+            e += b * X[:, i] * X[:, j]
+        return e
+
+    def _as_array(self, bits) -> np.ndarray:
+        if isinstance(bits, Mapping):
+            x = np.zeros(self.num_variables)
+            for k, v in bits.items():
+                x[self._resolve(k)] = v
+            return x
+        x = np.asarray(bits, dtype=float)
+        if x.shape != (self.num_variables,):
+            raise ReproError(
+                f"assignment of length {x.shape} does not match {self.num_variables} variables"
+            )
+        return x
+
+    def decode(self, bits: "Sequence[int] | np.ndarray") -> dict[Hashable, int]:
+        """Map an index-ordered assignment back to ``{label: bit}``."""
+        return {label: int(b) for label, b in zip(self._labels, bits)}
+
+    # -- matrix / graph views ----------------------------------------------------
+
+    def to_dense(self) -> tuple[np.ndarray, float]:
+        """Upper-triangular coefficient matrix (diagonal = linear) + offset."""
+        n = self.num_variables
+        Q = np.zeros((n, n))
+        for i, a in self.linear.items():
+            Q[i, i] = a
+        for (i, j), b in self.quadratic.items():
+            Q[i, j] = b
+        return Q, self.offset
+
+    def symmetric_couplings(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(a, S)``: linear vector and symmetric off-diagonal matrix.
+
+        ``energy(x) = a.x + 0.5 * x.S.x + offset`` with ``S_ij = S_ji = b_ij``
+        and zero diagonal — the form the annealing solvers consume for O(n)
+        single-flip energy deltas.
+        """
+        n = self.num_variables
+        a = np.zeros(n)
+        S = np.zeros((n, n))
+        for i, v in self.linear.items():
+            a[i] = v
+        for (i, j), b in self.quadratic.items():
+            S[i, j] = b
+            S[j, i] = b
+        return a, S
+
+    def interaction_graph(self) -> nx.Graph:
+        """Graph with one node per variable and edges for nonzero couplings."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_variables))
+        for (i, j), b in self.quadratic.items():
+            if b != 0.0:
+                g.add_edge(i, j, weight=b)
+        return g
+
+    def max_abs_coefficient(self) -> float:
+        """Largest absolute linear/quadratic coefficient (0 if empty)."""
+        values = [abs(v) for v in self.linear.values()]
+        values += [abs(v) for v in self.quadratic.values()]
+        return max(values, default=0.0)
+
+    # -- conversions ---------------------------------------------------------------
+
+    def to_ising(self):
+        """The equivalent :class:`~repro.quantum.pauli.IsingHamiltonian`."""
+        from repro.qubo.ising import qubo_to_ising
+
+        return qubo_to_ising(self)
+
+    def copy(self) -> "QuboModel":
+        dup = QuboModel()
+        dup._labels = list(self._labels)
+        dup._index = dict(self._index)
+        dup.linear = dict(self.linear)
+        dup.quadratic = dict(self.quadratic)
+        dup.offset = self.offset
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuboModel({self.num_variables} vars, {len(self.quadratic)} couplings, "
+            f"offset={self.offset:.4g})"
+        )

@@ -1,0 +1,78 @@
+"""Penalty-term builders for encoding constraints into QUBOs.
+
+These are the building blocks every Table I mapping uses: Trummer & Koch's
+"exactly one plan per query", Fritsch & Scherzinger's one-to-one matching
+constraints, and Bittner & Groppe's slot-assignment constraints are all
+instances of :func:`add_exactly_one` / :func:`add_at_most_one`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.qubo.model import QuboModel
+
+
+def add_exactly_one(model: QuboModel, variables: Sequence[Hashable], weight: float) -> QuboModel:
+    """Add ``weight * (1 - sum x_i)^2``: zero iff exactly one is set.
+
+    Expansion (using ``x^2 = x``): offset ``+w``, linear ``-w`` each,
+    quadratic ``+2w`` per pair.
+    """
+    if not variables:
+        raise ValueError("exactly-one constraint over no variables is unsatisfiable")
+    model.add_offset(weight)
+    vs = list(variables)
+    for v in vs:
+        model.add_linear(v, -weight)
+    for i in range(len(vs)):
+        for j in range(i + 1, len(vs)):
+            model.add_quadratic(vs[i], vs[j], 2.0 * weight)
+    return model
+
+
+def add_at_most_one(model: QuboModel, variables: Sequence[Hashable], weight: float) -> QuboModel:
+    """Add ``weight * sum_{i<j} x_i x_j``: zero iff at most one is set."""
+    vs = list(variables)
+    for i in range(len(vs)):
+        for j in range(i + 1, len(vs)):
+            model.add_quadratic(vs[i], vs[j], weight)
+    return model
+
+
+def add_equality(model: QuboModel, variables: Sequence[Hashable], target: int, weight: float) -> QuboModel:
+    """Add ``weight * (target - sum x_i)^2``."""
+    vs = list(variables)
+    model.add_offset(weight * target * target)
+    for v in vs:
+        model.add_linear(v, weight * (1.0 - 2.0 * target))
+    for i in range(len(vs)):
+        for j in range(i + 1, len(vs)):
+            model.add_quadratic(vs[i], vs[j], 2.0 * weight)
+    return model
+
+
+def add_implication(model: QuboModel, antecedent: Hashable, consequent: Hashable, weight: float) -> QuboModel:
+    """Add ``weight * x_a (1 - x_b)``: penalises ``a`` set without ``b``."""
+    model.add_linear(antecedent, weight)
+    model.add_quadratic(antecedent, consequent, -weight)
+    return model
+
+
+def add_forbid_pair(model: QuboModel, u: Hashable, v: Hashable, weight: float) -> QuboModel:
+    """Add ``weight * x_u x_v``: penalises setting both."""
+    model.add_quadratic(u, v, weight)
+    return model
+
+
+def suggest_penalty_weight(model: QuboModel, margin: float = 1.0) -> float:
+    """A safe constraint weight for the current objective terms.
+
+    Any single constraint violation must cost more than the largest possible
+    objective swing; the sum of absolute coefficients is a (loose but safe)
+    upper bound on that swing.
+    """
+    swing = sum(abs(v) for v in model.linear.values())
+    swing += sum(abs(v) for v in model.quadratic.values())
+    swing += abs(model.offset)
+    return swing + margin

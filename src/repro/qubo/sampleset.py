@@ -1,0 +1,88 @@
+"""Solution containers shared by every QUBO solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One solution: an assignment, its energy and a multiplicity."""
+
+    bits: tuple[int, ...]
+    energy: float
+    num_occurrences: int = 1
+
+    def as_array(self) -> np.ndarray:
+        return np.array(self.bits, dtype=int)
+
+
+class SampleSet:
+    """Energy-sorted collection of :class:`Sample` records.
+
+    Mirrors the result object shape of real annealer SDKs: iterate lowest
+    energy first, aggregate duplicates, and optionally decode assignments
+    back to the model's variable labels.
+    """
+
+    def __init__(self, samples: Sequence[Sample], info: "dict | None" = None):
+        merged: dict[tuple[int, ...], Sample] = {}
+        for s in samples:
+            if s.bits in merged:
+                old = merged[s.bits]
+                merged[s.bits] = Sample(s.bits, old.energy, old.num_occurrences + s.num_occurrences)
+            else:
+                merged[s.bits] = s
+        self._samples = sorted(merged.values(), key=lambda s: (s.energy, s.bits))
+        self.info = dict(info or {})
+
+    @classmethod
+    def from_arrays(cls, assignments: np.ndarray, energies: np.ndarray, info: "dict | None" = None) -> "SampleSet":
+        samples = [
+            Sample(tuple(int(b) for b in row), float(e))
+            for row, e in zip(np.asarray(assignments, dtype=int), energies)
+        ]
+        return cls(samples, info=info)
+
+    # -- access ----------------------------------------------------------------
+
+    @property
+    def best(self) -> Sample:
+        """The lowest-energy sample."""
+        if not self._samples:
+            raise IndexError("empty sample set")
+        return self._samples[0]
+
+    def best_energy(self) -> float:
+        return self.best.energy
+
+    def best_bits(self) -> np.ndarray:
+        return self.best.as_array()
+
+    def decode_best(self, model) -> dict[Hashable, int]:
+        """Best assignment as ``{label: bit}`` for the given model."""
+        return model.decode(self.best.bits)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __getitem__(self, i: int) -> Sample:
+        return self._samples[i]
+
+    def truncate(self, k: int) -> "SampleSet":
+        """Keep only the ``k`` lowest-energy samples."""
+        return SampleSet(self._samples[:k], info=self.info)
+
+    def energies(self) -> np.ndarray:
+        return np.array([s.energy for s in self._samples])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self._samples:
+            return "SampleSet(empty)"
+        return f"SampleSet({len(self._samples)} samples, best={self.best.energy:.6g})"

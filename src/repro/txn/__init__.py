@@ -1,0 +1,25 @@
+"""Transaction management on quantum computers (Table I rows [29]-[31]).
+
+* :mod:`.qubo` — the Bittner & Groppe slot-assignment QUBO: avoid 2PL
+  blocking by never co-scheduling conflicting transactions [29], [30];
+* :mod:`.grover_scheduler` — the Groppe & Groppe approach: generate a
+  Grover oracle over encoded schedules and search for (minimum-makespan)
+  conflict-free schedules [31];
+* :mod:`.classical` — greedy graph-coloring and exhaustive baselines.
+"""
+
+from repro.txn.classical import exhaustive_schedule, greedy_coloring_schedule
+from repro.txn.generator import generate_transactions
+from repro.txn.grover_scheduler import GroverScheduleResult, grover_find_schedule, grover_minimum_makespan
+from repro.txn.qubo import decode_assignment, schedule_to_qubo
+
+__all__ = [
+    "exhaustive_schedule",
+    "greedy_coloring_schedule",
+    "generate_transactions",
+    "GroverScheduleResult",
+    "grover_find_schedule",
+    "grover_minimum_makespan",
+    "decode_assignment",
+    "schedule_to_qubo",
+]

@@ -1,0 +1,64 @@
+"""Classical transaction-scheduling baselines."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import networkx as nx
+
+from repro.db.transactions import Transaction
+from repro.exceptions import ReproError
+from repro.txn.qubo import assignment_conflicts, assignment_makespan
+
+
+def conflict_graph_of(transactions: Sequence[Transaction]) -> nx.Graph:
+    """Undirected conflict graph (nodes = transactions)."""
+    g = nx.Graph()
+    txns = list(transactions)
+    g.add_nodes_from(t.txn_id for t in txns)
+    for i, a in enumerate(txns):
+        for b in txns[i + 1 :]:
+            if a.conflicts_with(b):
+                g.add_edge(a.txn_id, b.txn_id)
+    return g
+
+
+def greedy_coloring_schedule(transactions: Sequence[Transaction]) -> dict[str, int]:
+    """First-fit colouring of the conflict graph: slots = colours.
+
+    Conflict-free by construction; the number of slots used is at most
+    ``max_degree + 1``.
+    """
+    g = conflict_graph_of(transactions)
+    coloring = nx.coloring.greedy_color(g, strategy="largest_first")
+    return {t.txn_id: coloring[t.txn_id] for t in transactions}
+
+
+def exhaustive_schedule(
+    transactions: Sequence[Transaction],
+    num_slots: int,
+    max_space: int = 2_000_000,
+) -> tuple["dict[str, int] | None", "int | None", int]:
+    """Enumerate all assignments; returns (best, makespan, states_checked).
+
+    Exact minimum-makespan conflict-free schedule, or ``(None, None, n)``
+    when no conflict-free schedule exists within ``num_slots`` slots.
+    """
+    txns = list(transactions)
+    space = num_slots ** len(txns)
+    if space > max_space:
+        raise ReproError(f"search space {space} exceeds limit {max_space}")
+    best = None
+    best_makespan = None
+    checked = 0
+    for combo in itertools.product(range(num_slots), repeat=len(txns)):
+        checked += 1
+        assignment = {t.txn_id: s for t, s in zip(txns, combo)}
+        if assignment_conflicts(txns, assignment) != 0:
+            continue
+        makespan = assignment_makespan(txns, assignment)
+        if best_makespan is None or makespan < best_makespan:
+            best = assignment
+            best_makespan = makespan
+    return best, best_makespan, checked

@@ -1,0 +1,35 @@
+"""Synthetic transaction workload generator."""
+
+from __future__ import annotations
+
+from repro.db.transactions import Transaction
+from repro.exceptions import ReproError
+from repro.utils.rngtools import ensure_rng
+
+
+def generate_transactions(
+    num_transactions: int,
+    num_items: int = 6,
+    ops_per_transaction: tuple[int, int] = (2, 4),
+    write_probability: float = 0.5,
+    rng=None,
+) -> list[Transaction]:
+    """Random read/write transactions over a shared item pool.
+
+    Conflict density is controlled by ``num_items``: fewer items => more
+    transactions touch the same data => denser conflict graph.
+    """
+    if num_transactions < 1 or num_items < 1:
+        raise ReproError("need at least one transaction and one item")
+    rng = ensure_rng(rng)
+    lo, hi = ops_per_transaction
+    transactions = []
+    for t in range(num_transactions):
+        count = int(rng.integers(lo, hi + 1))
+        items = rng.choice(num_items, size=min(count, num_items), replace=False)
+        ops = []
+        for item in items:
+            kind = "w" if rng.random() < write_probability else "r"
+            ops.append(f"{kind}(x{item})")
+        transactions.append(Transaction.from_string(f"T{t}", " ".join(ops)))
+    return transactions

@@ -1,0 +1,21 @@
+"""Shared utilities: bit manipulation, RNG handling, ASCII report tables."""
+
+from repro.utils.bits import (
+    bits_to_index,
+    bitstring_to_index,
+    index_to_bits,
+    index_to_bitstring,
+    parity,
+)
+from repro.utils.rngtools import ensure_rng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "bits_to_index",
+    "bitstring_to_index",
+    "index_to_bits",
+    "index_to_bitstring",
+    "parity",
+    "ensure_rng",
+    "format_table",
+]

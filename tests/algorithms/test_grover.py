@@ -1,0 +1,184 @@
+"""Tests for Grover search, BBHT and Durr-Hoyer minimum finding."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.grover import (
+    CountingOracle,
+    GroverSearch,
+    classical_minimum,
+    classical_search,
+    diffusion,
+    durr_hoyer_minimum,
+    optimal_iterations,
+)
+from repro.exceptions import SimulationError
+from repro.quantum.state import Statevector
+
+
+class TestOracle:
+    def test_marks_phase(self):
+        oracle = CountingOracle([2], 2)
+        state = Statevector.uniform_superposition(2)
+        oracle.apply(state)
+        assert state.data[2].real < 0
+        assert state.data[0].real > 0
+
+    def test_counts_calls(self):
+        oracle = CountingOracle([0], 1)
+        state = Statevector.uniform_superposition(1)
+        oracle.apply(state)
+        oracle.apply(state)
+        assert oracle.calls == 2
+        oracle.classify(0)
+        assert oracle.calls == 3
+        oracle.reset()
+        assert oracle.calls == 0
+
+    def test_from_predicate(self):
+        oracle = CountingOracle.from_predicate(lambda i: i % 3 == 0, 3)
+        assert oracle.marked == {0, 3, 6}
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SimulationError):
+            CountingOracle([8], 3)
+
+
+class TestDiffusion:
+    def test_diffusion_is_inversion_about_mean(self):
+        state = Statevector.uniform_superposition(2)
+        state.apply_diagonal(np.array([1.0, -1.0, 1.0, 1.0]))
+        diffusion(state)
+        # Classic n=2 case: one Grover iteration finds the target exactly.
+        assert state.probability(1) == pytest.approx(1.0)
+
+    def test_diffusion_preserves_norm(self):
+        gen = np.random.default_rng(0)
+        data = gen.normal(size=8) + 1j * gen.normal(size=8)
+        state = Statevector(data)
+        diffusion(state)
+        assert state.norm() == pytest.approx(1.0)
+
+
+class TestOptimalIterations:
+    def test_known_values(self):
+        # N=4, M=1: angle=pi/6, pi/(4*pi/6)=1.5 -> 1 iteration.
+        assert optimal_iterations(4, 1) == 1
+        assert optimal_iterations(16, 1) == 3
+        assert optimal_iterations(1024, 1) == 25
+
+    def test_scaling_sqrt(self):
+        # Iterations grow like sqrt(N).
+        i1 = optimal_iterations(2**8, 1)
+        i2 = optimal_iterations(2**10, 1)
+        assert i2 / i1 == pytest.approx(2.0, rel=0.15)
+
+    def test_all_marked(self):
+        assert optimal_iterations(8, 8) == 0
+
+    def test_rejects_zero_marked(self):
+        with pytest.raises(SimulationError):
+            optimal_iterations(8, 0)
+
+
+class TestGroverSearch:
+    def test_high_success_probability(self):
+        oracle = CountingOracle([13], 6)
+        search = GroverSearch(oracle)
+        assert search.success_probability(optimal_iterations(64, 1)) > 0.95
+
+    def test_run_finds_target(self, rng):
+        oracle = CountingOracle([42], 7)
+        result = GroverSearch(oracle).run(rng=rng)
+        assert result.found
+        assert result.found_index == 42
+        assert result.oracle_calls == result.iterations
+
+    def test_quadratic_speedup_shape(self):
+        """Oracle calls ~ (pi/4) sqrt(N) vs classical ~ N/2."""
+        for n in (6, 8, 10):
+            N = 2**n
+            iters = optimal_iterations(N, 1)
+            assert iters <= math.ceil(math.pi / 4 * math.sqrt(N))
+            assert iters >= math.floor(math.pi / 4 * math.sqrt(N)) - 1
+
+    def test_multiple_marked(self, rng):
+        oracle = CountingOracle([3, 17, 40], 6)
+        result = GroverSearch(oracle).run(rng=rng)
+        assert result.success_probability > 0.9
+
+    def test_found_bitstring(self, rng):
+        oracle = CountingOracle([5], 4)
+        result = GroverSearch(oracle).run(rng=rng)
+        assert result.found_bitstring == "0101"
+
+    def test_bbht_unknown_count(self, rng):
+        oracle = CountingOracle([9, 33], 7)
+        result = GroverSearch(oracle).search_unknown_count(rng=rng)
+        assert result.found
+        assert result.found_index in (9, 33)
+
+    def test_bbht_gives_up_on_empty(self, rng):
+        oracle = CountingOracle([], 4)
+        result = GroverSearch(oracle).search_unknown_count(rng=rng, max_rounds=6)
+        assert not result.found
+
+
+class TestClassicalBaselines:
+    def test_classical_search_counts_queries(self, rng):
+        oracle = CountingOracle([7], 5)
+        idx, calls = classical_search(oracle, rng=rng)
+        assert idx == 7
+        assert 1 <= calls <= 32
+
+    def test_classical_expected_half(self):
+        # Average over seeds should be close to N/2.
+        totals = []
+        for seed in range(30):
+            oracle = CountingOracle([11], 6)
+            _, calls = classical_search(oracle, rng=seed)
+            totals.append(calls)
+        assert np.mean(totals) == pytest.approx(32, rel=0.4)
+
+    def test_classical_minimum(self):
+        idx, comparisons = classical_minimum([3.0, 1.0, 2.0])
+        assert idx == 1
+        assert comparisons == 2
+
+    def test_classical_minimum_empty(self):
+        with pytest.raises(SimulationError):
+            classical_minimum([])
+
+
+class TestMinimumFinding:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_durr_hoyer_finds_minimum(self, seed):
+        values = np.random.default_rng(seed).random(40)
+        idx, _ = durr_hoyer_minimum(values, rng=seed)
+        assert idx == int(np.argmin(values))
+
+    def test_durr_hoyer_fewer_calls_at_scale(self):
+        values = np.random.default_rng(1).random(256)
+        _, qcalls = durr_hoyer_minimum(values, rng=0)
+        _, ccalls = classical_minimum(values)
+        assert qcalls < ccalls
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            durr_hoyer_minimum([])
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=10**9))
+def test_property_grover_beats_uniform(n, seed):
+    """After optimal iterations the marked state is above uniform probability."""
+    rng = np.random.default_rng(seed)
+    target = int(rng.integers(0, 2**n))
+    oracle = CountingOracle([target], n)
+    prob = GroverSearch(oracle).success_probability(optimal_iterations(2**n, 1))
+    assert prob > 1.0 / 2**n
+    assert prob > 0.5

@@ -1,0 +1,154 @@
+"""Tests for Chimera topology, minor embedding and the device pipeline."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.annealing.chimera import chimera_graph, chimera_node
+from repro.annealing.device import AnnealerDevice
+from repro.annealing.embedding import (
+    embed_qubo,
+    find_embedding,
+    unembed_sampleset,
+    verify_embedding,
+)
+from repro.exceptions import EmbeddingError, ReproError
+from repro.qubo.bruteforce import BruteForceSolver
+from repro.qubo.model import QuboModel
+
+
+class TestChimera:
+    def test_node_count(self):
+        g = chimera_graph(2, 2, 4)
+        assert g.number_of_nodes() == 2 * 2 * 2 * 4
+
+    def test_edge_count(self):
+        # C(m,n,t): m*n*t^2 internal + (m-1)*n*t vertical + m*(n-1)*t horizontal.
+        m, n, t = 3, 2, 4
+        g = chimera_graph(m, n, t)
+        expected = m * n * t * t + (m - 1) * n * t + m * (n - 1) * t
+        assert g.number_of_edges() == expected
+
+    def test_cell_is_bipartite_complete(self):
+        g = chimera_graph(1, 1, 4)
+        for k0 in range(4):
+            for k1 in range(4):
+                assert g.has_edge(chimera_node(0, 0, 0, k0, 1, 4), chimera_node(0, 0, 1, k1, 1, 4))
+        # no intra-side edges
+        assert not g.has_edge(chimera_node(0, 0, 0, 0, 1, 4), chimera_node(0, 0, 0, 1, 1, 4))
+
+    def test_inter_cell_couplers(self):
+        g = chimera_graph(2, 2, 2)
+        n, t = 2, 2
+        assert g.has_edge(chimera_node(0, 0, 0, 1, n, t), chimera_node(1, 0, 0, 1, n, t))
+        assert g.has_edge(chimera_node(0, 0, 1, 0, n, t), chimera_node(0, 1, 1, 0, n, t))
+
+    def test_default_square(self):
+        assert chimera_graph(2).number_of_nodes() == 2 * 2 * 2 * 4
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ReproError):
+            chimera_graph(0)
+
+
+class TestEmbedding:
+    def test_triangle_into_chimera(self):
+        # K3 does not fit Chimera natively (bipartite cells): needs a chain.
+        source = nx.complete_graph(3)
+        target = chimera_graph(1, 1, 4)
+        emb = find_embedding(source, target, rng=0)
+        assert verify_embedding(source, target, emb)
+        assert sum(len(c) for c in emb.values()) >= 4  # at least one chain of 2
+
+    def test_k5_into_chimera(self):
+        source = nx.complete_graph(5)
+        target = chimera_graph(2, 2, 4)
+        emb = find_embedding(source, target, rng=1)
+        assert verify_embedding(source, target, emb)
+
+    def test_too_large_source_rejected(self):
+        with pytest.raises(EmbeddingError):
+            find_embedding(nx.complete_graph(10), nx.path_graph(3), rng=0)
+
+    def test_impossible_embedding_raises(self):
+        # A triangle cannot embed into a 3-path (tree has no cycle room).
+        with pytest.raises(EmbeddingError):
+            find_embedding(nx.complete_graph(3), nx.path_graph(3), rng=0, tries=4)
+
+    def test_empty_source(self):
+        assert find_embedding(nx.Graph(), chimera_graph(1), rng=0) == {}
+
+    def test_verify_rejects_overlapping_chains(self):
+        source = nx.path_graph(2)
+        target = nx.path_graph(3)
+        bad = {0: [0, 1], 1: [1, 2]}
+        assert not verify_embedding(source, target, bad)
+
+    def test_verify_rejects_disconnected_chain(self):
+        source = nx.Graph()
+        source.add_node(0)
+        target = nx.path_graph(4)
+        assert not verify_embedding(source, target, {0: [0, 3]})
+
+
+class TestEmbedSolveUnembed:
+    def _model(self):
+        m = QuboModel(3)
+        m.add_linear(0, -1.0).add_linear(1, 0.5).add_linear(2, 0.5)
+        m.add_quadratic(0, 1, 1.0).add_quadratic(1, 2, -2.0).add_quadratic(0, 2, 1.0)
+        return m
+
+    def test_hardware_model_preserves_optimum(self):
+        m = self._model()
+        target = chimera_graph(1, 1, 4)
+        emb = find_embedding(m.interaction_graph(), target, rng=0)
+        hw = embed_qubo(m, emb, target)
+        hw_best = BruteForceSolver(max_variables=20).solve(hw)
+        exact = BruteForceSolver().solve(m).best_energy()
+        # With a dominating chain strength the hardware ground energy equals
+        # the logical ground energy (intact chains incur zero penalty).
+        assert hw_best.best_energy() == pytest.approx(exact)
+        logical = unembed_sampleset(hw_best, emb, hw, m)
+        assert logical.best_energy() == pytest.approx(exact)
+        assert 0.0 <= logical.info["chain_break_fraction"] <= 1.0
+
+    def test_missing_coupler_raises(self):
+        m = QuboModel(2)
+        m.add_quadratic(0, 1, 1.0)
+        target = nx.Graph()
+        target.add_nodes_from([10, 11])  # no edges at all
+        with pytest.raises(EmbeddingError):
+            embed_qubo(m, {0: [10], 1: [11]}, target)
+
+
+class TestDevice:
+    def test_device_reaches_optimum(self):
+        rng = np.random.default_rng(3)
+        m = QuboModel(6)
+        for i in range(6):
+            m.add_linear(i, float(rng.normal()))
+        for i in range(6):
+            for j in range(i + 1, 6):
+                if rng.random() < 0.5:
+                    m.add_quadratic(i, j, float(rng.normal()))
+        exact = BruteForceSolver().solve(m).best_energy()
+        for sampler in ("sa", "sqa"):
+            dev = AnnealerDevice(sampler=sampler, num_reads=12, num_sweeps=150)
+            res = dev.sample(m, rng=7)
+            assert res.best_energy() == pytest.approx(exact, abs=1e-9), sampler
+            assert res.info["sampler"] == sampler
+            assert res.info["max_chain_length"] >= 1
+
+    def test_unknown_sampler(self):
+        with pytest.raises(ValueError):
+            AnnealerDevice(sampler="magic")
+
+    def test_sample_unembedded(self):
+        m = QuboModel(3)
+        m.add_linear(0, -1.0)
+        dev = AnnealerDevice(sampler="sa", num_reads=4, num_sweeps=30)
+        res = dev.sample_unembedded(m, rng=0)
+        assert res.best_energy() == pytest.approx(-1.0)
+
+    def test_num_qubits(self):
+        assert AnnealerDevice().num_qubits == 128

@@ -1,0 +1,237 @@
+"""Tests for join graphs, the cost model, join trees and DP optimizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.cost import CostModel
+from repro.db.dp import (
+    dp_optimal_bushy,
+    dp_optimal_leftdeep,
+    greedy_operator_ordering,
+    random_order,
+)
+from repro.db.generator import chain_query, clique_query, cycle_query, random_query, star_query
+from repro.db.plans import (
+    JoinTree,
+    all_leftdeep_orders,
+    leftdeep_tree_from_order,
+    tree_from_edge_sequence,
+)
+from repro.db.query import JoinGraph
+from repro.exceptions import ReproError
+
+
+def _simple_graph():
+    return JoinGraph.build(
+        {"A": 100, "B": 200, "C": 50},
+        {("A", "B"): 0.01, ("B", "C"): 0.1},
+    )
+
+
+class TestJoinGraph:
+    def test_build(self):
+        jg = _simple_graph()
+        assert jg.num_relations == 3
+        assert jg.cardinality("B") == 200
+        assert jg.selectivity("A", "B") == 0.01
+        assert jg.selectivity("A", "C") == 1.0  # no predicate
+        assert jg.has_join("B", "C")
+        assert not jg.has_join("A", "C")
+
+    def test_neighbors(self):
+        assert _simple_graph().neighbors("B") == ["A", "C"]
+
+    def test_connectivity(self):
+        jg = _simple_graph()
+        assert jg.is_connected()
+        assert jg.is_acyclic()
+        assert jg.connects({"A"}, {"B", "C"})
+        assert not jg.connects({"A"}, {"C"})
+
+    def test_validation(self):
+        jg = JoinGraph()
+        with pytest.raises(ReproError):
+            jg.add_relation("A", 0)
+        jg.add_relation("A", 10)
+        jg.add_relation("B", 10)
+        with pytest.raises(ReproError):
+            jg.add_join("A", "A", 0.5)
+        with pytest.raises(ReproError):
+            jg.add_join("A", "Z", 0.5)
+        with pytest.raises(ReproError):
+            jg.add_join("A", "B", 0.0)
+
+
+class TestCostModel:
+    def test_pair_cardinality(self):
+        cm = CostModel(_simple_graph())
+        assert cm.set_cardinality({"A", "B"}) == pytest.approx(100 * 200 * 0.01)
+        assert cm.set_cardinality({"A", "C"}) == pytest.approx(100 * 50)
+
+    def test_full_cardinality_applies_all_predicates(self):
+        cm = CostModel(_simple_graph())
+        assert cm.set_cardinality({"A", "B", "C"}) == pytest.approx(100 * 200 * 50 * 0.01 * 0.1)
+
+    def test_cost_leftdeep(self):
+        cm = CostModel(_simple_graph())
+        tree = leftdeep_tree_from_order(["A", "B", "C"])
+        expected = cm.set_cardinality({"A", "B"}) + cm.set_cardinality({"A", "B", "C"})
+        assert cm.cost(tree) == pytest.approx(expected)
+
+    def test_cost_of_order(self):
+        cm = CostModel(_simple_graph())
+        assert cm.cost_of_order(["A", "B", "C"]) == pytest.approx(
+            cm.cost(leftdeep_tree_from_order(["A", "B", "C"]))
+        )
+
+    def test_log_cost_monotone_with_cost_for_same_shape(self):
+        cm = CostModel(_simple_graph())
+        a = cm.log_cost(leftdeep_tree_from_order(["A", "B", "C"]))
+        b = cm.log_cost(leftdeep_tree_from_order(["C", "A", "B"]))
+        assert a != b
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ReproError):
+            CostModel(_simple_graph()).set_cardinality([])
+
+
+class TestJoinTree:
+    def test_leaf(self):
+        leaf = JoinTree.leaf("A")
+        assert leaf.is_leaf
+        assert leaf.relations() == frozenset({"A"})
+        assert leaf.is_left_deep()
+
+    def test_join_structure(self):
+        t = JoinTree.join(JoinTree.leaf("A"), JoinTree.leaf("B"))
+        assert not t.is_leaf
+        assert t.relations() == frozenset({"A", "B"})
+        assert t.depth() == 1
+
+    def test_overlapping_children_rejected(self):
+        with pytest.raises(ReproError):
+            JoinTree.join(JoinTree.leaf("A"), JoinTree.leaf("A"))
+
+    def test_leftdeep_from_order(self):
+        t = leftdeep_tree_from_order(["A", "B", "C"])
+        assert t.is_left_deep()
+        assert t.leaves_in_order() == ["A", "B", "C"]
+        assert len(list(t.inner_nodes())) == 2
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ReproError):
+            leftdeep_tree_from_order(["A", "A"])
+
+    def test_bushy_is_not_leftdeep(self):
+        ab = JoinTree.join(JoinTree.leaf("A"), JoinTree.leaf("B"))
+        cd = JoinTree.join(JoinTree.leaf("C"), JoinTree.leaf("D"))
+        bushy = JoinTree.join(ab, cd)
+        assert not bushy.is_left_deep()
+        assert bushy.depth() == 2
+
+    def test_equality_and_hash(self):
+        a = leftdeep_tree_from_order(["A", "B"])
+        b = leftdeep_tree_from_order(["A", "B"])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_edge_sequence_tree(self):
+        t = tree_from_edge_sequence([("A", "B"), ("B", "C")], ["A", "B", "C"])
+        assert t.relations() == frozenset({"A", "B", "C"})
+
+    def test_edge_sequence_incomplete(self):
+        with pytest.raises(ReproError):
+            tree_from_edge_sequence([("A", "B")], ["A", "B", "C"])
+
+    def test_edge_sequence_skips_redundant(self):
+        t = tree_from_edge_sequence(
+            [("A", "B"), ("A", "B"), ("B", "C")], ["A", "B", "C"]
+        )
+        assert t.relations() == frozenset({"A", "B", "C"})
+
+
+class TestOptimizers:
+    def test_dp_beats_or_ties_everything(self):
+        for seed in range(4):
+            jg = chain_query(6, rng=seed)
+            cm = CostModel(jg)
+            _, bushy = dp_optimal_bushy(jg, cm)
+            _, leftdeep = dp_optimal_leftdeep(jg, cm)
+            _, greedy = greedy_operator_ordering(jg, cm)
+            _, rand = random_order(jg, rng=seed, cost_model=cm)
+            assert bushy <= leftdeep + 1e-9
+            assert leftdeep <= rand * (1 + 1e-9)
+            assert bushy <= greedy + 1e-9
+
+    def test_leftdeep_dp_matches_exhaustive(self):
+        jg = cycle_query(5, rng=3)
+        cm = CostModel(jg)
+        _, dp_cost = dp_optimal_leftdeep(jg, cm)
+        best = min(cm.cost_of_order(order) for order in all_leftdeep_orders(jg.relations))
+        assert dp_cost == pytest.approx(best)
+
+    def test_star_query_bushy_equals_leftdeep(self):
+        # On a star, every join must involve the hub: bushy = left-deep.
+        jg = star_query(5, rng=1)
+        cm = CostModel(jg)
+        _, bushy = dp_optimal_bushy(jg, cm)
+        _, leftdeep = dp_optimal_leftdeep(jg, cm)
+        assert bushy == pytest.approx(leftdeep)
+
+    def test_size_limit(self):
+        jg = chain_query(6, rng=0)
+        with pytest.raises(ReproError):
+            dp_optimal_bushy(jg, max_relations=4)
+
+    def test_greedy_valid_tree(self):
+        jg = clique_query(5, rng=2)
+        tree, cost = greedy_operator_ordering(jg)
+        assert tree.relations() == frozenset(jg.relations)
+        assert cost > 0
+
+
+class TestGenerators:
+    def test_chain_shape(self):
+        jg = chain_query(5, rng=0)
+        assert jg.num_relations == 5
+        assert len(jg.edges) == 4
+        assert jg.is_acyclic()
+
+    def test_star_shape(self):
+        jg = star_query(5, rng=0)
+        assert len(jg.edges) == 4
+        assert all("R0" in e for e in jg.edges)
+
+    def test_cycle_shape(self):
+        jg = cycle_query(5, rng=0)
+        assert len(jg.edges) == 5
+        assert not jg.is_acyclic()
+
+    def test_clique_shape(self):
+        jg = clique_query(5, rng=0)
+        assert len(jg.edges) == 10
+
+    def test_random_query_dispatch(self):
+        assert random_query(4, "star", rng=0).num_relations == 4
+        with pytest.raises(ReproError):
+            random_query(4, "mesh", rng=0)
+
+    def test_deterministic_given_seed(self):
+        a = chain_query(5, rng=42)
+        b = chain_query(5, rng=42)
+        assert [a.cardinality(r) for r in a.relations] == [
+            b.cardinality(r) for r in b.relations
+        ]
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=4, max_value=7), st.integers(min_value=0, max_value=10**6),
+       st.sampled_from(["chain", "star", "cycle"]))
+def test_property_dp_bushy_never_worse_than_leftdeep(n, seed, topology):
+    jg = random_query(n, topology, rng=seed)
+    cm = CostModel(jg)
+    _, bushy = dp_optimal_bushy(jg, cm)
+    _, leftdeep = dp_optimal_leftdeep(jg, cm)
+    assert bushy <= leftdeep * (1 + 1e-12) + 1e-9

@@ -1,0 +1,156 @@
+"""Tests for repro.db.relation and repro.db.catalog."""
+
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.db.relation import Relation
+from repro.exceptions import ReproError
+
+
+@pytest.fixture
+def users():
+    return Relation(
+        "users",
+        ["uid", "name", "city"],
+        [(1, "ann", "delft"), (2, "bob", "sf"), (3, "cat", "delft")],
+    )
+
+
+@pytest.fixture
+def orders():
+    return Relation(
+        "orders",
+        ["oid", "uid", "total"],
+        [(10, 1, 99.0), (11, 1, 5.0), (12, 2, 20.0)],
+    )
+
+
+class TestRelationBasics:
+    def test_construction(self, users):
+        assert users.cardinality == 3
+        assert users.columns == ("uid", "name", "city")
+
+    def test_needs_columns(self):
+        with pytest.raises(ReproError):
+            Relation("r", [])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ReproError):
+            Relation("r", ["a", "a"])
+
+    def test_insert_arity_checked(self, users):
+        with pytest.raises(ReproError):
+            users.insert((4, "dan"))
+
+    def test_delete(self, users):
+        removed = users.delete(lambda r: r[2] == "delft")
+        assert removed == 2
+        assert users.cardinality == 1
+
+    def test_update(self, users):
+        touched = users.update(lambda r: r[0] == 1, lambda r: (r[0], "ANN", r[2]))
+        assert touched == 1
+        assert ("ANN" in {r[1] for r in users.rows})
+
+    def test_distinct(self):
+        r = Relation("r", ["a"], [(1,), (1,), (2,)])
+        assert r.distinct().cardinality == 2
+
+
+class TestOperators:
+    def test_select(self, users):
+        delft = users.select(lambda r: r[2] == "delft")
+        assert delft.cardinality == 2
+
+    def test_select_eq(self, users):
+        assert users.select_eq("city", "sf").cardinality == 1
+
+    def test_project(self, users):
+        names = users.project(["name"])
+        assert names.columns == ("name",)
+        assert ("ann",) in names.rows
+
+    def test_project_reorders(self, users):
+        r = users.project(["city", "uid"])
+        assert r.rows[0] == ("delft", 1)
+
+    def test_unknown_column(self, users):
+        with pytest.raises(ReproError):
+            users.project(["nope"])
+
+    def test_hash_join(self, users, orders):
+        joined = users.hash_join(orders, "uid", "uid")
+        assert joined.cardinality == 3  # ann twice, bob once
+        # Columns are qualified.
+        assert "users.name" in joined.columns
+        assert "orders.total" in joined.columns
+
+    def test_hash_join_matches_nested_loop(self, users, orders):
+        ui = users.column_index("uid")
+        oi = orders.column_index("uid")
+        hj = users.hash_join(orders, "uid", "uid")
+        nlj = users.nested_loop_join(orders, lambda l, r: l[ui] == r[oi])
+        assert sorted(hj.rows) == sorted(nlj.rows)
+
+    def test_cross(self, users, orders):
+        assert users.cross(orders).cardinality == 9
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = Relation("a", ["x"], [(1,), (2,)])
+        b = Relation("b", ["x"], [(2,), (3,)])
+        assert sorted(a.union(b).rows) == [(1,), (2,), (3,)]
+
+    def test_intersect(self):
+        a = Relation("a", ["x"], [(1,), (2,), (2,)])
+        b = Relation("b", ["x"], [(2,), (3,)])
+        assert a.intersect(b).rows == [(2,)]
+
+    def test_difference(self):
+        a = Relation("a", ["x"], [(1,), (2,)])
+        b = Relation("b", ["x"], [(2,)])
+        assert a.difference(b).rows == [(1,)]
+
+    def test_incompatible_arity(self):
+        a = Relation("a", ["x"], [(1,)])
+        b = Relation("b", ["x", "y"], [(1, 2)])
+        with pytest.raises(ReproError):
+            a.union(b)
+
+
+class TestCatalog:
+    def test_add_table_stats(self):
+        cat = Catalog()
+        cat.add_table("t", 100, {"k": 50})
+        assert cat.stats("t").cardinality == 100
+        assert cat.stats("t").distinct("k") == 50
+        assert cat.stats("t").distinct("other") == 100
+
+    def test_add_relation_derives_stats(self, users):
+        cat = Catalog()
+        cat.add_relation(users)
+        assert cat.stats("users").cardinality == 3
+        assert cat.stats("users").distinct("city") == 2
+        assert cat.relation("users") is users
+
+    def test_unknown_table(self):
+        with pytest.raises(ReproError):
+            Catalog().stats("ghost")
+
+    def test_negative_cardinality(self):
+        with pytest.raises(ReproError):
+            Catalog().add_table("t", -1)
+
+    def test_equijoin_selectivity(self, users, orders):
+        cat = Catalog()
+        cat.add_relation(users)
+        cat.add_relation(orders)
+        sel = cat.equijoin_selectivity("users", "uid", "orders", "uid")
+        assert sel == pytest.approx(1.0 / 3.0)
+
+    def test_table_names(self, users):
+        cat = Catalog()
+        cat.add_relation(users)
+        cat.add_table("zzz", 5)
+        assert cat.table_names == ["users", "zzz"]

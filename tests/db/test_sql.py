@@ -1,0 +1,127 @@
+"""Tests for the SQL subset parser and executor."""
+
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.db.relation import Relation
+from repro.db.sql import ColumnRef, Condition, execute, parse_sql
+from repro.exceptions import ParseError, ReproError
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_relation(
+        Relation(
+            "users",
+            ["uid", "name", "city"],
+            [(1, "ann", "delft"), (2, "bob", "sf"), (3, "cat", "delft")],
+        )
+    )
+    cat.add_relation(
+        Relation(
+            "orders",
+            ["oid", "uid", "total"],
+            [(10, 1, 99.0), (11, 1, 5.0), (12, 2, 20.0)],
+        )
+    )
+    cat.add_relation(
+        Relation("items", ["oid", "sku"], [(10, "apple"), (12, "pear"), (12, "plum")])
+    )
+    return cat
+
+
+class TestParser:
+    def test_select_star(self):
+        q = parse_sql("SELECT * FROM users")
+        assert q.tables == ["users"]
+        assert q.projections is None
+        assert q.conditions == []
+
+    def test_projection_list(self):
+        q = parse_sql("SELECT name, users.city FROM users")
+        assert q.projections == [ColumnRef(None, "name"), ColumnRef("users", "city")]
+
+    def test_where_filter(self):
+        q = parse_sql("SELECT * FROM users WHERE city = 'delft'")
+        assert q.filter_conditions == [Condition(ColumnRef(None, "city"), "=", "delft")]
+
+    def test_where_join(self):
+        q = parse_sql("SELECT * FROM users, orders WHERE users.uid = orders.uid")
+        assert len(q.join_conditions) == 1
+        assert q.join_conditions[0].is_join
+
+    def test_numeric_literals(self):
+        q = parse_sql("SELECT * FROM orders WHERE total >= 20.5 AND oid != 3")
+        assert q.conditions[0].right == 20.5
+        assert q.conditions[1].right == 3
+
+    def test_keywords_case_insensitive(self):
+        q = parse_sql("select * from users where city = 'sf'")
+        assert q.tables == ["users"]
+
+    def test_errors(self):
+        for bad in (
+            "SELECT FROM users",
+            "SELECT * users",
+            "SELECT * FROM",
+            "SELECT * FROM users WHERE",
+            "SELECT * FROM users WHERE city ~ 'x'",
+            "SELECT * FROM users extra",
+            "SELECT * FROM users, users",
+        ):
+            with pytest.raises(ParseError):
+                parse_sql(bad)
+
+
+class TestExecutor:
+    def test_full_scan(self, catalog):
+        res = execute("SELECT * FROM users", catalog)
+        assert res.cardinality == 3
+
+    def test_filter(self, catalog):
+        res = execute("SELECT * FROM users WHERE city = 'delft'", catalog)
+        assert res.cardinality == 2
+
+    def test_projection(self, catalog):
+        res = execute("SELECT name FROM users WHERE uid = 1", catalog)
+        assert res.rows == [("ann",)]
+
+    def test_two_way_join(self, catalog):
+        res = execute(
+            "SELECT users.name, orders.total FROM users, orders WHERE users.uid = orders.uid",
+            catalog,
+        )
+        assert sorted(res.rows) == [("ann", 5.0), ("ann", 99.0), ("bob", 20.0)]
+
+    def test_join_with_filter(self, catalog):
+        res = execute(
+            "SELECT users.name FROM users, orders "
+            "WHERE users.uid = orders.uid AND orders.total > 10",
+            catalog,
+        )
+        assert sorted(res.rows) == [("ann",), ("bob",)]
+
+    def test_three_way_join(self, catalog):
+        res = execute(
+            "SELECT users.name, items.sku FROM users, orders, items "
+            "WHERE users.uid = orders.uid AND orders.oid = items.oid",
+            catalog,
+        )
+        assert sorted(res.rows) == [("ann", "apple"), ("bob", "pear"), ("bob", "plum")]
+
+    def test_unqualified_unambiguous_column(self, catalog):
+        res = execute("SELECT name FROM users WHERE city = 'sf'", catalog)
+        assert res.rows == [("bob",)]
+
+    def test_ambiguous_column_rejected(self, catalog):
+        with pytest.raises(ReproError):
+            execute("SELECT * FROM users, orders WHERE uid = 1", catalog)
+
+    def test_inequality_operators(self, catalog):
+        res = execute("SELECT oid FROM orders WHERE total <= 20.0", catalog)
+        assert sorted(res.rows) == [(11,), (12,)]
+
+    def test_cross_product_when_no_join(self, catalog):
+        res = execute("SELECT * FROM users, items", catalog)
+        assert res.cardinality == 9

@@ -1,0 +1,220 @@
+"""Tests for distributed quantum data management."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.dqdm.consistency import GhzAssistedCommit, TwoPhaseCommit
+from repro.dqdm.data import ClassicalDataItem, QuantumDataItem
+from repro.dqdm.recovery import simulate_failures_and_recovery
+from repro.dqdm.replication import (
+    availability_classical,
+    availability_quantum,
+    simulate_availability,
+)
+from repro.dqdm.store import DistributedQuantumStore
+from repro.exceptions import NoCloningError, ProtocolError, ReproError
+from repro.qnet.link import EntanglementLink
+from repro.qnet.network import QuantumNetwork
+from repro.quantum.state import Statevector
+
+
+def _item(item_id="q1", with_recipe=True):
+    recipe = (lambda: Statevector([1, 1j])) if with_recipe else None
+    return QuantumDataItem(item_id, Statevector([1, 1j]), recipe=recipe)
+
+
+class TestDataItems:
+    def test_classical_copyable(self):
+        item = ClassicalDataItem("c", b"data")
+        dup = item.copy()
+        assert dup.payload == item.payload
+
+    def test_quantum_copy_raises(self):
+        item = _item()
+        with pytest.raises(NoCloningError):
+            copy.copy(item)
+        with pytest.raises(NoCloningError):
+            copy.deepcopy(item)
+        with pytest.raises(NoCloningError):
+            item.clone()
+
+    def test_take_moves_ownership(self):
+        item = _item()
+        state = item.take()
+        assert not item.is_held
+        assert state.num_qubits == 1
+        with pytest.raises(ProtocolError):
+            item.take()
+
+    def test_put_back(self):
+        item = _item()
+        state = item.take()
+        item.put(state)
+        assert item.is_held
+
+    def test_double_put_rejected(self):
+        item = _item()
+        with pytest.raises(ProtocolError):
+            item.put(Statevector.zero_state(1))
+
+    def test_consume_is_destructive(self, rng):
+        item = _item()
+        bits = item.consume(rng=rng)
+        assert bits[0] in (0, 1)
+        assert not item.is_held
+
+    def test_reprepare_with_recipe(self):
+        item = _item()
+        item.take()
+        item.reprepare()
+        assert item.is_held
+        assert item.fidelity_estimate == 1.0
+
+    def test_reprepare_without_recipe_raises(self):
+        item = _item(with_recipe=False)
+        item.take()
+        with pytest.raises(NoCloningError):
+            item.reprepare()
+
+
+class TestStore:
+    def _store(self):
+        net = QuantumNetwork.chain(4, EntanglementLink(success_prob=0.7, base_fidelity=0.96))
+        return DistributedQuantumStore(net)
+
+    def test_put_and_locate(self):
+        store = self._store()
+        store.put_quantum("n0", _item())
+        assert store.locate_quantum("q1") == "n0"
+        assert store.quantum_items_at("n0") == ["q1"]
+
+    def test_no_two_copies(self):
+        store = self._store()
+        store.put_quantum("n0", _item())
+        with pytest.raises(NoCloningError):
+            store.put_quantum("n2", _item())
+
+    def test_classical_replication_allowed(self):
+        store = self._store()
+        store.put_classical("n0", ClassicalDataItem("c1", b"x"))
+        store.replicate_classical("c1", "n0", "n3")
+        assert store.classical_items_at("n3") == ["c1"]
+        assert store.classical_items_at("n0") == ["c1"]
+
+    def test_move_quantum_relocates(self):
+        store = self._store()
+        store.put_quantum("n0", _item())
+        receipt = store.move_quantum("q1", "n3", rng=1)
+        assert store.locate_quantum("q1") == "n3"
+        assert store.quantum_items_at("n0") == []
+        assert receipt.path[0] == "n0"
+        assert receipt.path[-1] == "n3"
+        assert 0.0 < receipt.payload_fidelity < 1.0
+        assert store.transfer_log == [receipt]
+
+    def test_move_fidelity_improves_with_purification(self):
+        plain_store = self._store()
+        plain_store.put_quantum("n0", _item())
+        plain = plain_store.move_quantum("q1", "n3", rng=2)
+        pure_store = self._store()
+        pure_store.put_quantum("n0", _item("q1"))
+        purified = pure_store.move_quantum("q1", "n3", rng=2, min_pair_fidelity=0.95)
+        assert purified.payload_fidelity > plain.payload_fidelity
+        assert purified.pairs_consumed > plain.pairs_consumed
+
+    def test_move_to_same_node_rejected(self):
+        store = self._store()
+        store.put_quantum("n0", _item())
+        with pytest.raises(ProtocolError):
+            store.move_quantum("q1", "n0", rng=0)
+
+    def test_unknown_item(self):
+        with pytest.raises(ProtocolError):
+            self._store().locate_quantum("ghost")
+
+
+class TestReplicationAnalysis:
+    def test_closed_forms(self):
+        assert availability_classical(0.9, 3) == pytest.approx(0.999)
+        assert availability_quantum(0.9, repreparable=False) == 0.9
+        assert availability_quantum(0.9, repreparable=True, recipe_replicas=3) == pytest.approx(0.999)
+
+    def test_monte_carlo_matches(self):
+        report = simulate_availability(0.9, num_replicas=3, trials=20000, rng=0)
+        assert report.classical_availability == pytest.approx(0.999, abs=0.005)
+        assert report.quantum_without_recipe == pytest.approx(0.9, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            availability_classical(1.5, 2)
+        with pytest.raises(ReproError):
+            availability_classical(0.9, 0)
+
+
+class TestCommitProtocols:
+    def test_2pc_no_crash_never_blocks(self):
+        stats = TwoPhaseCommit(4, crash_prob=0.0).run(500, rng=0)
+        assert stats.blocked == 0
+        assert stats.committed + stats.aborted == 500
+
+    def test_2pc_crash_blocks(self):
+        stats = TwoPhaseCommit(4, crash_prob=0.2).run(2000, rng=1)
+        assert stats.blocking_rate == pytest.approx(0.2, abs=0.03)
+        assert stats.divergence_rate == 0.0
+
+    def test_ghz_commit_never_blocks(self):
+        proto = GhzAssistedCommit(4, crash_prob=0.2)
+        stats = proto.run(2000, rng=2)
+        assert stats.blocked == 0
+        assert proto.ghz_states_consumed > 0
+
+    def test_ghz_commit_divergence_bounded_by_crashes(self):
+        proto = GhzAssistedCommit(4, crash_prob=0.2)
+        stats = proto.run(2000, rng=3)
+        assert 0.0 < stats.divergence_rate < 0.2
+
+    def test_ghz_messages_fewer_or_equal(self):
+        crash = 0.3
+        tpc = TwoPhaseCommit(5, crash_prob=crash).run(1000, rng=4)
+        ghz = GhzAssistedCommit(5, crash_prob=crash).run(1000, rng=4)
+        assert ghz.messages <= tpc.messages + 1000  # same order of messages
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TwoPhaseCommit(0)
+
+
+class TestRecovery:
+    def _loaded_store(self, with_recipe=True):
+        net = QuantumNetwork.chain(4, EntanglementLink(success_prob=0.8))
+        store = DistributedQuantumStore(net)
+        for i, node in enumerate(["n0", "n1", "n2"]):
+            store.put_quantum(node, _item(f"q{i}", with_recipe=with_recipe))
+        return store
+
+    def test_repreparable_items_recover(self):
+        store = self._loaded_store(with_recipe=True)
+        report = simulate_failures_and_recovery(store, node_failure_prob=0.6, rng=1)
+        assert report.items_at_risk == report.recovered + len(report.lost)
+        assert not report.lost  # recipes exist and healthy nodes remain
+
+    def test_irreplaceable_items_are_lost(self):
+        store = self._loaded_store(with_recipe=False)
+        report = simulate_failures_and_recovery(store, node_failure_prob=0.9, rng=2)
+        assert report.recovered == 0
+        assert len(report.lost) == report.items_at_risk
+        assert report.items_at_risk > 0
+
+    def test_no_failures_no_risk(self):
+        store = self._loaded_store()
+        report = simulate_failures_and_recovery(store, node_failure_prob=0.0, rng=3)
+        assert report.items_at_risk == 0
+        assert report.recovery_rate == 1.0
+
+    def test_relocated_items_findable(self):
+        store = self._loaded_store(with_recipe=True)
+        report = simulate_failures_and_recovery(store, node_failure_prob=0.5, rng=4)
+        for item_id, node in report.relocations.items():
+            assert store.locate_quantum(item_id) == node

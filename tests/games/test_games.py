@@ -1,0 +1,144 @@
+"""Tests for nonlocal games: CHSH, GHZ, XOR games, magic square."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games.chsh import (
+    CHSH_CLASSICAL_VALUE,
+    CHSH_QUANTUM_VALUE,
+    chsh_game,
+    chsh_quantum_strategy,
+)
+from repro.games.classical import optimal_classical_value
+from repro.games.framework import (
+    QuantumStrategy,
+    optimize_quantum_strategy,
+    play_quantum_rounds,
+    quantum_win_probability,
+)
+from repro.games.ghz import (
+    GHZ_QUESTIONS,
+    ghz_classical_value,
+    ghz_game_quantum_value,
+    ghz_quantum_win_probability,
+    play_ghz_rounds,
+)
+from repro.games.magic_square import (
+    magic_square_classical_value,
+    magic_square_quantum_round,
+    magic_square_quantum_value,
+    OBSERVABLE_GRID,
+)
+from repro.games.xor_games import (
+    chsh_xor_game,
+    random_xor_game,
+    xor_classical_value,
+    xor_quantum_value,
+)
+from repro.quantum.bell import bell_state
+
+
+class TestCHSH:
+    """Example IV.2: quantum 0.8536 beats classical 0.75."""
+
+    def test_classical_value(self):
+        value, a_map, b_map = optimal_classical_value(chsh_game())
+        assert value == pytest.approx(CHSH_CLASSICAL_VALUE)
+
+    def test_quantum_value_exact(self):
+        value = quantum_win_probability(chsh_game(), chsh_quantum_strategy())
+        assert value == pytest.approx(CHSH_QUANTUM_VALUE)
+        assert value == pytest.approx(math.cos(math.pi / 8) ** 2)
+
+    def test_quantum_beats_classical(self):
+        assert CHSH_QUANTUM_VALUE > CHSH_CLASSICAL_VALUE
+
+    def test_empirical_play(self, rng):
+        rate = play_quantum_rounds(chsh_game(), chsh_quantum_strategy(), 5000, rng=rng)
+        assert rate == pytest.approx(CHSH_QUANTUM_VALUE, abs=0.03)
+
+    def test_angle_optimization_recovers_tsirelson(self):
+        _, value = optimize_quantum_strategy(chsh_game(), bell_state("phi+"), restarts=6, rng=0)
+        assert value == pytest.approx(CHSH_QUANTUM_VALUE, abs=1e-4)
+
+    def test_unentangled_state_stays_classical(self):
+        from repro.quantum.state import Statevector
+
+        product = Statevector.from_label("00")
+        _, value = optimize_quantum_strategy(chsh_game(), product, restarts=6, rng=1)
+        assert value <= CHSH_CLASSICAL_VALUE + 1e-6
+
+
+class TestGHZ:
+    """Sec. IV-A: GHZ entanglement wins with probability 1 vs 0.75."""
+
+    def test_classical_value(self):
+        value, _ = ghz_classical_value()
+        assert value == pytest.approx(0.75)
+
+    def test_quantum_value_is_one(self):
+        assert ghz_game_quantum_value() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("questions", GHZ_QUESTIONS)
+    def test_every_question_wins(self, questions):
+        assert ghz_quantum_win_probability(questions) == pytest.approx(1.0)
+
+    def test_sequential_measurement_play(self, rng):
+        assert play_ghz_rounds(200, rng) == 1.0
+
+
+class TestXorGames:
+    def test_chsh_as_xor_game(self):
+        game = chsh_xor_game()
+        assert xor_classical_value(game) == pytest.approx(0.75)
+        assert xor_quantum_value(game, rng=0) == pytest.approx(CHSH_QUANTUM_VALUE, abs=1e-6)
+
+    def test_trivial_game_both_one(self):
+        # Target constant 0: always answering equal bits wins.
+        from repro.games.xor_games import XorGame
+
+        game = XorGame(2, 2, target=lambda x, y: 0)
+        assert xor_classical_value(game) == pytest.approx(1.0)
+        assert xor_quantum_value(game, rng=1) == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_quantum_at_least_classical(self, seed):
+        game = random_xor_game(2, 2, rng=seed)
+        cv = xor_classical_value(game)
+        qv = xor_quantum_value(game, restarts=8, rng=seed)
+        assert qv >= cv - 1e-6
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_values_bounded(self, seed):
+        game = random_xor_game(3, 3, rng=seed)
+        assert 0.5 <= xor_classical_value(game) <= 1.0
+        assert xor_quantum_value(game, restarts=6, rng=seed) <= 1.0 + 1e-9
+
+
+class TestMagicSquare:
+    def test_observable_grid_parities(self):
+        # Rows multiply to +I, columns to -I (the Peres-Mermin magic).
+        eye = np.eye(4)
+        for r in range(3):
+            prod = OBSERVABLE_GRID[r][0] @ OBSERVABLE_GRID[r][1] @ OBSERVABLE_GRID[r][2]
+            assert np.allclose(prod, eye)
+        for c in range(3):
+            prod = OBSERVABLE_GRID[0][c] @ OBSERVABLE_GRID[1][c] @ OBSERVABLE_GRID[2][c]
+            assert np.allclose(prod, -eye)
+
+    def test_classical_value(self):
+        assert magic_square_classical_value() == pytest.approx(8 / 9)
+
+    @pytest.mark.parametrize("row,col", [(0, 0), (1, 2), (2, 1)])
+    def test_quantum_rounds_always_win(self, row, col, rng):
+        for _ in range(5):
+            assert magic_square_quantum_round(row, col, rng=rng)
+
+    def test_quantum_value_is_one(self, rng):
+        assert magic_square_quantum_value(rounds_per_pair=2, rng=rng) == pytest.approx(1.0)

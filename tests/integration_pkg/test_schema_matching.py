@@ -1,0 +1,165 @@
+"""Tests for the schema-matching (data integration) package."""
+
+import pytest
+
+from repro.annealing.simulated_annealing import SimulatedAnnealingSolver
+from repro.exceptions import ReproError
+from repro.integration.classical import greedy_matching, hungarian_matching
+from repro.integration.generator import generate_schema_pair
+from repro.integration.qubo import (
+    decode_matching,
+    matching_quality,
+    matching_similarity_total,
+    matching_to_qubo,
+    similarity_matrix,
+)
+from repro.integration.schema import Attribute, Schema
+from repro.integration.similarity import (
+    combined_similarity,
+    jaccard_ngrams,
+    levenshtein_distance,
+    levenshtein_similarity,
+    type_compatibility,
+)
+from repro.qubo.bruteforce import BruteForceSolver
+
+
+class TestSchema:
+    def test_construction(self):
+        s = Schema("s", [Attribute("a", "int"), Attribute("b")])
+        assert len(s) == 2
+        assert s.attribute("a").dtype == "int"
+        assert s.attribute_names == ["a", "b"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ReproError):
+            Schema("s", [Attribute("a"), Attribute("a")])
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError):
+            Attribute("a", "blob")
+
+    def test_unknown_attribute(self):
+        with pytest.raises(ReproError):
+            Schema("s", [Attribute("a")]).attribute("z")
+
+
+class TestSimilarity:
+    def test_levenshtein_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_levenshtein_similarity_bounds(self):
+        assert levenshtein_similarity("name", "name") == 1.0
+        assert 0.0 <= levenshtein_similarity("abc", "xyz") <= 1.0
+
+    def test_normalisation_ignores_case_and_punct(self):
+        assert levenshtein_similarity("Customer_ID", "customerid") == 1.0
+
+    def test_jaccard_identical(self):
+        assert jaccard_ngrams("email", "email") == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert jaccard_ngrams("abc", "xyz") == 0.0
+
+    def test_type_compatibility(self):
+        assert type_compatibility("int", "int") == 1.0
+        assert type_compatibility("int", "float") == 0.8
+        assert type_compatibility("float", "int") == 0.8  # symmetric
+        assert type_compatibility("date", "bool") == pytest.approx(0.1)
+
+    def test_combined_similarity_favours_same_name(self):
+        a = Attribute("customer_id", "int")
+        same = Attribute("customer_id", "int")
+        other = Attribute("zzz", "date")
+        assert combined_similarity(a, same) > combined_similarity(a, other)
+
+
+class TestQuboMatching:
+    def _schemas(self):
+        src = Schema("s", [Attribute("customer_id", "int"), Attribute("email", "string")])
+        tgt = Schema("t", [Attribute("client_id", "int"), Attribute("email_address", "string")])
+        return src, tgt
+
+    def test_qubo_optimum_matches_hungarian(self):
+        for seed in range(4):
+            src, tgt, _ = generate_schema_pair(5, rng=seed)
+            model, sims = matching_to_qubo(src, tgt)
+            if model.num_variables == 0 or model.num_variables > 18:
+                continue
+            ground = BruteForceSolver(max_variables=18).solve(model).best
+            qubo_match = decode_matching(model, ground.bits)
+            hung = hungarian_matching(src, tgt)
+            assert matching_similarity_total(qubo_match, sims) == pytest.approx(
+                matching_similarity_total(hung, sims), abs=1e-9
+            )
+
+    def test_one_to_one_enforced(self):
+        src, tgt = self._schemas()
+        model, _ = matching_to_qubo(src, tgt, threshold=0.0)
+        ground = BruteForceSolver().solve(model).best
+        match = decode_matching(model, ground.bits, repair=False)
+        assert len(set(match.values())) == len(match)
+
+    def test_decode_repair_resolves_conflicts(self):
+        src, tgt = self._schemas()
+        model, _ = matching_to_qubo(src, tgt, threshold=0.0)
+        bits = [1] * model.num_variables  # everything selected
+        match = decode_matching(model, bits)
+        assert len(set(match.values())) == len(match)
+
+    def test_threshold_prunes(self):
+        src, tgt = self._schemas()
+        loose, _ = matching_to_qubo(src, tgt, threshold=0.0)
+        tight, _ = matching_to_qubo(src, tgt, threshold=0.9)
+        assert tight.num_variables < loose.num_variables
+
+    def test_sa_recovers_ground_truth_on_clean_schemas(self):
+        src, tgt, truth = generate_schema_pair(6, rename_probability=0.0, drop_probability=0.0, rng=1)
+        model, _ = matching_to_qubo(src, tgt)
+        ss = SimulatedAnnealingSolver(num_reads=16, num_sweeps=200).solve(model, rng=2)
+        pred = decode_matching(model, ss.best.bits)
+        precision, recall, f1 = matching_quality(pred, truth)
+        assert f1 == pytest.approx(1.0)
+
+
+class TestClassicalBaselines:
+    def test_hungarian_beats_or_ties_greedy(self):
+        for seed in range(5):
+            src, tgt, _ = generate_schema_pair(6, rng=seed)
+            sims = similarity_matrix(src, tgt)
+            h = hungarian_matching(src, tgt)
+            g = greedy_matching(src, tgt)
+            assert matching_similarity_total(h, sims) >= matching_similarity_total(g, sims) - 1e-9
+
+    def test_matching_quality_perfect(self):
+        assert matching_quality({"a": "b"}, {"a": "b"}) == (1.0, 1.0, 1.0)
+
+    def test_matching_quality_empty_prediction(self):
+        precision, recall, f1 = matching_quality({}, {"a": "b"})
+        assert f1 == 0.0
+
+
+class TestGenerator:
+    def test_ground_truth_refers_to_real_attributes(self):
+        src, tgt, truth = generate_schema_pair(8, rng=3)
+        for a, b in truth.items():
+            assert a in src.attribute_names
+            assert b in tgt.attribute_names
+
+    def test_drop_probability_shrinks_truth(self):
+        src, tgt, truth = generate_schema_pair(8, drop_probability=1.0, extra_attributes=2, rng=4)
+        assert truth == {}
+        assert len(tgt) == 2
+
+    def test_bounds_checked(self):
+        with pytest.raises(ReproError):
+            generate_schema_pair(0)
+        with pytest.raises(ReproError):
+            generate_schema_pair(99)
+
+    def test_deterministic(self):
+        a = generate_schema_pair(5, rng=9)
+        b = generate_schema_pair(5, rng=9)
+        assert a[2] == b[2]

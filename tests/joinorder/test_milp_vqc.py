@@ -1,0 +1,159 @@
+"""Tests for the BILP pipeline and the VQC RL agent."""
+
+import numpy as np
+import pytest
+
+from repro.db.cost import CostModel
+from repro.db.dp import dp_optimal_leftdeep
+from repro.db.generator import chain_query, star_query
+from repro.db.plans import leftdeep_tree_from_order
+from repro.exceptions import InfeasibleError, ReproError
+from repro.joinorder.milp import (
+    Bilp,
+    bilp_to_qubo,
+    decode_leftdeep_bilp,
+    formulate_leftdeep_bilp,
+    solve_branch_and_bound,
+)
+from repro.joinorder.vqc_agent import JoinOrderEnv, VQCJoinOrderAgent
+from repro.qubo.bruteforce import BruteForceSolver
+
+
+class TestBilp:
+    def test_simple_assignment(self):
+        bilp = Bilp()
+        bilp.set_objective("a", 1.0)
+        bilp.set_objective("b", 2.0)
+        bilp.add_equality({"a": 1.0, "b": 1.0}, 1.0)
+        bits, value = solve_branch_and_bound(bilp)
+        assert value == pytest.approx(1.0)
+        assert bits[bilp.labels.index("a")] == 1
+
+    def test_implication_respected(self):
+        bilp = Bilp()
+        bilp.set_objective("x", -5.0)  # wants x=1
+        bilp.set_objective("y", 1.0)  # wants y=0
+        bilp.add_implication("x", "y")  # x <= y forces y along
+        bits, value = solve_branch_and_bound(bilp)
+        assert value == pytest.approx(-4.0)
+        assert bits.tolist() == [1, 1]
+
+    def test_infeasible(self):
+        bilp = Bilp()
+        bilp.variable("a")
+        bilp.add_equality({"a": 1.0}, 2.0)
+        with pytest.raises(InfeasibleError):
+            solve_branch_and_bound(bilp)
+
+    def test_bilp_to_qubo_preserves_optimum(self):
+        bilp = Bilp()
+        bilp.set_objective("a", 1.0)
+        bilp.set_objective("b", 2.0)
+        bilp.set_objective("c", -1.5)
+        bilp.add_equality({"a": 1.0, "b": 1.0}, 1.0)
+        bilp.add_implication("c", "a")
+        bits, value = solve_branch_and_bound(bilp)
+        model = bilp_to_qubo(bilp)
+        ground = BruteForceSolver().solve(model).best
+        assert ground.energy == pytest.approx(value)
+        assert list(ground.bits) == bits.tolist()
+
+
+class TestLeftDeepBilp:
+    @pytest.mark.parametrize("gen,seed", [(chain_query, 3), (star_query, 1)])
+    def test_matches_dp_on_small_queries(self, gen, seed):
+        jg = gen(4, rng=seed)
+        bilp = formulate_leftdeep_bilp(jg)
+        bits, _ = solve_branch_and_bound(bilp)
+        order = decode_leftdeep_bilp(bilp, bits, jg)
+        cm = CostModel(jg)
+        bilp_cost = cm.cost(leftdeep_tree_from_order(order))
+        # The BILP optimises the log surrogate; its decoded plan should be
+        # close to (often equal to) the true left-deep optimum.
+        _, dp_cost = dp_optimal_leftdeep(jg, avoid_cross=False)
+        assert bilp_cost <= dp_cost * 5.0
+        assert sorted(order) == jg.relations
+
+    def test_bilp_qubo_roundtrip_order_valid(self):
+        jg = chain_query(3, rng=7)
+        bilp = formulate_leftdeep_bilp(jg)
+        model = bilp_to_qubo(bilp)
+        ground = BruteForceSolver(max_variables=16).solve(model).best
+        bits = np.array(ground.bits)
+        assert bilp.is_feasible(bits)
+        order = decode_leftdeep_bilp(bilp, bits, jg)
+        assert sorted(order) == jg.relations
+
+
+class TestJoinOrderEnv:
+    def test_episode_runs_to_completion(self):
+        jg = chain_query(4, rng=0)
+        env = JoinOrderEnv(jg)
+        env.reset()
+        steps = 0
+        while not env.done:
+            env.step(env.valid_actions()[0])
+            steps += 1
+        assert steps == 4
+        assert env.final_cost() > 0
+
+    def test_features_track_progress(self):
+        jg = chain_query(3, rng=1)
+        env = JoinOrderEnv(jg)
+        f0 = env.reset()
+        assert f0.sum() == 0
+        env.step(0)
+        assert env.features().sum() == 1
+
+    def test_valid_actions_prefer_connected(self):
+        jg = chain_query(4, rng=2)  # R0-R1-R2-R3
+        env = JoinOrderEnv(jg)
+        env.reset()
+        env.step(0)  # join R0
+        valid = env.valid_actions()
+        assert valid == [1]  # only R1 is connected to R0
+
+    def test_cannot_join_twice(self):
+        jg = chain_query(3, rng=3)
+        env = JoinOrderEnv(jg)
+        env.reset()
+        env.step(0)
+        with pytest.raises(ReproError):
+            env.step(0)
+
+    def test_final_cost_requires_completion(self):
+        jg = chain_query(3, rng=4)
+        env = JoinOrderEnv(jg)
+        env.reset()
+        with pytest.raises(ReproError):
+            env.final_cost()
+
+
+class TestVQCAgent:
+    def test_training_improves_cost_ratio(self):
+        jg = chain_query(4, rng=2)
+        agent = VQCJoinOrderAgent(jg, num_layers=1)
+        history = agent.train(episodes=50, rng=0)
+        early = float(np.mean(history.ratios[:10]))
+        late = history.mean_ratio(10)
+        assert late < early
+
+    def test_greedy_order_is_valid_permutation(self):
+        jg = chain_query(4, rng=3)
+        agent = VQCJoinOrderAgent(jg, num_layers=1)
+        agent.train(episodes=30, rng=1)
+        order = agent.greedy_order()
+        assert sorted(order) == jg.relations
+
+    def test_untrained_greedy_raises(self):
+        agent = VQCJoinOrderAgent(chain_query(3, rng=0), num_layers=1)
+        with pytest.raises(ReproError):
+            agent.greedy_order()
+
+    def test_history_metrics(self):
+        jg = chain_query(3, rng=5)
+        agent = VQCJoinOrderAgent(jg, num_layers=1)
+        history = agent.train(episodes=15, rng=2)
+        assert len(history.costs) == 15
+        assert len(history.rewards) == 15
+        assert all(r <= 0.0 + 1e-12 for r in history.rewards)

@@ -1,0 +1,218 @@
+"""Tests for the multiple-query-optimization package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing import AnnealerDevice, SimulatedAnnealingSolver
+from repro.exceptions import InfeasibleError, ReproError
+from repro.mqo.classical import exhaustive_mqo, greedy_mqo, hill_climbing_mqo
+from repro.mqo.generator import generate_mqo_problem
+from repro.mqo.problem import MQOProblem
+from repro.mqo.qubo import decode_sample, mqo_to_qubo, penalty_weight, selection_to_bits
+from repro.mqo.solve import solve_with_annealer, solve_with_qaoa, solve_with_sampler
+from repro.qubo.bruteforce import BruteForceSolver
+
+
+def _tiny_problem():
+    """Two queries, two plans each, one strong saving pair."""
+    p = MQOProblem()
+    p.add_plan("q0", "p0", 10.0)
+    p.add_plan("q0", "p1", 12.0)
+    p.add_plan("q1", "p0", 20.0)
+    p.add_plan("q1", "p1", 21.0)
+    # Choosing the two nominally-expensive plans together is globally best.
+    p.add_saving(("q0", "p1"), ("q1", "p1"), 8.0)
+    return p
+
+
+class TestProblem:
+    def test_total_cost_no_savings(self):
+        p = _tiny_problem()
+        assert p.total_cost({"q0": "p0", "q1": "p0"}) == 30.0
+
+    def test_total_cost_with_savings(self):
+        p = _tiny_problem()
+        assert p.total_cost({"q0": "p1", "q1": "p1"}) == 12.0 + 21.0 - 8.0
+
+    def test_missing_selection_rejected(self):
+        with pytest.raises(InfeasibleError):
+            _tiny_problem().total_cost({"q0": "p0"})
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(ReproError):
+            _tiny_problem().total_cost({"q0": "p9", "q1": "p0"})
+
+    def test_duplicate_plan_rejected(self):
+        p = MQOProblem()
+        p.add_plan("q", "p", 1.0)
+        with pytest.raises(ReproError):
+            p.add_plan("q", "p", 2.0)
+
+    def test_same_query_saving_rejected(self):
+        p = MQOProblem()
+        p.add_plan("q", "a", 1.0)
+        p.add_plan("q", "b", 1.0)
+        with pytest.raises(ReproError):
+            p.add_saving(("q", "a"), ("q", "b"), 0.5)
+
+    def test_cost_bounds_bracket_optimum(self):
+        p = generate_mqo_problem(3, 3, rng=0)
+        lo, hi = p.cost_bounds()
+        _, opt = exhaustive_mqo(p)
+        assert lo <= opt <= hi
+
+
+class TestGenerator:
+    def test_shape(self):
+        p = generate_mqo_problem(4, 3, rng=1)
+        assert len(p.queries) == 4
+        assert p.num_plans == 12
+
+    def test_density_zero_means_no_savings(self):
+        p = generate_mqo_problem(3, 2, sharing_density=0.0, rng=2)
+        assert not p.savings
+
+    def test_density_one_all_pairs(self):
+        p = generate_mqo_problem(2, 2, sharing_density=1.0, rng=3)
+        assert len(p.savings) == 4  # 2x2 cross-query pairs
+
+    def test_deterministic(self):
+        a = generate_mqo_problem(3, 3, rng=7)
+        b = generate_mqo_problem(3, 3, rng=7)
+        assert a.savings == b.savings
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            generate_mqo_problem(0, 3)
+        with pytest.raises(ReproError):
+            generate_mqo_problem(2, 2, sharing_density=1.5)
+
+
+class TestQuboMapping:
+    def test_energy_matches_cost_on_feasible(self):
+        p = _tiny_problem()
+        model = mqo_to_qubo(p)
+        for sel in (
+            {"q0": "p0", "q1": "p0"},
+            {"q0": "p1", "q1": "p1"},
+            {"q0": "p0", "q1": "p1"},
+        ):
+            bits = selection_to_bits(p, model, sel)
+            assert model.energy(bits) == pytest.approx(p.total_cost(sel))
+
+    def test_qubo_optimum_is_problem_optimum(self):
+        for seed in range(4):
+            p = generate_mqo_problem(3, 2, sharing_density=0.5, rng=seed)
+            model = mqo_to_qubo(p)
+            best = BruteForceSolver().solve(model).best
+            selection = decode_sample(p, model, best.bits, repair=False)
+            _, opt = exhaustive_mqo(p)
+            assert p.total_cost(selection) == pytest.approx(opt)
+            assert best.energy == pytest.approx(opt)
+
+    def test_infeasible_assignments_cost_more(self):
+        p = _tiny_problem()
+        model = mqo_to_qubo(p)
+        _, opt = exhaustive_mqo(p)
+        zero = model.energy([0, 0, 0, 0])
+        double = model.energy([1, 1, 1, 0])
+        assert zero > opt
+        assert double > opt
+
+    def test_decode_repairs_empty_query(self):
+        p = _tiny_problem()
+        model = mqo_to_qubo(p)
+        sel = decode_sample(p, model, [0, 0, 1, 0])
+        assert sel["q0"] == "p0"  # repaired to cheapest
+        assert sel["q1"] == "p0"
+
+    def test_decode_repairs_double_selection(self):
+        p = _tiny_problem()
+        model = mqo_to_qubo(p)
+        sel = decode_sample(p, model, [1, 1, 1, 0])
+        assert sel["q0"] == "p0"  # cheapest among selected
+
+    def test_decode_strict_raises(self):
+        p = _tiny_problem()
+        model = mqo_to_qubo(p)
+        with pytest.raises(InfeasibleError):
+            decode_sample(p, model, [0, 0, 1, 0], repair=False)
+
+    def test_penalty_weight_dominates(self):
+        p = generate_mqo_problem(3, 3, sharing_density=0.5, rng=5)
+        for q in p.queries:
+            w = penalty_weight(p, q)
+            max_cost = max(pl.cost for pl in p.plans_of(q))
+            assert w > max_cost
+
+
+class TestClassicalSolvers:
+    def test_exhaustive_is_optimal_reference(self):
+        p = _tiny_problem()
+        sel, cost = exhaustive_mqo(p)
+        assert cost == pytest.approx(25.0)
+        assert sel == {"q0": "p1", "q1": "p1"}
+
+    def test_greedy_ignores_sharing(self):
+        p = _tiny_problem()
+        sel, cost = greedy_mqo(p)
+        assert sel == {"q0": "p0", "q1": "p0"}
+        assert cost == 30.0
+
+    def test_hill_climbing_finds_optimum_on_small(self):
+        for seed in range(3):
+            p = generate_mqo_problem(3, 3, sharing_density=0.4, rng=seed)
+            _, opt = exhaustive_mqo(p)
+            _, cost = hill_climbing_mqo(p, restarts=8, rng=seed)
+            assert cost == pytest.approx(opt)
+
+    def test_exhaustive_space_limit(self):
+        p = generate_mqo_problem(4, 4, rng=0)
+        with pytest.raises(ReproError):
+            exhaustive_mqo(p, max_combinations=10)
+
+
+class TestQuantumSolvers:
+    def test_plain_sampler(self):
+        p = generate_mqo_problem(4, 3, sharing_density=0.4, rng=0)
+        _, opt = exhaustive_mqo(p)
+        r = solve_with_sampler(p, SimulatedAnnealingSolver(num_reads=16, num_sweeps=200), rng=1)
+        assert r.total_cost == pytest.approx(opt)
+
+    def test_annealer_with_embedding(self):
+        p = generate_mqo_problem(4, 3, sharing_density=0.4, rng=1)
+        _, opt = exhaustive_mqo(p)
+        r = solve_with_annealer(p, rng=2)
+        assert r.total_cost == pytest.approx(opt)
+        assert "chain_break_fraction" in r.info
+        assert r.info["max_chain_length"] >= 1
+
+    def test_annealer_unembedded_ablation(self):
+        p = generate_mqo_problem(4, 3, sharing_density=0.4, rng=2)
+        _, opt = exhaustive_mqo(p)
+        r = solve_with_annealer(p, use_embedding=False, rng=3)
+        assert r.total_cost == pytest.approx(opt)
+
+    def test_qaoa_small_instance(self):
+        p = generate_mqo_problem(3, 2, sharing_density=0.5, rng=5)
+        _, opt = exhaustive_mqo(p)
+        r = solve_with_qaoa(p, num_layers=3, maxiter=120, restarts=2, rng=4)
+        assert r.total_cost == pytest.approx(opt)
+        assert r.info["qubits"] == 6
+
+    def test_result_selection_is_feasible(self):
+        p = generate_mqo_problem(3, 3, sharing_density=0.3, rng=6)
+        r = solve_with_sampler(p, SimulatedAnnealingSolver(num_reads=8, num_sweeps=100), rng=0)
+        p.validate_selection(r.selection)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_property_qubo_ground_equals_mqo_optimum(seed):
+    p = generate_mqo_problem(3, 2, sharing_density=0.4, rng=seed)
+    model = mqo_to_qubo(p)
+    ground = BruteForceSolver().solve(model).best_energy()
+    _, opt = exhaustive_mqo(p)
+    assert ground == pytest.approx(opt)

@@ -1,0 +1,291 @@
+"""Tests for the quantum database package (search, set ops, join, DML, QQL)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParseError, ReproError
+from repro.qdb.dml import (
+    delete_from_superposition,
+    insert_into_superposition,
+    support,
+    update_superposition,
+)
+from repro.qdb.encoding import KeyEncoding
+from repro.qdb.join import classical_join, quantum_join
+from repro.qdb.qql import QQLEngine
+from repro.qdb.search import classical_select, quantum_select
+from repro.qdb.setops import (
+    classical_intersection_calls,
+    quantum_difference,
+    quantum_intersection,
+    quantum_union,
+)
+from repro.qdb.table import QuantumTable
+
+
+class TestEncoding:
+    def test_for_domain(self):
+        assert KeyEncoding.for_domain(7).num_qubits == 3
+        assert KeyEncoding.for_domain(8).num_qubits == 4
+        assert KeyEncoding.for_domain(0).num_qubits == 1
+
+    def test_validate(self):
+        enc = KeyEncoding(3)
+        with pytest.raises(ReproError):
+            enc.validate(8)
+        with pytest.raises(ReproError):
+            enc.validate(-1)
+
+    def test_encode_key(self):
+        enc = KeyEncoding(3)
+        assert enc.encode_key(5).probability("101") == pytest.approx(1.0)
+
+    def test_encode_table_uniform(self):
+        enc = KeyEncoding(3)
+        state = enc.encode_table([1, 4, 6])
+        assert state.probability(1) == pytest.approx(1 / 3)
+        assert state.probability(0) == 0.0
+
+    def test_pair_index_roundtrip(self):
+        a, b = KeyEncoding(3), KeyEncoding(2)
+        idx = a.pair_index(5, 2, b)
+        assert a.split_pair_index(idx, b) == (5, 2)
+
+
+class TestQuantumTable:
+    def test_dml_lifecycle(self):
+        t = QuantumTable("t", 4)
+        assert t.insert(3)
+        assert not t.insert(3)
+        assert t.contains(3)
+        assert t.update(3, 9)
+        assert not t.contains(3)
+        assert t.delete(9)
+        assert not t.delete(9)
+
+    def test_update_collision_rejected(self):
+        t = QuantumTable("t", 4, [1, 2])
+        with pytest.raises(ReproError):
+            t.update(1, 2)
+
+    def test_delete_where(self):
+        t = QuantumTable("t", 4, [1, 2, 3, 8])
+        assert t.delete_where(lambda k: k < 3) == 2
+        assert sorted(t.keys) == [3, 8]
+
+    def test_prepare_state_uniform(self):
+        t = QuantumTable("t", 3, [0, 7])
+        state = t.prepare_state()
+        assert state.probability(0) == pytest.approx(0.5)
+        assert state.probability(7) == pytest.approx(0.5)
+
+    def test_prepare_empty_raises(self):
+        with pytest.raises(ReproError):
+            QuantumTable("t", 3).prepare_state()
+
+    def test_prepare_is_fresh_each_time(self):
+        t = QuantumTable("t", 3, [1])
+        assert t.prepare_state() is not t.prepare_state()
+
+
+class TestSearch:
+    def test_quantum_select_finds_all(self, rng):
+        t = QuantumTable("t", 6, [3, 17, 42, 55])
+        result = quantum_select(t, lambda k: k > 40, rng=rng)
+        assert result.matches == [42, 55]
+        assert result.oracle_calls > 0
+
+    def test_classical_select_finds_all(self, rng):
+        t = QuantumTable("t", 6, [3, 17, 42])
+        result = classical_select(t, lambda k: k == 42, rng=rng)
+        assert result.matches == [42]
+
+    def test_no_matches(self, rng):
+        t = QuantumTable("t", 5, [1, 2])
+        result = quantum_select(t, lambda k: k > 30, rng=rng)
+        assert result.matches == []
+        assert result.success_probability == 0.0
+
+    def test_quantum_beats_classical_at_scale(self):
+        """The E7 shape: single-target search in a 2^9 space."""
+        quantum_calls = []
+        classical_calls = []
+        for seed in range(5):
+            t = QuantumTable("t", 9, range(2**9))
+            q = quantum_select(t, lambda k: k == 321, rng=seed)
+            quantum_calls.append(q.oracle_calls)
+            t2 = QuantumTable("t", 9, range(2**9))
+            c = classical_select(t2, lambda k: k == 321, rng=seed)
+            classical_calls.append(c.oracle_calls)
+        assert np.mean(quantum_calls) < np.mean(classical_calls)
+
+    def test_search_result_metadata(self, rng):
+        t = QuantumTable("t", 5, [7])
+        result = quantum_select(t, lambda k: k == 7, rng=rng)
+        assert result.info["search_space"] == 32
+        assert result.info["num_marked"] == 1
+
+
+class TestSetOps:
+    def _tables(self):
+        a = QuantumTable("a", 5, [1, 4, 9, 16, 25])
+        b = QuantumTable("b", 5, [4, 9, 30])
+        return a, b
+
+    def test_intersection(self, rng):
+        a, b = self._tables()
+        result = quantum_intersection(a, b, rng=rng)
+        assert result.keys == frozenset({4, 9})
+
+    def test_difference(self, rng):
+        a, b = self._tables()
+        result = quantum_difference(a, b, rng=rng)
+        assert result.keys == frozenset({1, 16, 25})
+
+    def test_union(self, rng):
+        a, b = self._tables()
+        result = quantum_union(a, b, rng=rng)
+        assert result.keys == frozenset({1, 4, 9, 16, 25, 30})
+
+    def test_empty_intersection(self, rng):
+        a = QuantumTable("a", 4, [1, 2])
+        b = QuantumTable("b", 4, [8, 9])
+        assert quantum_intersection(a, b, rng=rng).keys == frozenset()
+
+    def test_incompatible_encodings(self, rng):
+        a = QuantumTable("a", 4, [1])
+        b = QuantumTable("b", 5, [1])
+        with pytest.raises(ReproError):
+            quantum_intersection(a, b, rng=rng)
+
+    def test_classical_cost_model(self):
+        a, b = self._tables()
+        assert classical_intersection_calls(a, b) == 5
+
+
+class TestJoin:
+    def test_equi_join_matches_classical(self, rng):
+        a = QuantumTable("a", 4, [1, 3, 5, 7])
+        b = QuantumTable("b", 4, [3, 5, 8])
+        q = quantum_join(a, b, rng=rng)
+        c = classical_join(a, b)
+        assert q.pairs == c.pairs == frozenset({(3, 3), (5, 5)})
+
+    def test_theta_join(self, rng):
+        a = QuantumTable("a", 3, [1, 2])
+        b = QuantumTable("b", 3, [2, 3])
+        q = quantum_join(a, b, predicate=lambda x, y: x + y == 4, rng=rng)
+        assert q.pairs == frozenset({(1, 3), (2, 2)})
+
+    def test_empty_join(self, rng):
+        a = QuantumTable("a", 3, [1])
+        b = QuantumTable("b", 3, [2])
+        assert quantum_join(a, b, rng=rng).pairs == frozenset()
+
+    def test_classical_cost_is_product(self):
+        a = QuantumTable("a", 4, [1, 2, 3])
+        b = QuantumTable("b", 4, [4, 5])
+        assert classical_join(a, b).oracle_calls == 6
+
+
+class TestDml:
+    def test_insert_stays_uniform(self):
+        t = QuantumTable("t", 4, [1, 5, 9])
+        s = insert_into_superposition(t.prepare_state(), 12)
+        assert support(s) == frozenset({1, 5, 9, 12})
+        assert s.probability(12) == pytest.approx(0.25)
+
+    def test_insert_existing_rejected(self):
+        t = QuantumTable("t", 4, [1])
+        with pytest.raises(ReproError):
+            insert_into_superposition(t.prepare_state(), 1)
+
+    def test_delete(self):
+        t = QuantumTable("t", 4, [1, 5, 9])
+        s = delete_from_superposition(t.prepare_state(), 5)
+        assert support(s) == frozenset({1, 9})
+        assert s.probability(1) == pytest.approx(0.5)
+
+    def test_delete_last_rejected(self):
+        t = QuantumTable("t", 4, [1])
+        with pytest.raises(ReproError):
+            delete_from_superposition(t.prepare_state(), 1)
+
+    def test_update_is_permutation(self):
+        t = QuantumTable("t", 4, [1, 5])
+        s = update_superposition(t.prepare_state(), 5, 9)
+        assert support(s) == frozenset({1, 9})
+        assert s.is_normalized()
+
+
+class TestQQL:
+    @pytest.fixture
+    def engine(self):
+        eng = QQLEngine()
+        eng.execute("CREATE TABLE emp QUBITS 6")
+        eng.execute("INSERT INTO emp VALUES (3, 17, 42, 55)")
+        eng.execute("CREATE TABLE dept QUBITS 6")
+        eng.execute("INSERT INTO dept VALUES (17, 42, 33)")
+        return eng
+
+    def test_point_select(self, engine):
+        r = engine.execute("SELECT * FROM emp WHERE key = 42", rng=0)
+        assert r.keys == [42]
+        assert r.method == "grover"
+        assert r.oracle_calls > 0
+
+    def test_range_select(self, engine):
+        r = engine.execute("SELECT * FROM emp WHERE key < 20", rng=1)
+        assert r.keys == [3, 17]
+
+    def test_select_all(self, engine):
+        assert engine.execute("SELECT * FROM emp").keys == [3, 17, 42, 55]
+
+    def test_setops(self, engine):
+        assert engine.execute("SELECT * FROM emp INTERSECT dept", rng=2).keys == [17, 42]
+        assert engine.execute("SELECT * FROM emp EXCEPT dept", rng=3).keys == [3, 55]
+        assert engine.execute("SELECT * FROM emp UNION dept", rng=4).keys == [3, 17, 33, 42, 55]
+
+    def test_join(self, engine):
+        r = engine.execute("SELECT * FROM emp JOIN dept", rng=5)
+        assert r.pairs == [(17, 17), (42, 42)]
+
+    def test_dml_statements(self, engine):
+        assert engine.execute("DELETE FROM emp WHERE key = 3").rows_affected == 1
+        assert engine.execute("UPDATE emp SET key = 11 WHERE key = 17").rows_affected == 1
+        assert engine.execute("INSERT INTO emp VALUES (60)").rows_affected == 1
+        assert engine.execute("SELECT * FROM emp").keys == [11, 42, 55, 60]
+
+    def test_classical_backend(self, engine):
+        ceng = QQLEngine(backend="classical")
+        ceng.execute("CREATE TABLE t QUBITS 5")
+        ceng.execute("INSERT INTO t VALUES (1, 9)")
+        r = ceng.execute("SELECT * FROM t WHERE key = 9", rng=0)
+        assert r.keys == [9]
+        assert r.method == "classical_scan"
+
+    def test_parse_errors(self, engine):
+        for bad in ("DROP TABLE emp", "SELECT key FROM emp", "INSERT INTO emp VALUES ()"):
+            with pytest.raises((ParseError, ReproError)):
+                engine.execute(bad)
+
+    def test_duplicate_create_rejected(self, engine):
+        with pytest.raises(ReproError):
+            engine.execute("CREATE TABLE emp QUBITS 4")
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=8),
+       st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=8),
+       st.integers(min_value=0, max_value=10**6))
+def test_property_setops_match_python_sets(a_keys, b_keys, seed):
+    a = QuantumTable("a", 5, a_keys)
+    b = QuantumTable("b", 5, b_keys)
+    rng = np.random.default_rng(seed)
+    assert quantum_intersection(a, b, rng=rng).keys == frozenset(a_keys & b_keys)
+    assert quantum_difference(a, b, rng=rng).keys == frozenset(a_keys - b_keys)
+    assert quantum_union(a, b, rng=rng).keys == frozenset(a_keys | b_keys)

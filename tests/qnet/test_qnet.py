@@ -1,0 +1,258 @@
+"""Tests for the quantum-internet substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProtocolError, ReproError, SimulationError
+from repro.qnet.epr import bell_measurement, create_epr_pair
+from repro.qnet.link import EntanglementLink, fidelity_to_werner, werner_to_fidelity
+from repro.qnet.network import QuantumNetwork
+from repro.qnet.nocloning import UNIVERSAL_CLONER_FIDELITY, UniversalCloner, attempt_exact_clone, cloning_is_impossible
+from repro.qnet.qkd import run_bb84, run_e91
+from repro.qnet.repeater import chain_fidelity, purify, purify_to_target, swap_fidelity
+from repro.qnet.superdense import superdense_decode, superdense_encode
+from repro.qnet.teleport import teleport, teleport_fidelity_via_werner, teleport_via_werner
+from repro.exceptions import NoCloningError
+from repro.quantum.bell import bell_state
+from repro.quantum.density import DensityMatrix
+from repro.quantum.gates import H_MATRIX, cnot_gate
+from repro.quantum.state import Statevector
+
+
+def _random_qubit(seed):
+    gen = np.random.default_rng(seed)
+    return Statevector(gen.normal(size=2) + 1j * gen.normal(size=2))
+
+
+class TestEprTeleport:
+    def test_epr_pair_is_phi_plus(self):
+        assert create_epr_pair().fidelity(bell_state("phi+")) == pytest.approx(1.0)
+
+    def test_bell_measurement_identifies_states(self, rng):
+        expected = {"phi+": (0, 0), "psi+": (0, 1), "phi-": (1, 0), "psi-": (1, 1)}
+        for kind, bits in expected.items():
+            outcome, _ = bell_measurement(bell_state(kind), (0, 1), rng=rng)
+            assert outcome == bits
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_teleport_perfect_fidelity(self, seed):
+        msg = _random_qubit(seed)
+        result = teleport(msg, rng=seed)
+        assert result.fidelity == pytest.approx(1.0)
+
+    def test_teleport_rejects_multiqubit(self):
+        with pytest.raises(SimulationError):
+            teleport(bell_state("phi+"))
+
+    def test_werner_teleport_matches_formula(self):
+        """Exact mixed-state teleportation agrees with (2F+1)/3 on average."""
+        for pair_f in (1.0, 0.9, 0.75):
+            fids = []
+            for seed in range(6):
+                msg = _random_qubit(seed)
+                _, f = teleport_via_werner(msg, pair_f, rng=seed)
+                fids.append(f)
+            assert np.mean(fids) == pytest.approx(
+                teleport_fidelity_via_werner(pair_f), abs=0.02
+            )
+
+    def test_superdense_all_messages(self, rng):
+        for bits in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+            assert superdense_decode(superdense_encode(bits), rng=rng) == bits
+
+
+class TestWernerAlgebra:
+    def test_fidelity_werner_roundtrip(self):
+        for f in (0.25, 0.5, 0.8, 1.0):
+            assert werner_to_fidelity(fidelity_to_werner(f)) == pytest.approx(f)
+
+    def test_swap_perfect_pairs(self):
+        assert swap_fidelity(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_swap_degrades(self):
+        assert swap_fidelity(0.9, 0.9) < 0.9
+
+    def test_swap_matches_density_simulation(self):
+        """Cross-validate the Werner algebra against the exact simulator."""
+        f1, f2 = 0.9, 0.85
+        rho = DensityMatrix.werner(f1).tensor(DensityMatrix.werner(f2))
+        rho.apply_matrix(cnot_gate().matrix, [1, 2])
+        rho.apply_matrix(H_MATRIX, [1])
+        idx = np.arange(16)
+        mask = (((idx >> 2) & 1) == 0) & (((idx >> 1) & 1) == 0)
+        proj = np.where(mask, 1.0, 0.0)
+        m = rho.matrix * np.outer(proj, proj)
+        m = m / np.trace(m).real
+        reduced = DensityMatrix(m, validate=False).partial_trace([0, 3])
+        assert reduced.fidelity_with_pure(bell_state("phi+")) == pytest.approx(
+            swap_fidelity(f1, f2), abs=1e-9
+        )
+
+    def test_chain_fidelity_monotone_in_length(self):
+        fids = [chain_fidelity([0.95] * k) for k in range(1, 7)]
+        assert all(a > b for a, b in zip(fids, fids[1:]))
+
+    def test_purification_improves_above_half(self):
+        result = purify(0.8, 0.8)
+        assert result.output_fidelity > 0.8
+        assert 0.0 < result.success_probability <= 1.0
+
+    def test_nested_purification_reaches_target(self):
+        f, rounds, pairs = purify_to_target(0.8, 0.95)
+        assert f >= 0.95
+        assert pairs > 2.0
+
+    def test_pumping_saturates(self):
+        with pytest.raises(ReproError):
+            purify_to_target(0.8, 0.99, scheme="pumping")
+
+    def test_purify_validates_inputs(self):
+        with pytest.raises(ReproError):
+            purify(0.1, 0.9)
+
+
+class TestLinksAndNetwork:
+    def test_link_generation_deterministic(self):
+        link = EntanglementLink(success_prob=0.5)
+        a = link.generate(rng=3)
+        b = link.generate(rng=3)
+        assert a.attempts == b.attempts
+
+    def test_link_decoherence(self):
+        link = EntanglementLink(base_fidelity=0.95, memory_coherence_time=10.0)
+        assert link.decohere(0.95, 10.0) < 0.95
+        assert link.decohere(0.95, 0.0) == pytest.approx(0.95)
+
+    def test_link_validation(self):
+        with pytest.raises(ReproError):
+            EntanglementLink(success_prob=0.0)
+        with pytest.raises(ReproError):
+            EntanglementLink(base_fidelity=0.1)
+
+    def test_chain_topology(self):
+        net = QuantumNetwork.chain(4)
+        assert net.nodes == ["n0", "n1", "n2", "n3"]
+        assert net.shortest_path("n0", "n3") == ["n0", "n1", "n2", "n3"]
+
+    def test_grid_routing(self):
+        net = QuantumNetwork.grid(3, 3)
+        path = net.shortest_path("n0_0", "n2_2")
+        assert len(path) == 5
+
+    def test_best_fidelity_routing_avoids_bad_link(self):
+        net = QuantumNetwork()
+        for n in ("a", "b", "c"):
+            net.add_node(n)
+        net.add_link("a", "c", EntanglementLink(base_fidelity=0.6))
+        net.add_link("a", "b", EntanglementLink(base_fidelity=0.98))
+        net.add_link("b", "c", EntanglementLink(base_fidelity=0.98))
+        assert net.shortest_path("a", "c") == ["a", "c"]
+        assert net.best_fidelity_path("a", "c") == ["a", "b", "c"]
+
+    def test_distribute_fidelity_decays_with_hops(self):
+        link = EntanglementLink(success_prob=1.0, base_fidelity=0.96)
+        results = []
+        for n in (2, 4, 6):
+            net = QuantumNetwork.chain(n, link)
+            res = net.distribute("n0", f"n{n - 1}", rng=0)
+            results.append(res.fidelity)
+        assert results[0] > results[1] > results[2]
+
+    def test_distribute_with_purification_target(self):
+        net = QuantumNetwork.chain(5, EntanglementLink(success_prob=0.8, base_fidelity=0.95))
+        res = net.distribute("n0", "n4", rng=1, min_fidelity=0.9)
+        assert res.fidelity >= 0.9
+        assert res.pairs_consumed > 1.0
+
+    def test_no_path_raises(self):
+        net = QuantumNetwork()
+        net.add_node("a")
+        net.add_node("b")
+        with pytest.raises(ProtocolError):
+            net.distribute("a", "b", rng=0)
+
+    def test_same_node_rejected(self):
+        net = QuantumNetwork.chain(2)
+        with pytest.raises(ProtocolError):
+            net.distribute("n0", "n0", rng=0)
+
+
+class TestQKD:
+    def test_bb84_honest_low_qber(self):
+        result = run_bb84(256, eve=False, rng=0)
+        assert result.qber == pytest.approx(0.0, abs=0.02)
+        assert not result.aborted
+        assert len(result.key) > 0
+
+    def test_bb84_eve_raises_qber(self):
+        result = run_bb84(512, eve=True, rng=1)
+        assert result.qber == pytest.approx(0.25, abs=0.08)
+        assert result.aborted
+        assert result.key == []
+
+    def test_bb84_channel_noise(self):
+        result = run_bb84(512, eve=False, channel_flip_prob=0.05, rng=2)
+        assert 0.0 < result.qber < 0.12
+
+    def test_bb84_sifting_keeps_about_half(self):
+        result = run_bb84(512, eve=False, rng=3)
+        assert result.sifted_length == pytest.approx(256, abs=60)
+
+    def test_e91_honest_violates_chsh(self):
+        result = run_e91(600, eve=False, rng=4)
+        assert result.chsh_value > 2.0
+        assert result.secure
+        assert len(result.key) > 0
+
+    def test_e91_eve_destroys_violation(self):
+        result = run_e91(600, eve=True, rng=5)
+        assert abs(result.chsh_value) <= 2.1
+        assert not result.secure
+
+    def test_bb84_minimum_size(self):
+        with pytest.raises(ReproError):
+            run_bb84(4)
+
+
+class TestNoCloning:
+    def test_nonorthogonal_cannot_clone(self):
+        zero = Statevector.zero_state(1)
+        plus = Statevector([1, 1])
+        assert cloning_is_impossible(zero, plus)
+
+    def test_orthogonal_can_clone(self):
+        zero = Statevector.zero_state(1)
+        one = Statevector.from_label("1")
+        assert not cloning_is_impossible(zero, one)
+
+    def test_attempt_exact_clone_raises(self):
+        with pytest.raises(NoCloningError):
+            attempt_exact_clone(Statevector.zero_state(1))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_universal_cloner_fidelity_is_five_sixths(self, seed):
+        cloner = UniversalCloner()
+        assert cloner.copy_fidelity(_random_qubit(seed)) == pytest.approx(
+            UNIVERSAL_CLONER_FIDELITY
+        )
+
+    def test_cloner_outputs_are_mixed(self):
+        copy_a, copy_b = UniversalCloner().clone(Statevector.zero_state(1))
+        assert copy_a.purity() < 1.0
+        assert np.allclose(copy_a.matrix, copy_b.matrix)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.floats(min_value=0.5, max_value=1.0), st.floats(min_value=0.5, max_value=1.0))
+def test_property_swap_never_improves(f1, f2):
+    out = swap_fidelity(f1, f2)
+    assert out <= max(f1, f2) + 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.floats(min_value=0.7, max_value=0.99))
+def test_property_purification_moves_toward_one(f):
+    result = purify(f, f)
+    assert result.output_fidelity > f

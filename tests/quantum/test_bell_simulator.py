@@ -1,0 +1,127 @@
+"""Tests for repro.quantum.bell and repro.quantum.simulator / measurement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.bell import bell_circuit, bell_state, ghz_circuit, ghz_state, w_state
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.measurement import (
+    counts_to_probabilities,
+    expectation_from_counts,
+    expectation_value,
+    sample_counts,
+)
+from repro.quantum.pauli import IsingHamiltonian, PauliString, PauliSum
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.state import Statevector
+
+SIM = StatevectorSimulator()
+
+
+class TestBellStates:
+    @pytest.mark.parametrize("kind", ["phi+", "phi-", "psi+", "psi-"])
+    def test_bell_states_normalised(self, kind):
+        assert bell_state(kind).is_normalized()
+
+    def test_bell_states_orthogonal(self):
+        kinds = ["phi+", "phi-", "psi+", "psi-"]
+        for i, a in enumerate(kinds):
+            for b in kinds[i + 1 :]:
+                assert abs(bell_state(a).inner(bell_state(b))) == pytest.approx(0.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            bell_state("sigma")
+
+    def test_bell_circuit_prepares_phi_plus(self):
+        assert SIM.run(bell_circuit()).fidelity(bell_state("phi+")) == pytest.approx(1.0)
+
+    def test_ghz_circuit(self):
+        for n in (2, 3, 5):
+            assert SIM.run(ghz_circuit(n)).fidelity(ghz_state(n)) == pytest.approx(1.0)
+
+    def test_ghz_correlations(self, rng):
+        """Example IV.1-style perfect correlation: both qubits always agree."""
+        for _ in range(20):
+            bits, _ = bell_state("phi+").measure(rng=rng)
+            assert bits[0] == bits[1]
+
+    def test_w_state_weight_one(self):
+        s = w_state(4)
+        probs = s.probabilities()
+        support = np.nonzero(probs > 1e-12)[0]
+        assert set(support) == {0b1000, 0b0100, 0b0010, 0b0001}
+
+    def test_ghz_needs_two_qubits(self):
+        with pytest.raises(SimulationError):
+            ghz_state(1)
+
+
+class TestSimulator:
+    def test_initial_state_width_checked(self):
+        with pytest.raises(SimulationError):
+            SIM.run(QuantumCircuit(2).h(0), initial_state=Statevector.zero_state(1))
+
+    def test_qubit_limit(self):
+        small = StatevectorSimulator(max_qubits=2)
+        with pytest.raises(SimulationError):
+            small.run(QuantumCircuit(3).h(0))
+
+    def test_sample_seeded_reproducible(self):
+        qc = QuantumCircuit(1).h(0)
+        a = SIM.sample(qc, 100, rng=5)
+        b = SIM.sample(qc, 100, rng=5)
+        assert a == b
+
+    def test_expectation_api(self):
+        qc = QuantumCircuit(1).x(0)
+        assert SIM.expectation(qc, np.array([1.0, -1.0])) == pytest.approx(-1.0)
+
+
+class TestMeasurementHelpers:
+    def test_counts_to_probabilities(self):
+        probs = counts_to_probabilities({"00": 25, "11": 75})
+        assert probs["11"] == pytest.approx(0.75)
+
+    def test_counts_to_probabilities_empty(self):
+        with pytest.raises(SimulationError):
+            counts_to_probabilities({})
+
+    def test_expectation_value_pauli_sum(self):
+        ham = PauliSum([PauliString("Z", 1.0)])
+        assert expectation_value(Statevector.from_label("1"), ham) == pytest.approx(-1.0)
+
+    def test_expectation_value_ising(self):
+        ham = IsingHamiltonian(1, linear={0: 1.0})
+        assert expectation_value(Statevector.from_label("0"), ham) == pytest.approx(1.0)
+
+    def test_expectation_value_matrix(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        plus = Statevector([1, 1])
+        assert expectation_value(plus, x) == pytest.approx(1.0)
+
+    def test_expectation_from_counts(self):
+        diag = np.array([1.0, -1.0])
+        counts = {"0": 60, "1": 40}
+        assert expectation_from_counts(counts, diag) == pytest.approx(0.2)
+
+    def test_sample_counts_wrapper(self, rng):
+        counts = sample_counts(Statevector.uniform_superposition(1), 1000, rng=rng)
+        assert sum(counts.values()) == 1000
+
+
+class TestPaperExampleII1:
+    """Example II.1: |psi> = (|0> + |1>)/sqrt(2) measures 0/1 with p=1/2."""
+
+    def test_amplitudes(self):
+        psi = Statevector([1 / math.sqrt(2), 1 / math.sqrt(2)])
+        assert psi.probability("0") == pytest.approx(0.5)
+        assert psi.probability("1") == pytest.approx(0.5)
+
+    def test_empirical(self, rng):
+        psi = Statevector([1 / math.sqrt(2), 1 / math.sqrt(2)])
+        counts = psi.sample_counts(40000, rng=rng)
+        assert counts["0"] / 40000 == pytest.approx(0.5, abs=0.01)

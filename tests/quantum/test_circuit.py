@@ -1,0 +1,148 @@
+"""Tests for repro.quantum.circuit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.gates import standard_gate
+from repro.quantum.simulator import StatevectorSimulator
+from repro.quantum.state import Statevector
+
+SIM = StatevectorSimulator()
+
+
+class TestBuilding:
+    def test_builder_chaining(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        assert qc.size() == 2
+        assert [op.gate.name for op in qc] == ["h", "cx"]
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(SimulationError):
+            QuantumCircuit(0)
+
+    def test_rejects_out_of_range_qubit(self):
+        with pytest.raises(SimulationError):
+            QuantumCircuit(1).x(1)
+
+    def test_rejects_duplicate_qubits(self):
+        with pytest.raises(SimulationError):
+            QuantumCircuit(2).cx(1, 1)
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(SimulationError):
+            QuantumCircuit(2).append(standard_gate("swap"), (0,))
+
+    def test_count_ops(self):
+        qc = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert qc.count_ops() == {"h": 2, "cx": 1}
+
+    def test_depth(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        assert qc.depth() == 1
+        qc.cx(0, 1)
+        assert qc.depth() == 2
+
+    def test_h_all(self):
+        qc = QuantumCircuit(3).h_all()
+        state = SIM.run(qc)
+        assert np.allclose(state.probabilities(), np.full(8, 1 / 8))
+
+    def test_mcx(self):
+        qc = QuantumCircuit(4).x(0).x(1).x(2).mcx([0, 1, 2], 3)
+        state = SIM.run(qc)
+        assert state.probability("1111") == pytest.approx(1.0)
+
+    def test_mcz_single_qubit(self):
+        qc = QuantumCircuit(1).mcz([0])
+        assert qc.operations[0].gate.name == "z"
+
+
+class TestSemantics:
+    def test_bell_preparation(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        state = SIM.run(qc)
+        assert state.probability("00") == pytest.approx(0.5)
+        assert state.probability("11") == pytest.approx(0.5)
+        assert state.probability("01") == pytest.approx(0.0)
+
+    def test_swap(self):
+        qc = QuantumCircuit(2).swap(0, 1)
+        state = SIM.run(qc, initial_state=Statevector.from_label("10"))
+        assert state.probability("01") == pytest.approx(1.0)
+
+    def test_rzz_equals_cnot_rz_cnot(self):
+        theta = 0.83
+        direct = QuantumCircuit(2).rzz(theta, 0, 1)
+        decomposed = QuantumCircuit(2).cx(0, 1).rz(theta, 1).cx(0, 1)
+        assert np.allclose(direct.to_matrix(), decomposed.to_matrix())
+
+    def test_ccx_truth_table(self):
+        qc = QuantumCircuit(3).ccx(0, 1, 2)
+        mat = qc.to_matrix()
+        # |110> -> |111> and vice versa; everything else fixed.
+        assert mat[7, 6] == pytest.approx(1.0)
+        assert mat[6, 7] == pytest.approx(1.0)
+        assert mat[0, 0] == pytest.approx(1.0)
+
+    def test_diagonal_phase(self):
+        qc = QuantumCircuit(1).h(0).diagonal([0.0, math.pi], [0]).h(0)
+        state = SIM.run(qc)
+        # HZH = X.
+        assert state.probability("1") == pytest.approx(1.0)
+
+
+class TestComposition:
+    def test_compose_identity_mapping(self):
+        inner = QuantumCircuit(1).x(0)
+        outer = QuantumCircuit(2).compose(inner)
+        state = SIM.run(outer)
+        assert state.probability("10") == pytest.approx(1.0)
+
+    def test_compose_remapped(self):
+        inner = QuantumCircuit(1).x(0)
+        outer = QuantumCircuit(2).compose(inner, qubits=[1])
+        state = SIM.run(outer)
+        assert state.probability("01") == pytest.approx(1.0)
+
+    def test_compose_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            QuantumCircuit(2).compose(QuantumCircuit(2), qubits=[0])
+
+    def test_inverse_undoes(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).t(1).ry(0.3, 0)
+        roundtrip = qc.copy().compose(qc.inverse())
+        state = SIM.run(roundtrip)
+        assert state.probability("00") == pytest.approx(1.0)
+
+    def test_power(self):
+        qc = QuantumCircuit(1).x(0)
+        assert SIM.run(qc.power(2)).probability("0") == pytest.approx(1.0)
+        assert SIM.run(qc.power(3)).probability("1") == pytest.approx(1.0)
+
+    def test_power_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            QuantumCircuit(1).power(-1)
+
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(1).x(0)
+        dup = qc.copy()
+        dup.x(0)
+        assert qc.size() == 1
+        assert dup.size() == 2
+
+
+class TestToMatrix:
+    def test_to_matrix_unitary(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).s(1)
+        mat = qc.to_matrix()
+        assert np.allclose(mat @ mat.conj().T, np.eye(4))
+
+    def test_to_matrix_matches_simulation(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        mat = qc.to_matrix()
+        state = SIM.run(qc)
+        assert np.allclose(mat[:, 0], state.data)

@@ -1,0 +1,170 @@
+"""Tests for repro.quantum.density and repro.quantum.noise."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.quantum.bell import bell_circuit, bell_state
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.density import DensityMatrix, DensitySimulator
+from repro.quantum.gates import X_MATRIX
+from repro.quantum.noise import (
+    NoiseModel,
+    amplitude_damping,
+    bit_flip,
+    depolarizing,
+    is_cptp,
+    phase_damping,
+    phase_flip,
+)
+from repro.quantum.state import Statevector
+
+
+class TestDensityMatrix:
+    def test_from_statevector_pure(self):
+        rho = DensityMatrix.from_statevector(Statevector.from_label("01"))
+        assert rho.purity() == pytest.approx(1.0)
+        assert rho.probabilities()[1] == pytest.approx(1.0)
+
+    def test_maximally_mixed(self):
+        rho = DensityMatrix.maximally_mixed(2)
+        assert rho.purity() == pytest.approx(0.25)
+        assert np.allclose(rho.probabilities(), np.full(4, 0.25))
+
+    def test_rejects_non_hermitian(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix(np.array([[1.0, 1.0], [0.0, 0.0]]))
+
+    def test_trace_normalisation(self):
+        rho = DensityMatrix(np.diag([2.0, 2.0]).astype(complex))
+        assert np.trace(rho.matrix).real == pytest.approx(1.0)
+
+    def test_apply_gate_pure_evolution(self):
+        rho = DensityMatrix.zero_state(1).apply_matrix(X_MATRIX, [0])
+        assert rho.probabilities()[1] == pytest.approx(1.0)
+
+    def test_werner_fidelity(self):
+        for f in (0.5, 0.75, 1.0):
+            rho = DensityMatrix.werner(f)
+            assert rho.fidelity_with_pure(bell_state("phi+")) == pytest.approx(f)
+
+    def test_werner_rejects_bad_fidelity(self):
+        with pytest.raises(SimulationError):
+            DensityMatrix.werner(1.5)
+
+    def test_partial_trace_bell(self):
+        rho = DensityMatrix.from_statevector(bell_state("phi+"))
+        reduced = rho.partial_trace([0])
+        assert np.allclose(reduced.matrix, np.eye(2) / 2)
+
+    def test_tensor(self):
+        a = DensityMatrix.zero_state(1)
+        b = DensityMatrix.from_statevector(Statevector.from_label("1"))
+        ab = a.tensor(b)
+        assert ab.probabilities()[0b01] == pytest.approx(1.0)
+
+    def test_measure_deterministic(self, rng):
+        rho = DensityMatrix.from_statevector(Statevector.from_label("10"))
+        bits, post = rho.measure(rng=rng)
+        assert bits == (1, 0)
+        assert post.probabilities()[2] == pytest.approx(1.0)
+
+    def test_measure_subset_collapse(self, rng):
+        rho = DensityMatrix.from_statevector(bell_state("phi+"))
+        bits, post = rho.measure([0], rng=rng)
+        # After measuring one half of a Bell pair the other half is determined.
+        expected = bits[0] * 3  # |00> or |11>
+        assert post.probabilities()[expected] == pytest.approx(1.0)
+
+    def test_sample_counts(self, rng):
+        rho = DensityMatrix.maximally_mixed(1)
+        counts = rho.sample_counts(10000, rng=rng)
+        assert counts["0"] == pytest.approx(5000, abs=350)
+
+    def test_expectation(self):
+        rho = DensityMatrix.zero_state(1)
+        assert rho.expectation(np.diag([1.0, -1.0])) == pytest.approx(1.0)
+
+
+class TestChannels:
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            bit_flip(0.1),
+            phase_flip(0.2),
+            depolarizing(0.3),
+            depolarizing(0.1, num_qubits=2),
+            amplitude_damping(0.25),
+            phase_damping(0.4),
+        ],
+    )
+    def test_cptp(self, channel):
+        assert is_cptp(channel)
+
+    def test_probability_validated(self):
+        with pytest.raises(SimulationError):
+            bit_flip(1.5)
+
+    def test_bit_flip_action(self):
+        rho = DensityMatrix.zero_state(1).apply_kraus(bit_flip(0.3), [0])
+        assert rho.probabilities()[1] == pytest.approx(0.3)
+
+    def test_full_depolarizing_gives_mixed(self):
+        rho = DensityMatrix.zero_state(1).apply_kraus(depolarizing(1.0), [0])
+        assert np.allclose(rho.matrix, np.eye(2) / 2, atol=1e-9)
+
+    def test_amplitude_damping_decays_excited(self):
+        rho = DensityMatrix.from_statevector(Statevector.from_label("1"))
+        rho.apply_kraus(amplitude_damping(0.5), [0])
+        assert rho.probabilities()[0] == pytest.approx(0.5)
+
+    def test_phase_damping_kills_coherence(self):
+        plus = Statevector([1, 1])
+        rho = DensityMatrix.from_statevector(plus)
+        rho.apply_kraus(phase_damping(1.0), [0])
+        assert abs(rho.matrix[0, 1]) == pytest.approx(0.0, abs=1e-12)
+        assert rho.probabilities()[0] == pytest.approx(0.5)
+
+
+class TestDensitySimulator:
+    def test_noiseless_matches_statevector(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).t(1)
+        from repro.quantum.simulator import StatevectorSimulator
+
+        pure = StatevectorSimulator().run(qc)
+        rho = DensitySimulator().run(qc)
+        assert rho.fidelity_with_pure(pure) == pytest.approx(1.0)
+
+    def test_depolarizing_reduces_fidelity(self):
+        noise = NoiseModel.uniform_depolarizing(0.02)
+        rho = DensitySimulator().run(bell_circuit(), noise_model=noise)
+        fid = rho.fidelity_with_pure(bell_state("phi+"))
+        assert 0.7 < fid < 1.0
+
+    def test_noise_scaling(self):
+        weak = DensitySimulator().run(
+            bell_circuit(), noise_model=NoiseModel.uniform_depolarizing(0.005)
+        )
+        strong = DensitySimulator().run(
+            bell_circuit(), noise_model=NoiseModel.uniform_depolarizing(0.05)
+        )
+        f_weak = weak.fidelity_with_pure(bell_state("phi+"))
+        f_strong = strong.fidelity_with_pure(bell_state("phi+"))
+        assert f_weak > f_strong
+
+    def test_gate_specific_noise(self):
+        noise = NoiseModel(gate_errors={"h": bit_flip(1.0)})
+        qc = QuantumCircuit(1).h(0)
+        rho = DensitySimulator().run(qc, noise_model=noise)
+        # X after H leaves |+> invariant.
+        plus = Statevector([1, 1])
+        assert rho.fidelity_with_pure(plus) == pytest.approx(1.0)
+
+    def test_qubit_limit(self):
+        sim = DensitySimulator(max_qubits=2)
+        with pytest.raises(SimulationError):
+            sim.run(QuantumCircuit(3).h(0))
+
+    def test_noise_model_rejects_non_cptp(self):
+        with pytest.raises(SimulationError):
+            NoiseModel(error_1q=[np.eye(2) * 0.5])

@@ -1,0 +1,142 @@
+"""Tests for repro.quantum.gates."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.quantum.gates import (
+    Gate,
+    cnot_gate,
+    controlled,
+    cz_gate,
+    diagonal_gate,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    rzz_matrix,
+    standard_gate,
+    toffoli_gate,
+    u3_matrix,
+)
+
+_FIXED = ["i", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "swap"]
+
+
+@pytest.mark.parametrize("name", _FIXED)
+def test_fixed_gates_unitary(name):
+    assert standard_gate(name).is_unitary()
+
+
+@pytest.mark.parametrize("name", ["rx", "ry", "rz", "p", "rzz", "rxx"])
+@pytest.mark.parametrize("theta", [0.0, 0.3, math.pi, -2.1])
+def test_parametric_gates_unitary(name, theta):
+    assert standard_gate(name, theta).is_unitary()
+
+
+def test_u3_unitary():
+    assert standard_gate("u3", 0.3, 1.2, -0.7).is_unitary()
+
+
+def test_unknown_gate():
+    with pytest.raises(SimulationError):
+        standard_gate("nope")
+
+
+def test_fixed_gate_rejects_params():
+    with pytest.raises(SimulationError):
+        standard_gate("x", 0.5)
+
+
+def test_parametric_gate_arity_checked():
+    with pytest.raises(SimulationError):
+        standard_gate("rx")
+
+
+def test_gate_num_qubits():
+    assert standard_gate("x").num_qubits == 1
+    assert standard_gate("swap").num_qubits == 2
+    assert toffoli_gate().num_qubits == 3
+
+
+def test_gate_rejects_bad_dimension():
+    with pytest.raises(SimulationError):
+        Gate("bad", np.eye(3))
+
+
+def test_inverse_is_adjoint():
+    g = standard_gate("t")
+    assert np.allclose(g.matrix @ g.inverse().matrix, np.eye(2))
+
+
+def test_controlled_structure():
+    cx = cnot_gate()
+    expected = np.array([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]])
+    assert np.allclose(cx.matrix, expected)
+
+
+def test_cz_symmetric():
+    assert np.allclose(cz_gate().matrix, np.diag([1, 1, 1, -1]))
+
+
+def test_double_controlled():
+    ccx = toffoli_gate()
+    assert ccx.matrix.shape == (8, 8)
+    assert ccx.matrix[7, 6] == 1
+    assert ccx.matrix[6, 7] == 1
+    assert ccx.matrix[5, 5] == 1
+
+
+def test_controlled_requires_positive_controls():
+    with pytest.raises(SimulationError):
+        controlled(standard_gate("x"), num_controls=0)
+
+
+def test_rotation_identities():
+    # RZ(2π) = -I (spin-half rotation), RX(0) = I.
+    assert np.allclose(rz_matrix(2 * math.pi), -np.eye(2))
+    assert np.allclose(rx_matrix(0.0), np.eye(2))
+    # RY(π)|0> = |1> up to sign.
+    assert np.allclose(np.abs(ry_matrix(math.pi) @ [1, 0]), [0, 1])
+
+
+def test_rzz_diagonal():
+    mat = rzz_matrix(0.7)
+    assert np.allclose(mat, np.diag(np.diag(mat)))
+    # Equal-spin states get the e^{-i θ/2} phase.
+    assert mat[0, 0] == pytest.approx(np.exp(-1j * 0.35))
+    assert mat[3, 3] == pytest.approx(np.exp(-1j * 0.35))
+    assert mat[1, 1] == pytest.approx(np.exp(1j * 0.35))
+
+
+def test_u3_special_cases():
+    assert np.allclose(u3_matrix(0, 0, 0), np.eye(2))
+    h = u3_matrix(math.pi / 2, 0, math.pi)
+    assert np.allclose(np.abs(h), np.full((2, 2), 1 / math.sqrt(2)))
+
+
+def test_diagonal_gate():
+    g = diagonal_gate([0.0, math.pi])
+    assert g.is_unitary()
+    assert np.allclose(g.matrix, np.diag([1, -1]))
+
+
+def test_gate_name_of_controlled():
+    assert controlled(standard_gate("z"), 2).name == "ccz"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=-6.0, max_value=6.0, allow_nan=False))
+def test_property_rz_composition(theta):
+    """RZ(a) RZ(b) == RZ(a+b)."""
+    assert np.allclose(rz_matrix(theta) @ rz_matrix(0.5), rz_matrix(theta + 0.5))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=-6.0, max_value=6.0, allow_nan=False))
+def test_property_controlled_preserves_unitarity(theta):
+    g = controlled(standard_gate("ry", theta))
+    assert g.is_unitary()

@@ -1,0 +1,128 @@
+"""Tests for repro.quantum.pauli."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.quantum.bell import bell_state
+from repro.quantum.pauli import IsingHamiltonian, PauliString, PauliSum
+from repro.quantum.state import Statevector
+
+
+class TestPauliString:
+    def test_rejects_bad_chars(self):
+        with pytest.raises(SimulationError):
+            PauliString("XA")
+
+    def test_weight(self):
+        assert PauliString("IXYZ").weight == 3
+
+    def test_matrix_z(self):
+        assert np.allclose(PauliString("Z").matrix(), np.diag([1, -1]))
+
+    def test_matrix_tensor_order(self):
+        # "XI" = X on qubit 0 (most significant).
+        mat = PauliString("XI").matrix()
+        assert mat[0, 2] == 1  # |00> <-> |10>
+
+    def test_diagonal_zz(self):
+        assert np.allclose(PauliString("ZZ").diagonal(), [1, -1, -1, 1])
+
+    def test_diagonal_rejects_x(self):
+        with pytest.raises(SimulationError):
+            PauliString("XZ").diagonal()
+
+    def test_commutation(self):
+        assert PauliString("XX").commutes_with(PauliString("ZZ"))
+        assert not PauliString("XI").commutes_with(PauliString("ZI"))
+        assert PauliString("XI").commutes_with(PauliString("IZ"))
+
+    def test_scalar_multiplication(self):
+        p = 2.0 * PauliString("Z")
+        assert p.coefficient == 2.0
+
+
+class TestPauliSum:
+    def test_expectation_diagonal_fast_path(self):
+        ham = PauliSum([PauliString("ZI", 1.0), PauliString("IZ", 1.0)])
+        assert ham.is_diagonal()
+        s = Statevector.from_label("00")
+        assert ham.expectation(s) == pytest.approx(2.0)
+        s = Statevector.from_label("11")
+        assert ham.expectation(s) == pytest.approx(-2.0)
+
+    def test_expectation_general(self):
+        ham = PauliSum([PauliString("XX", 1.0)])
+        assert ham.expectation(bell_state("phi+")) == pytest.approx(1.0)
+        assert ham.expectation(bell_state("phi-")) == pytest.approx(-1.0)
+
+    def test_width_mismatch(self):
+        with pytest.raises(SimulationError):
+            PauliSum([PauliString("Z"), PauliString("ZZ")])
+
+    def test_add(self):
+        total = PauliSum([PauliString("Z")]) + PauliSum([PauliString("X")])
+        assert len(total) == 2
+
+
+class TestIsingHamiltonian:
+    def test_energies_known(self):
+        ham = IsingHamiltonian(2, linear={0: 1.0}, quadratic={(0, 1): -1.0}, offset=0.5)
+        # order |00>, |01>, |10>, |11> with s = +1 for bit 0
+        assert np.allclose(ham.energies(), [0.5, 2.5, 0.5, -1.5])
+
+    def test_ground(self):
+        ham = IsingHamiltonian(2, linear={}, quadratic={(0, 1): 1.0})
+        energy, idx = ham.ground()
+        assert energy == pytest.approx(-1.0)
+        assert idx in (1, 2)  # antiparallel spins
+
+    def test_energy_of_bits_matches_energies(self):
+        ham = IsingHamiltonian(3, linear={0: 0.3, 2: -1.0}, quadratic={(0, 1): 0.7, (1, 2): -0.2}, offset=0.1)
+        energies = ham.energies()
+        for idx in range(8):
+            bits = [(idx >> (2 - j)) & 1 for j in range(3)]
+            assert ham.energy_of_bits(bits) == pytest.approx(energies[idx])
+
+    def test_quadratic_canonicalised(self):
+        ham = IsingHamiltonian(2, quadratic={(1, 0): 1.0})
+        assert (0, 1) in ham.quadratic
+
+    def test_rejects_self_coupling(self):
+        with pytest.raises(SimulationError):
+            IsingHamiltonian(2, quadratic={(0, 0): 1.0})
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SimulationError):
+            IsingHamiltonian(2, linear={5: 1.0})
+
+    def test_to_pauli_sum_agrees(self):
+        ham = IsingHamiltonian(3, linear={0: 0.5, 1: -0.25}, quadratic={(0, 2): 1.5}, offset=2.0)
+        pauli = ham.to_pauli_sum()
+        assert pauli.is_diagonal()
+        assert np.allclose(pauli.diagonal(), ham.energies())
+
+    def test_expectation_ground_state(self):
+        ham = IsingHamiltonian(2, quadratic={(0, 1): -1.0})
+        energy, idx = ham.ground()
+        s = Statevector.from_basis_index(idx, 2)
+        assert ham.expectation(s) == pytest.approx(energy)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10**9))
+def test_property_ising_energies_match_pauli_matrix(n, seed):
+    """The fast energies() vector equals the dense Pauli-sum diagonal."""
+    gen = np.random.default_rng(seed)
+    linear = {i: float(gen.normal()) for i in range(n) if gen.random() < 0.7}
+    quadratic = {
+        (i, j): float(gen.normal())
+        for i in range(n)
+        for j in range(i + 1, n)
+        if gen.random() < 0.5
+    }
+    ham = IsingHamiltonian(n, linear=linear, quadratic=quadratic, offset=float(gen.normal()))
+    dense = ham.to_pauli_sum().matrix()
+    assert np.allclose(np.diag(dense).real, ham.energies())

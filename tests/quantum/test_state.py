@@ -1,0 +1,248 @@
+"""Tests for repro.quantum.state.Statevector."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.quantum.gates import H_MATRIX, X_MATRIX, standard_gate
+from repro.quantum.state import Statevector, apply_unitary
+
+
+class TestConstruction:
+    def test_zero_state(self):
+        s = Statevector.zero_state(3)
+        assert s.num_qubits == 3
+        assert s.dim == 8
+        assert s.amplitude("000") == 1.0
+        assert s.probability("000") == 1.0
+
+    def test_from_label(self):
+        s = Statevector.from_label("101")
+        assert s.probability("101") == 1.0
+        assert s.probability("010") == 0.0
+
+    def test_from_basis_index(self):
+        s = Statevector.from_basis_index(5, 3)
+        assert s.amplitude("101") == 1.0
+
+    def test_uniform_superposition(self):
+        s = Statevector.uniform_superposition(3)
+        assert np.allclose(s.probabilities(), np.full(8, 1 / 8))
+
+    def test_uniform_over_subset(self):
+        s = Statevector.uniform_over([1, 4, 6], 3)
+        probs = s.probabilities()
+        assert probs[1] == pytest.approx(1 / 3)
+        assert probs[4] == pytest.approx(1 / 3)
+        assert probs[0] == 0.0
+
+    def test_uniform_over_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            Statevector.uniform_over([], 3)
+
+    def test_uniform_over_rejects_duplicates(self):
+        with pytest.raises(SimulationError):
+            Statevector.uniform_over([1, 1], 3)
+
+    def test_normalisation_on_construction(self):
+        s = Statevector([2.0, 0.0])
+        assert s.probability(0) == pytest.approx(1.0)
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(SimulationError):
+            Statevector([0.0, 0.0])
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SimulationError):
+            Statevector([1.0, 0.0, 0.0])
+
+    def test_zero_state_needs_a_qubit(self):
+        with pytest.raises(SimulationError):
+            Statevector.zero_state(0)
+
+
+class TestApply:
+    def test_x_flips(self):
+        s = Statevector.zero_state(1).apply_matrix(X_MATRIX, [0])
+        assert s.probability("1") == pytest.approx(1.0)
+
+    def test_h_superposes(self):
+        s = Statevector.zero_state(1).apply_matrix(H_MATRIX, [0])
+        assert s.probability("0") == pytest.approx(0.5)
+        assert s.probability("1") == pytest.approx(0.5)
+
+    def test_apply_on_selected_qubit(self):
+        s = Statevector.zero_state(3).apply_matrix(X_MATRIX, [1])
+        assert s.probability("010") == pytest.approx(1.0)
+
+    def test_two_qubit_gate_ordering(self):
+        # CNOT with control qubit 0 and target qubit 1 maps |10> -> |11>.
+        cx = np.eye(4)
+        cx[2:, 2:] = [[0, 1], [1, 0]]
+        s = Statevector.from_label("10").apply_matrix(cx, [0, 1])
+        assert s.probability("11") == pytest.approx(1.0)
+
+    def test_two_qubit_gate_reversed_targets(self):
+        # Same CNOT applied to (1, 0) controls on qubit 1 instead.
+        cx = np.eye(4)
+        cx[2:, 2:] = [[0, 1], [1, 0]]
+        s = Statevector.from_label("01").apply_matrix(cx, [1, 0])
+        assert s.probability("11") == pytest.approx(1.0)
+
+    def test_rejects_duplicate_targets(self):
+        with pytest.raises(SimulationError):
+            Statevector.zero_state(2).apply_matrix(np.eye(4), [0, 0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SimulationError):
+            Statevector.zero_state(2).apply_matrix(X_MATRIX, [2])
+
+    def test_rejects_wrong_matrix_size(self):
+        with pytest.raises(SimulationError):
+            Statevector.zero_state(2).apply_matrix(np.eye(4), [0])
+
+    def test_evolved_leaves_original(self):
+        s = Statevector.zero_state(1)
+        t = s.evolved(standard_gate("x"), [0])
+        assert s.probability("0") == 1.0
+        assert t.probability("1") == 1.0
+
+    def test_apply_diagonal(self):
+        s = Statevector.uniform_superposition(1).apply_diagonal(np.array([1.0, -1.0]))
+        minus = Statevector([1 / math.sqrt(2), -1 / math.sqrt(2)])
+        assert s.fidelity(minus) == pytest.approx(1.0)
+
+
+class TestMeasurement:
+    def test_measure_deterministic_state(self, rng):
+        bits, post = Statevector.from_label("101").measure(rng=rng)
+        assert bits == (1, 0, 1)
+        assert post.probability("101") == pytest.approx(1.0)
+
+    def test_measure_subset(self, rng):
+        bits, post = Statevector.from_label("10").measure([0], rng=rng)
+        assert bits == (1,)
+        assert post.probability("10") == pytest.approx(1.0)
+
+    def test_measure_collapses_superposition(self, rng):
+        s = Statevector.uniform_superposition(1)
+        bits, post = s.measure(rng=rng)
+        assert post.probability(format(bits[0], "b")) == pytest.approx(1.0)
+
+    def test_measure_does_not_mutate(self, rng):
+        s = Statevector.uniform_superposition(2)
+        s.measure(rng=rng)
+        assert np.allclose(s.probabilities(), np.full(4, 0.25))
+
+    def test_sample_counts_total(self, rng):
+        counts = Statevector.uniform_superposition(2).sample_counts(1000, rng=rng)
+        assert sum(counts.values()) == 1000
+
+    def test_sample_counts_statistics(self, rng):
+        counts = Statevector.uniform_superposition(1).sample_counts(20000, rng=rng)
+        assert counts["0"] == pytest.approx(10000, abs=450)
+
+    def test_marginal_probabilities_order(self):
+        s = Statevector.from_label("10")
+        assert np.allclose(s.marginal_probabilities([0, 1]), [0, 0, 1, 0])
+        assert np.allclose(s.marginal_probabilities([1, 0]), [0, 1, 0, 0])
+
+    def test_marginal_entangled(self):
+        from repro.quantum.bell import bell_state
+
+        marg = bell_state("phi+").marginal_probabilities([0])
+        assert np.allclose(marg, [0.5, 0.5])
+
+
+class TestAlgebra:
+    def test_inner_orthogonal(self):
+        a = Statevector.from_label("0")
+        b = Statevector.from_label("1")
+        assert a.inner(b) == 0
+
+    def test_fidelity_self(self):
+        s = Statevector.uniform_superposition(2)
+        assert s.fidelity(s) == pytest.approx(1.0)
+
+    def test_tensor(self):
+        s = Statevector.from_label("1").tensor(Statevector.from_label("0"))
+        assert s.probability("10") == pytest.approx(1.0)
+
+    def test_expectation_diagonal(self):
+        s = Statevector.uniform_superposition(1)
+        assert s.expectation_diagonal(np.array([1.0, -1.0])) == pytest.approx(0.0)
+
+    def test_expectation_matrix(self):
+        s = Statevector.zero_state(1)
+        z = np.diag([1.0, -1.0])
+        assert s.expectation_matrix(z).real == pytest.approx(1.0)
+
+    def test_partial_trace_product_state(self):
+        s = Statevector.from_label("01")
+        reduced = s.partial_trace([1])
+        assert np.allclose(reduced, [[0, 0], [0, 1]])
+
+    def test_partial_trace_bell_is_mixed(self):
+        from repro.quantum.bell import bell_state
+
+        reduced = bell_state("phi+").partial_trace([0])
+        assert np.allclose(reduced, np.eye(2) / 2)
+
+    def test_equiv_global_phase(self):
+        s = Statevector.from_label("01")
+        t = Statevector(1j * s.data.copy(), validate=False)
+        assert s.equiv(t)
+        assert s != t
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10**9))
+def test_property_unitary_preserves_norm(n, seed):
+    """Random unitaries keep the state normalised."""
+    gen = np.random.default_rng(seed)
+    data = gen.normal(size=2**n) + 1j * gen.normal(size=2**n)
+    s = Statevector(data)
+    # Haar-ish random single-qubit unitary via QR decomposition.
+    m = gen.normal(size=(2, 2)) + 1j * gen.normal(size=(2, 2))
+    q, _ = np.linalg.qr(m)
+    target = int(gen.integers(0, n))
+    s.apply_matrix(q, [target])
+    assert s.norm() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10**9))
+def test_property_probabilities_sum_to_one(n, seed):
+    gen = np.random.default_rng(seed)
+    data = gen.normal(size=2**n) + 1j * gen.normal(size=2**n)
+    s = Statevector(data)
+    assert float(s.probabilities().sum()) == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=4), st.integers(min_value=0, max_value=10**9))
+def test_property_marginals_consistent(n, seed):
+    """Marginal over all qubits equals the full distribution."""
+    gen = np.random.default_rng(seed)
+    data = gen.normal(size=2**n) + 1j * gen.normal(size=2**n)
+    s = Statevector(data)
+    assert np.allclose(s.marginal_probabilities(list(range(n))), s.probabilities())
+
+
+def test_apply_unitary_function_matches_full_matrix():
+    """The tensor kernel agrees with explicit kron products."""
+    gen = np.random.default_rng(42)
+    n = 3
+    data = gen.normal(size=2**n) + 1j * gen.normal(size=2**n)
+    data = data / np.linalg.norm(data)
+    m = gen.normal(size=(2, 2)) + 1j * gen.normal(size=(2, 2))
+    q, _ = np.linalg.qr(m)
+    # Apply to qubit 1 via the kernel.
+    out = apply_unitary(data, n, q, [1])
+    # Reference: I (x) U (x) I.
+    full = np.kron(np.kron(np.eye(2), q), np.eye(2))
+    assert np.allclose(out, full @ data)

@@ -1,0 +1,155 @@
+"""Tests for repro.qubo.model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.qubo.model import QuboModel
+
+
+def _random_model(seed, n=6, density=0.5):
+    rng = np.random.default_rng(seed)
+    m = QuboModel(n)
+    for i in range(n):
+        m.add_linear(i, float(rng.normal()))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < density:
+                m.add_quadratic(i, j, float(rng.normal()))
+    m.add_offset(float(rng.normal()))
+    return m
+
+
+class TestVariables:
+    def test_indexed_construction(self):
+        m = QuboModel(3)
+        assert m.num_variables == 3
+        assert m.labels == (0, 1, 2)
+
+    def test_labelled_variables(self):
+        m = QuboModel()
+        i = m.variable(("q0", "p1"))
+        j = m.variable(("q0", "p2"))
+        assert (i, j) == (0, 1)
+        assert m.variable(("q0", "p1")) == 0  # idempotent
+        assert m.index_of(("q0", "p2")) == 1
+
+    def test_unknown_variable_rejected(self):
+        m = QuboModel(2)
+        with pytest.raises(ReproError):
+            m.add_linear("nope", 1.0)
+
+
+class TestCoefficients:
+    def test_linear_accumulates(self):
+        m = QuboModel(1)
+        m.add_linear(0, 1.0).add_linear(0, 2.0)
+        assert m.linear[0] == 3.0
+
+    def test_quadratic_canonical_order(self):
+        m = QuboModel(2)
+        m.add_quadratic(1, 0, 1.5)
+        assert m.quadratic[(0, 1)] == 1.5
+
+    def test_quadratic_self_becomes_linear(self):
+        m = QuboModel(1)
+        m.add_quadratic(0, 0, 2.0)
+        assert m.linear[0] == 2.0
+        assert not m.quadratic
+
+    def test_scale(self):
+        m = QuboModel(2)
+        m.add_linear(0, 1.0).add_quadratic(0, 1, 2.0).add_offset(3.0)
+        m.scale(2.0)
+        assert m.linear[0] == 2.0
+        assert m.quadratic[(0, 1)] == 4.0
+        assert m.offset == 6.0
+
+    def test_max_abs_coefficient(self):
+        m = QuboModel(2)
+        m.add_linear(0, -5.0).add_quadratic(0, 1, 3.0)
+        assert m.max_abs_coefficient() == 5.0
+
+    def test_max_abs_empty(self):
+        assert QuboModel(2).max_abs_coefficient() == 0.0
+
+
+class TestEnergy:
+    def test_known_energy(self):
+        m = QuboModel(2)
+        m.add_linear(0, 1.0).add_linear(1, -2.0).add_quadratic(0, 1, 3.0).add_offset(0.5)
+        assert m.energy([0, 0]) == 0.5
+        assert m.energy([1, 0]) == 1.5
+        assert m.energy([0, 1]) == -1.5
+        assert m.energy([1, 1]) == 2.5
+
+    def test_energy_from_mapping(self):
+        m = QuboModel()
+        a = m.variable("a")
+        b = m.variable("b")
+        m.add_quadratic("a", "b", 2.0)
+        assert m.energy({"a": 1, "b": 1}) == 2.0
+        assert m.energy({"a": 1, "b": 0}) == 0.0
+
+    def test_energies_batch_matches_scalar(self):
+        m = _random_model(7)
+        X = np.random.default_rng(0).integers(0, 2, size=(10, 6))
+        batch = m.energies(X)
+        for row, e in zip(X, batch):
+            assert m.energy(row) == pytest.approx(e)
+
+    def test_energies_shape_checked(self):
+        with pytest.raises(ReproError):
+            _random_model(1).energies(np.zeros((3, 4)))
+
+    def test_energy_length_checked(self):
+        with pytest.raises(ReproError):
+            _random_model(1).energy([0, 1])
+
+    def test_decode(self):
+        m = QuboModel()
+        m.variable("x")
+        m.variable("y")
+        assert m.decode([1, 0]) == {"x": 1, "y": 0}
+
+
+class TestViews:
+    def test_to_dense_roundtrip(self):
+        m = _random_model(3)
+        Q, c = m.to_dense()
+        x = np.random.default_rng(1).integers(0, 2, 6).astype(float)
+        assert x @ Q @ x + c == pytest.approx(m.energy(x))
+
+    def test_symmetric_couplings_energy(self):
+        m = _random_model(4)
+        a, S = m.symmetric_couplings()
+        x = np.random.default_rng(2).integers(0, 2, 6).astype(float)
+        assert a @ x + 0.5 * x @ S @ x + m.offset == pytest.approx(m.energy(x))
+
+    def test_interaction_graph(self):
+        m = QuboModel(3)
+        m.add_quadratic(0, 2, 1.0)
+        g = m.interaction_graph()
+        assert g.number_of_nodes() == 3
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(0, 1)
+
+    def test_copy_independent(self):
+        m = _random_model(5)
+        dup = m.copy()
+        dup.add_linear(0, 100.0)
+        assert m.linear[0] != dup.linear[0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_property_ising_roundtrip_preserves_energy(seed):
+    """QUBO -> Ising -> QUBO preserves the energy of every assignment."""
+    m = _random_model(seed, n=5)
+    ham = m.to_ising()
+    rng = np.random.default_rng(seed)
+    for _ in range(8):
+        x = rng.integers(0, 2, 5)
+        assert ham.energy_of_bits(x) == pytest.approx(m.energy(x))

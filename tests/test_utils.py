@@ -1,0 +1,85 @@
+"""Tests for shared utilities (bits, rng plumbing, ASCII tables)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bits_to_index,
+    bitstring_to_index,
+    index_to_bits,
+    index_to_bitstring,
+    parity,
+)
+from repro.utils.rngtools import ensure_rng, spawn
+from repro.utils.tables import format_table
+
+
+class TestBits:
+    def test_index_to_bits(self):
+        assert index_to_bits(6, 3) == (1, 1, 0)
+        assert index_to_bits(0, 2) == (0, 0)
+
+    def test_bits_to_index(self):
+        assert bits_to_index((1, 1, 0)) == 6
+
+    def test_bitstring_roundtrip(self):
+        assert index_to_bitstring(5, 4) == "0101"
+        assert bitstring_to_index("0101") == 5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            index_to_bits(8, 3)
+        with pytest.raises(ValueError):
+            bits_to_index((0, 2))
+        with pytest.raises(ValueError):
+            bitstring_to_index("01x")
+
+    def test_parity(self):
+        assert parity(0b1011) == 1
+        assert parity(0b1001) == 0
+        assert parity(0) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_property_roundtrip(self, index):
+        assert bits_to_index(index_to_bits(index, 10)) == index
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_deterministic(self):
+        assert ensure_rng(5).integers(0, 100) == ensure_rng(5).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_independent(self):
+        children = spawn(np.random.default_rng(0), 3)
+        assert len(children) == 3
+        draws = {c.integers(0, 10**9) for c in children}
+        assert len(draws) == 3
+
+
+class TestTables:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, True]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "yes" in lines[3]
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])

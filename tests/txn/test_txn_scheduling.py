@@ -1,0 +1,160 @@
+"""Tests for quantum transaction scheduling (QUBO + Grover)."""
+
+import pytest
+
+from repro.annealing.simulated_annealing import SimulatedAnnealingSolver
+from repro.db.transactions import Transaction, simulate_slot_schedule
+from repro.exceptions import ReproError
+from repro.qubo.bruteforce import BruteForceSolver
+from repro.txn.classical import conflict_graph_of, exhaustive_schedule, greedy_coloring_schedule
+from repro.txn.generator import generate_transactions
+from repro.txn.grover_scheduler import (
+    decode_index,
+    encode_assignment,
+    grover_find_schedule,
+    grover_minimum_makespan,
+)
+from repro.txn.qubo import (
+    assignment_conflicts,
+    assignment_makespan,
+    decode_assignment,
+    schedule_to_qubo,
+)
+
+
+def _three_txns():
+    return [
+        Transaction.from_string("T0", "r(x) w(x)"),
+        Transaction.from_string("T1", "w(x) r(y)"),
+        Transaction.from_string("T2", "r(z) w(z)"),
+    ]
+
+
+class TestGenerator:
+    def test_shape(self):
+        txns = generate_transactions(5, num_items=4, rng=0)
+        assert len(txns) == 5
+        assert all(t.operations for t in txns)
+
+    def test_fewer_items_denser_conflicts(self):
+        sparse = generate_transactions(6, num_items=30, rng=1)
+        dense = generate_transactions(6, num_items=2, rng=1)
+        assert conflict_graph_of(dense).number_of_edges() >= conflict_graph_of(sparse).number_of_edges()
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            generate_transactions(0)
+
+
+class TestQuboScheduling:
+    def test_ground_state_is_conflict_free(self):
+        txns = _three_txns()
+        model = schedule_to_qubo(txns, num_slots=2)
+        ground = BruteForceSolver().solve(model).best
+        assignment = decode_assignment(txns, model, ground.bits, 2, repair=False)
+        assert assignment_conflicts(txns, assignment) == 0
+
+    def test_ground_state_minimises_makespan(self):
+        txns = _three_txns()
+        model = schedule_to_qubo(txns, num_slots=3)
+        ground = BruteForceSolver(max_variables=9).solve(model).best
+        assignment = decode_assignment(txns, model, ground.bits, 3, repair=False)
+        _, best_makespan, _ = exhaustive_schedule(txns, 3)
+        assert assignment_makespan(txns, assignment) == best_makespan
+
+    def test_sa_schedule_conflict_free(self):
+        txns = generate_transactions(5, num_items=5, rng=2)
+        slots = max(greedy_coloring_schedule(txns).values()) + 1
+        model = schedule_to_qubo(txns, num_slots=slots)
+        ss = SimulatedAnnealingSolver(num_reads=16, num_sweeps=250).solve(model, rng=3)
+        assignment = decode_assignment(txns, model, ss.best.bits, slots)
+        assert assignment_conflicts(txns, assignment) == 0
+
+    def test_conflict_free_schedule_has_zero_blocking_under_2pl(self):
+        txns = _three_txns()
+        model = schedule_to_qubo(txns, num_slots=2)
+        ground = BruteForceSolver().solve(model).best
+        assignment = decode_assignment(txns, model, ground.bits, 2)
+        report = simulate_slot_schedule(txns, assignment)
+        assert report.blocking_time == 0
+
+    def test_decode_repair_places_everything(self):
+        txns = _three_txns()
+        model = schedule_to_qubo(txns, num_slots=2)
+        assignment = decode_assignment(txns, model, [0] * model.num_variables, 2)
+        assert set(assignment) == {"T0", "T1", "T2"}
+
+    def test_needs_a_slot(self):
+        with pytest.raises(ReproError):
+            schedule_to_qubo(_three_txns(), num_slots=0)
+
+
+class TestClassicalBaselines:
+    def test_coloring_is_conflict_free(self):
+        for seed in range(4):
+            txns = generate_transactions(6, num_items=4, rng=seed)
+            assignment = greedy_coloring_schedule(txns)
+            assert assignment_conflicts(txns, assignment) == 0
+
+    def test_exhaustive_finds_optimum_or_proves_infeasible(self):
+        txns = _three_txns()
+        best, makespan, checked = exhaustive_schedule(txns, 2)
+        assert checked == 8
+        assert best is not None
+        assert assignment_conflicts(txns, best) == 0
+
+    def test_exhaustive_detects_infeasibility(self):
+        t = [
+            Transaction.from_string("A", "w(x)"),
+            Transaction.from_string("B", "w(x)"),
+            Transaction.from_string("C", "w(x)"),
+        ]
+        best, makespan, _ = exhaustive_schedule(t, 2)
+        assert best is None
+        assert makespan is None
+
+    def test_space_limit(self):
+        txns = generate_transactions(10, rng=0)
+        with pytest.raises(ReproError):
+            exhaustive_schedule(txns, 8, max_space=100)
+
+
+class TestGroverScheduler:
+    def test_encode_decode_roundtrip(self):
+        txn_ids = ["T0", "T1", "T2"]
+        assignment = {"T0": 1, "T1": 0, "T2": 3}
+        index = encode_assignment(assignment, txn_ids, 4)
+        assert decode_index(index, txn_ids, 4) == assignment
+
+    def test_finds_conflict_free_schedule(self):
+        txns = _three_txns()
+        result = grover_find_schedule(txns, 2, rng=0)
+        assert result.found
+        assert assignment_conflicts(txns, result.assignment) == 0
+
+    def test_reports_infeasible(self):
+        t = [
+            Transaction.from_string("A", "w(x)"),
+            Transaction.from_string("B", "w(x)"),
+            Transaction.from_string("C", "w(x)"),
+        ]
+        result = grover_find_schedule(t, 2, rng=1)
+        assert not result.found
+
+    def test_minimum_makespan_matches_exhaustive(self):
+        txns = _three_txns()
+        result = grover_minimum_makespan(txns, 3, rng=2)
+        _, best_makespan, _ = exhaustive_schedule(txns, 3)
+        assert result.found
+        assert result.makespan == best_makespan
+
+    def test_oracle_calls_fewer_than_search_space(self):
+        txns = generate_transactions(4, num_items=6, rng=5)
+        result = grover_find_schedule(txns, 4, rng=3)
+        if result.found:
+            assert result.oracle_calls < result.info["search_space"]
+
+    def test_qubit_limit(self):
+        txns = generate_transactions(9, rng=0)
+        with pytest.raises(ReproError):
+            grover_find_schedule(txns, 4, rng=0)
