@@ -8,13 +8,11 @@ VQC learning curve improves toward ratio 1.
 import numpy as np
 import pytest
 
+from repro import solve
+from repro.api import BushyJoinAdapter
 from repro.db.dp import dp_optimal_bushy, dp_optimal_leftdeep
 from repro.db.generator import chain_query, cycle_query, star_query
-from repro.joinorder.baselines import (
-    solve_bushy_annealing,
-    solve_leftdeep_annealing,
-    solve_random,
-)
+from repro.joinorder.baselines import solve_random
 from repro.joinorder.vqc_agent import VQCJoinOrderAgent
 
 
@@ -28,8 +26,10 @@ def test_e9_leftdeep_quality_sweep(benchmark):
             for seed in range(3):
                 graph = gen(5, rng=seed)
                 _, reference = dp_optimal_leftdeep(graph, avoid_cross=False)
-                outcome = solve_leftdeep_annealing(graph, rng=seed)
-                per_topology.append(outcome.cost / reference)
+                # refine=False/top_k=1: decode-best parity with the published
+                # pipeline shape (no classical polish in the measurement).
+                outcome = solve(graph, backend="sa", seed=seed, refine=False, top_k=1, num_reads=24, num_sweeps=384)
+                per_topology.append(outcome.objective / reference)
             ratios[name] = float(np.mean(per_topology))
         return ratios
 
@@ -46,7 +46,7 @@ def test_e9_qubo_beats_random(benchmark):
         qubo_total, random_total = 0.0, 0.0
         for seed in range(4):
             graph = chain_query(6, rng=seed + 30)
-            qubo_total += solve_leftdeep_annealing(graph, rng=seed).cost
+            qubo_total += solve(graph, backend="sa", seed=seed, refine=False, top_k=1, num_reads=24, num_sweeps=384).objective
             random_total += solve_random(graph, rng=seed).cost
         return random_total / qubo_total
 
@@ -66,8 +66,8 @@ def test_e9_bushy_vs_leftdeep(benchmark):
             _, leftdeep = dp_optimal_leftdeep(graph)
             if bushy < leftdeep * 0.999:
                 strict_wins += 1
-            outcome = solve_bushy_annealing(graph, rng=seed)
-            if outcome.tree.relations() == frozenset(graph.relations):
+            outcome = solve(BushyJoinAdapter(graph), backend="sa", seed=seed, refine=False, top_k=1, num_reads=24, num_sweeps=384)
+            if outcome.solution.relations() == frozenset(graph.relations):
                 valid += 1
         return strict_wins, valid
 

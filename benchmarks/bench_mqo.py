@@ -11,13 +11,12 @@ import time
 import numpy as np
 import pytest
 
-from repro.annealing.simulated_annealing import SimulatedAnnealingSolver
+from repro import solve
 from repro.mqo import (
     exhaustive_mqo,
     generate_mqo_problem,
     greedy_mqo,
     hill_climbing_mqo,
-    solve_with_sampler,
 )
 
 
@@ -29,10 +28,8 @@ def test_e8_quality_matches_exhaustive(benchmark):
         for seed in range(4):
             problem = generate_mqo_problem(4, 3, sharing_density=0.4, rng=seed)
             _, optimum = exhaustive_mqo(problem)
-            result = solve_with_sampler(
-                problem, SimulatedAnnealingSolver(num_reads=16, num_sweeps=200), rng=seed
-            )
-            ratios.append(result.total_cost / optimum)
+            result = solve(problem, backend="sa", seed=seed, num_reads=16, num_sweeps=200)
+            ratios.append(result.objective / optimum)
         return ratios
 
     ratios = benchmark.pedantic(kernel, rounds=1, iterations=1)
@@ -50,11 +47,9 @@ def test_e8_sharing_density_sweep(benchmark):
             for seed in range(3):
                 problem = generate_mqo_problem(4, 3, sharing_density=density, rng=seed + 10)
                 _, greedy_cost = greedy_mqo(problem)
-                result = solve_with_sampler(
-                    problem, SimulatedAnnealingSolver(num_reads=16, num_sweeps=200), rng=seed
-                )
+                result = solve(problem, backend="sa", seed=seed, num_reads=16, num_sweeps=200)
                 greedy_total += greedy_cost
-                quantum_total += result.total_cost
+                quantum_total += result.objective
             gaps.append(greedy_total / quantum_total)
         return gaps
 
@@ -72,13 +67,11 @@ def test_e8_scaling_crossover(benchmark):
         for q, p in ((3, 3), (5, 3), (7, 3), (9, 3)):
             problem = generate_mqo_problem(q, p, sharing_density=0.3, rng=q)
             start = time.perf_counter()
-            result = solve_with_sampler(
-                problem, SimulatedAnnealingSolver(num_reads=12, num_sweeps=150), rng=q
-            )
+            result = solve(problem, backend="sa", seed=q, num_reads=12, num_sweeps=150)
             anneal_time = time.perf_counter() - start
             space = p**q
             _, hc_cost = hill_climbing_mqo(problem, restarts=10, rng=q)
-            rows.append((q * p, space, anneal_time, result.total_cost / hc_cost))
+            rows.append((q * p, space, anneal_time, result.objective / hc_cost))
         return rows
 
     rows = benchmark.pedantic(kernel, rounds=1, iterations=1)

@@ -8,9 +8,9 @@ degrade together (the matcher, not the solver, is the bottleneck).
 import numpy as np
 import pytest
 
-from repro.annealing.simulated_annealing import SimulatedAnnealingSolver
-from repro.integration import generate_schema_pair, greedy_matching, hungarian_matching, matching_to_qubo
-from repro.integration.qubo import decode_matching, matching_quality, matching_similarity_total, similarity_matrix
+from repro import solve
+from repro.integration import generate_schema_pair, greedy_matching, hungarian_matching
+from repro.integration.qubo import matching_quality, matching_similarity_total, similarity_matrix
 
 
 def test_e10_qubo_matches_hungarian_score(benchmark):
@@ -18,9 +18,9 @@ def test_e10_qubo_matches_hungarian_score(benchmark):
         gaps = []
         for seed in range(4):
             source, target, _ = generate_schema_pair(6, rng=seed)
-            model, _ = matching_to_qubo(source, target)
-            samples = SimulatedAnnealingSolver(num_reads=24, num_sweeps=300).solve(model, rng=seed)
-            qubo_match = decode_matching(model, samples.best.bits)
+            # refine=False/top_k=1: decode-best parity (measure the sampler,
+            # not the facade's classical augmentation).
+            qubo_match = solve((source, target), backend="sa", seed=seed, refine=False, top_k=1, num_reads=24, num_sweeps=300).solution
             sims = similarity_matrix(source, target)
             hungarian_score = matching_similarity_total(hungarian_matching(source, target), sims)
             qubo_score = matching_similarity_total(qubo_match, sims)
@@ -40,9 +40,8 @@ def test_e10_noise_sweep(benchmark):
                 source, target, truth = generate_schema_pair(
                     7, rename_probability=rename_prob, drop_probability=0.0, rng=seed + 5
                 )
-                model, _ = matching_to_qubo(source, target)
-                samples = SimulatedAnnealingSolver(num_reads=16, num_sweeps=250).solve(model, rng=seed)
-                _, _, f1 = matching_quality(decode_matching(model, samples.best.bits), truth)
+                result = solve((source, target), backend="sa", seed=seed, refine=False, top_k=1, num_reads=16, num_sweeps=250)
+                _, _, f1 = matching_quality(result.solution, truth)
                 scores.append(f1)
             f1_by_noise.append(float(np.mean(scores)))
         return f1_by_noise

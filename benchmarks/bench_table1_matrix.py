@@ -7,18 +7,17 @@ instance and must land within a small gap of its classical optimum.
 
 import pytest
 
-from repro.annealing import AnnealerDevice
-from repro.annealing.simulated_annealing import SimulatedAnnealingSolver
+from repro import solve
+from repro.api import SchemaMatchingAdapter, TxnScheduleAdapter
 from repro.db.generator import chain_query
 from repro.db.dp import dp_optimal_bushy, dp_optimal_leftdeep
-from repro.integration import generate_schema_pair, hungarian_matching, matching_to_qubo
-from repro.integration.qubo import decode_matching, matching_similarity_total, similarity_matrix
+from repro.integration import generate_schema_pair, hungarian_matching
+from repro.integration.qubo import matching_similarity_total, similarity_matrix
 from repro.joinorder.baselines import solve_bushy_annealing, solve_leftdeep_qaoa
 from repro.joinorder.vqc_agent import VQCJoinOrderAgent
 from repro.mqo import exhaustive_mqo, generate_mqo_problem, solve_with_annealer, solve_with_qaoa
-from repro.txn import generate_transactions, grover_find_schedule, schedule_to_qubo
-from repro.txn.classical import greedy_coloring_schedule
-from repro.txn.qubo import assignment_conflicts, decode_assignment
+from repro.txn import generate_transactions, grover_find_schedule
+from repro.txn.qubo import assignment_conflicts
 
 
 def test_row_mqo_annealing_trummer_koch(benchmark):
@@ -70,11 +69,10 @@ def test_row_join_ordering_vqc_winker(benchmark):
 def test_row_schema_matching_fritsch_scherzinger(benchmark):
     """[28]: schema matching -> QUBO -> annealing; matches Hungarian score."""
     source, target, _ = generate_schema_pair(6, rng=8)
-    model, sims = matching_to_qubo(source, target)
+    adapter = SchemaMatchingAdapter(source, target)
 
     def kernel():
-        samples = SimulatedAnnealingSolver(num_reads=24, num_sweeps=300).solve(model, rng=9)
-        return decode_matching(model, samples.best.bits)
+        return solve(adapter, backend="sa", seed=9, refine=False, top_k=1, num_reads=24, num_sweeps=300).solution
 
     matching = benchmark.pedantic(kernel, rounds=1, iterations=1)
     hungarian = hungarian_matching(source, target)
@@ -87,12 +85,9 @@ def test_row_schema_matching_fritsch_scherzinger(benchmark):
 def test_row_transactions_qubo_bittner_groppe(benchmark):
     """[29], [30]: two-phase-locking schedules -> QUBO -> annealing."""
     txns = generate_transactions(5, num_items=5, rng=10)
-    slots = max(greedy_coloring_schedule(txns).values()) + 1
-    model = schedule_to_qubo(txns, num_slots=slots)
 
     def kernel():
-        samples = SimulatedAnnealingSolver(num_reads=24, num_sweeps=300).solve(model, rng=11)
-        return decode_assignment(txns, model, samples.best.bits, slots)
+        return solve(TxnScheduleAdapter(txns), backend="sa", seed=11, refine=False, top_k=1, num_reads=24, num_sweeps=300).solution
 
     assignment = benchmark.pedantic(kernel, rounds=1, iterations=1)
     assert assignment_conflicts(txns, assignment) == 0

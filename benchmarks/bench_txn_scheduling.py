@@ -9,17 +9,16 @@ than the schedule space size.
 import numpy as np
 import pytest
 
-from repro.annealing.simulated_annealing import SimulatedAnnealingSolver
+from repro import solve
+from repro.api import TxnScheduleAdapter
 from repro.db.transactions import simulate_slot_schedule
 from repro.txn import (
     generate_transactions,
-    greedy_coloring_schedule,
     grover_find_schedule,
     grover_minimum_makespan,
-    schedule_to_qubo,
 )
 from repro.txn.classical import exhaustive_schedule
-from repro.txn.qubo import assignment_conflicts, assignment_makespan, decode_assignment
+from repro.txn.qubo import assignment_conflicts, assignment_makespan
 
 
 def test_e11_qubo_schedule_quality(benchmark):
@@ -27,10 +26,9 @@ def test_e11_qubo_schedule_quality(benchmark):
         results = []
         for seed in range(4):
             txns = generate_transactions(5, num_items=5, rng=seed)
-            slots = max(greedy_coloring_schedule(txns).values()) + 1
-            model = schedule_to_qubo(txns, num_slots=slots)
-            samples = SimulatedAnnealingSolver(num_reads=24, num_sweeps=300).solve(model, rng=seed)
-            assignment = decode_assignment(txns, model, samples.best.bits, slots)
+            # refine=False/top_k=1: decode-best parity (measure the sampler,
+            # not the facade's reslotting descent).
+            assignment = solve(txns, backend="sa", seed=seed, refine=False, top_k=1, num_reads=24, num_sweeps=300).solution
             report = simulate_slot_schedule(txns, assignment)
             results.append((assignment_conflicts(txns, assignment), report.blocking_time))
         return results
@@ -44,11 +42,9 @@ def test_e11_qubo_schedule_quality(benchmark):
 def test_e11_qubo_makespan_optimal(benchmark):
     def kernel():
         txns = generate_transactions(4, num_items=5, rng=7)
-        slots = max(greedy_coloring_schedule(txns).values()) + 1
-        model = schedule_to_qubo(txns, num_slots=slots)
-        samples = SimulatedAnnealingSolver(num_reads=32, num_sweeps=400).solve(model, rng=8)
-        assignment = decode_assignment(txns, model, samples.best.bits, slots)
-        _, best_makespan, _ = exhaustive_schedule(txns, slots)
+        adapter = TxnScheduleAdapter(txns)
+        assignment = solve(adapter, backend="sa", seed=8, refine=False, top_k=1, num_reads=32, num_sweeps=400).solution
+        _, best_makespan, _ = exhaustive_schedule(txns, adapter.num_slots)
         return assignment_makespan(txns, assignment), best_makespan, txns, assignment
 
     makespan, best_makespan, txns, assignment = benchmark.pedantic(kernel, rounds=1, iterations=1)
@@ -65,10 +61,7 @@ def test_e11_blocking_vs_conflict_density(benchmark):
             txns = generate_transactions(5, num_items=num_items, rng=3)
             naive = {t.txn_id: 0 for t in txns}  # everything in slot 0
             naive_report = simulate_slot_schedule(txns, naive)
-            slots = max(greedy_coloring_schedule(txns).values()) + 1
-            model = schedule_to_qubo(txns, num_slots=slots)
-            samples = SimulatedAnnealingSolver(num_reads=16, num_sweeps=250).solve(model, rng=4)
-            assignment = decode_assignment(txns, model, samples.best.bits, slots)
+            assignment = solve(txns, backend="sa", seed=4, refine=False, top_k=1, num_reads=16, num_sweeps=250).solution
             qubo_report = simulate_slot_schedule(txns, assignment)
             rows.append((num_items, naive_report.blocking_time, qubo_report.blocking_time))
         return rows

@@ -15,7 +15,8 @@ from repro.games.classical import optimal_classical_value
 from repro.games.framework import quantum_win_probability
 from repro.games.ghz import ghz_classical_value, ghz_game_quantum_value
 from repro.games.magic_square import magic_square_classical_value, magic_square_quantum_value
-from repro.mqo import exhaustive_mqo, generate_mqo_problem, greedy_mqo, solve_with_annealer
+from repro import solve
+from repro.mqo import exhaustive_mqo, generate_mqo_problem, greedy_mqo
 from repro.qnet import UniversalCloner, run_bb84, run_e91, teleport
 from repro.qnet.repeater import chain_fidelity
 from repro.quantum.circuit import QuantumCircuit
@@ -84,9 +85,9 @@ def e8_mqo() -> None:
         problem = generate_mqo_problem(4, 3, sharing_density=0.4, rng=seed)
         _, optimum = exhaustive_mqo(problem)
         _, greedy_cost = greedy_mqo(problem)
-        result = solve_with_annealer(problem, rng=seed)
-        rows.append([seed, f"{optimum:.2f}", f"{result.total_cost:.2f}",
-                     f"{greedy_cost:.2f}", f"{result.total_cost / optimum:.3f}",
+        result = solve(problem, backend="annealer", seed=seed)
+        rows.append([seed, f"{optimum:.2f}", f"{result.objective:.2f}",
+                     f"{greedy_cost:.2f}", f"{result.objective / optimum:.3f}",
                      result.info.get("max_chain_length", "-")])
     print(format_table(
         ["seed", "exhaustive opt", "annealer (embedded)", "greedy", "ratio", "max chain"], rows))

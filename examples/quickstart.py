@@ -2,23 +2,32 @@
 
 Takes a multiple-query-optimization batch, maps it to QUBO (the paper's
 central intermediate formulation), and solves it on every backend the
-roadmap lists: simulated (quantum) annealing, the embedded annealer device,
-gate-based QAOA and VQE, and Grover minimum finding — then compares all of
-them against the exhaustive classical optimum.
+unified facade registers — exhaustive enumeration, tabu search, simulated
+(quantum) annealing, the Chimera-embedded annealer device, gate-based QAOA
+and VQE, and the classical per-domain baseline — then compares them all,
+plus Grover minimum finding, against the exhaustive optimum.
+
+Every engine is one line:  ``repro.solve(problem, backend=name, seed=...)``.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
+import repro
 from repro.algorithms.grover import classical_minimum, durr_hoyer_minimum
-from repro.algorithms.qaoa import QAOA
-from repro.algorithms.vqe import VQE
-from repro.annealing import AnnealerDevice, SimulatedAnnealingSolver, SimulatedQuantumAnnealingSolver
 from repro.mqo import exhaustive_mqo, generate_mqo_problem
 from repro.mqo.qubo import decode_sample, mqo_to_qubo
 from repro.qubo.bruteforce import BruteForceSolver
 from repro.utils.tables import format_table
+
+BACKEND_OPTS = {
+    "annealer": dict(sampler="sa", num_reads=16, num_sweeps=200),
+    "sa": dict(num_reads=16, num_sweeps=200),
+    "sqa": dict(num_reads=8, num_sweeps=128),
+    "qaoa": dict(num_layers=3, maxiter=120, restarts=2),
+    "vqe": dict(num_layers=2, maxiter=250, restarts=3),
+}
 
 
 def main() -> None:
@@ -28,42 +37,35 @@ def main() -> None:
     _, optimum = exhaustive_mqo(problem)
     print(f"MQO instance: {problem}")
     print(f"QUBO size: {model.num_variables} binary variables")
+    print(f"registered backends: {', '.join(repro.list_backends())}")
     print(f"classical exhaustive optimum: {optimum:.3f}\n")
 
     rows = []
+    for seed, backend in enumerate(repro.list_backends()):
+        result = repro.solve(problem, backend=backend, seed=seed, **BACKEND_OPTS.get(backend, {}))
+        rows.append([
+            backend,
+            f"{result.objective:.3f}",
+            f"{result.objective / optimum:.3f}",
+            f"{result.wall_time * 1e3:.0f} ms",
+            result.objective <= optimum + 1e-9,
+        ])
 
-    def record(method, bits):
-        selection = decode_sample(problem, model, bits)
-        cost = problem.total_cost(selection)
-        rows.append([method, f"{cost:.3f}", f"{cost / optimum:.3f}", selection == best_selection or cost <= optimum + 1e-9])
-
-    best_selection, _ = exhaustive_mqo(problem)
-
-    # Roadmap path 1: QUBO -> quantum annealer (simulated, with embedding).
-    device = AnnealerDevice(sampler="sa", num_reads=16, num_sweeps=200)
-    record("annealer (Chimera-embedded SA)", device.sample(model, rng=0).best.bits)
-
-    # Path 2: plain simulated annealing / simulated quantum annealing.
-    record("simulated annealing", SimulatedAnnealingSolver(num_reads=16, num_sweeps=200).solve(model, rng=1).best.bits)
-    record("simulated quantum annealing", SimulatedQuantumAnnealingSolver(num_reads=8, num_sweeps=128).solve(model, rng=2).best.bits)
-
-    # Path 3: QUBO -> Ising -> QAOA (gate model).
-    qaoa = QAOA.from_qubo(model, num_layers=3)
-    record("QAOA (p=3)", qaoa.run(maxiter=120, restarts=2, rng=3).best_bits)
-
-    # Path 4: QUBO -> Ising -> VQE.
-    vqe = VQE.from_qubo(model, num_layers=2)
-    record("VQE (2 layers)", vqe.run(maxiter=250, restarts=3, rng=4).best_bits)
-
-    # Path 5: Grover minimum finding over the (small) assignment table.
+    # Grover minimum finding is index- rather than sample-based, so it rides
+    # outside the QUBO-sampling facade (over the small assignment table).
     energies = model.energies(BruteForceSolver._all_assignments(model.num_variables))
     q_idx, q_calls = durr_hoyer_minimum(energies, rng=5)
-    c_idx, c_calls = classical_minimum(energies)
+    _, c_calls = classical_minimum(energies)
     bits = [int(b) for b in np.binary_repr(q_idx, model.num_variables)]
-    record(f"Grover minimum finding ({q_calls} vs {c_calls} classical calls)", bits)
+    cost = problem.total_cost(decode_sample(problem, model, bits))
+    rows.append([
+        f"grover minimum finding ({q_calls} vs {c_calls} calls)",
+        f"{cost:.3f}", f"{cost / optimum:.3f}", "-", cost <= optimum + 1e-9,
+    ])
 
-    print(format_table(["method", "total cost", "ratio vs optimum", "optimal?"], rows,
-                       title="Fig. 2 roadmap: every backend on the same MQO QUBO"))
+    print(format_table(
+        ["backend", "total cost", "ratio vs optimum", "wall time", "optimal?"], rows,
+        title="Fig. 2 roadmap via repro.solve(): every backend on the same MQO QUBO"))
 
 
 if __name__ == "__main__":

@@ -20,10 +20,24 @@ From Theory to Opportunities* (ICDE 2024).  The library ships:
 * :mod:`repro.games` — nonlocal games (CHSH, GHZ, XOR games).
 * :mod:`repro.qnet` / :mod:`repro.dqdm` — quantum-internet substrate and
   distributed quantum data management (Sec. IV opportunities).
+* :mod:`repro.api` — the unified solver facade tying the Table I layers
+  together: ``repro.solve(problem, backend=...)`` runs any workload's
+  Problem -> QUBO -> Backend -> Result pipeline on any registered engine.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+from repro.api import (
+    Problem,
+    SolveResult,
+    as_problem,
+    get_backend,
+    list_backends,
+    register_backend,
+    solve,
+    solve_many,
+    solve_portfolio,
+)
 from repro.exceptions import (
     EmbeddingError,
     InfeasibleError,
@@ -43,4 +57,13 @@ __all__ = [
     "InfeasibleError",
     "ParseError",
     "ProtocolError",
+    "Problem",
+    "SolveResult",
+    "as_problem",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "solve",
+    "solve_portfolio",
+    "solve_many",
 ]

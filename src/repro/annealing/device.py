@@ -55,18 +55,30 @@ class AnnealerDevice:
         """Physical qubit count of the device."""
         return self.topology.number_of_nodes()
 
-    def sample(self, model: QuboModel, rng=None) -> SampleSet:
-        """Solve a logical QUBO through the full physical pipeline.
+    def find_embedding(self, model: QuboModel, rng=None):
+        """Compute (and verify) an embedding of the model's interaction graph.
 
-        The returned sample set is logical (unembedded); ``info`` carries the
-        embedding statistics (``max_chain_length``, ``chain_break_fraction``,
-        ``physical_qubits``).
+        Exposed separately so batch runners can reuse one embedding across
+        structurally identical QUBOs instead of re-searching per solve.
         """
         rng = ensure_rng(rng)
         source = model.interaction_graph()
         embedding = find_embedding(source, self.topology, rng=rng)
         if not verify_embedding(source, self.topology, embedding):
             raise EmbeddingError("embedding verification failed")
+        return embedding
+
+    def sample(self, model: QuboModel, rng=None, embedding=None) -> SampleSet:
+        """Solve a logical QUBO through the full physical pipeline.
+
+        The returned sample set is logical (unembedded); ``info`` carries the
+        embedding statistics (``max_chain_length``, ``chain_break_fraction``,
+        ``physical_qubits``).  ``embedding`` optionally supplies a
+        precomputed mapping (from :meth:`find_embedding`) to skip the search.
+        """
+        rng = ensure_rng(rng)
+        if embedding is None:
+            embedding = self.find_embedding(model, rng=rng)
         hardware_model = embed_qubo(model, embedding, self.topology, chain_strength=self.chain_strength)
         chains = [
             [hardware_model.index_of(q) for q in chain]

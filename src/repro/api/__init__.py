@@ -1,0 +1,70 @@
+"""The unified solver API: one Problem -> QUBO -> Backend -> Result pipeline.
+
+This package is the explicit form of the paper's Fig. 2 thesis — every
+quantum data-management workload funnels through QUBO — and the layered
+hybrid architecture argued for by Zajac & Störl:
+
+* :mod:`.problem` — the declarative :class:`Problem` contract
+  (``to_qubo`` / ``decode`` / ``evaluate`` / ``refine``);
+* :mod:`.adapters` — the four Table I domains behind that contract;
+* :mod:`.backends` — every solver engine (exact, heuristic, annealing,
+  gate-model, classical baselines) behind one ``run`` signature plus the
+  string registry;
+* :mod:`.facade` — ``solve`` / ``solve_portfolio`` / ``solve_many``;
+* :mod:`.result` — the uniform :class:`SolveResult`.
+"""
+
+from repro.api.adapters import (
+    BushyJoinAdapter,
+    LeftDeepJoinAdapter,
+    MQOAdapter,
+    SchemaMatchingAdapter,
+    TxnScheduleAdapter,
+    as_problem,
+)
+from repro.api.backends import (
+    AnnealerBackend,
+    Backend,
+    BruteForceBackend,
+    ClassicalBaselineBackend,
+    QAOABackend,
+    SamplerBackend,
+    SimulatedAnnealingBackend,
+    SimulatedQuantumAnnealingBackend,
+    TabuBackend,
+    VQEBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.api.facade import solve, solve_many, solve_portfolio
+from repro.api.problem import Problem, qubo_signature
+from repro.api.result import SolveResult
+
+__all__ = [
+    "Problem",
+    "qubo_signature",
+    "SolveResult",
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "BruteForceBackend",
+    "TabuBackend",
+    "SimulatedAnnealingBackend",
+    "SimulatedQuantumAnnealingBackend",
+    "AnnealerBackend",
+    "QAOABackend",
+    "VQEBackend",
+    "SamplerBackend",
+    "ClassicalBaselineBackend",
+    "MQOAdapter",
+    "LeftDeepJoinAdapter",
+    "BushyJoinAdapter",
+    "SchemaMatchingAdapter",
+    "TxnScheduleAdapter",
+    "as_problem",
+    "solve",
+    "solve_portfolio",
+    "solve_many",
+]

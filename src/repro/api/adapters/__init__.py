@@ -1,0 +1,69 @@
+"""Problem-protocol adapters for the four Table I domains.
+
+Each adapter wraps an existing domain formulation (QUBO builder + decoder +
+exact objective + classical baseline) behind the uniform
+:class:`~repro.api.problem.Problem` contract, so the facade can drive all
+of them through any backend.  :func:`as_problem` additionally accepts the
+raw domain objects (an :class:`~repro.mqo.problem.MQOProblem`, a
+:class:`~repro.db.query.JoinGraph`, a schema pair, a transaction list) and
+picks the right adapter.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.api.adapters.integration import SchemaMatchingAdapter
+from repro.api.adapters.joinorder import BushyJoinAdapter, LeftDeepJoinAdapter
+from repro.api.adapters.mqo import MQOAdapter
+from repro.api.adapters.txn import TxnScheduleAdapter
+from repro.api.problem import Problem
+from repro.exceptions import ReproError
+
+__all__ = [
+    "MQOAdapter",
+    "LeftDeepJoinAdapter",
+    "BushyJoinAdapter",
+    "SchemaMatchingAdapter",
+    "TxnScheduleAdapter",
+    "as_problem",
+]
+
+
+def as_problem(obj: Any, **kwargs) -> Problem:
+    """Coerce a domain object into a :class:`Problem`.
+
+    Accepts an adapter unchanged, or wraps: ``MQOProblem`` -> MQO,
+    ``JoinGraph`` -> left-deep join ordering (pass ``bushy=True`` for the
+    bushy encoding), ``(source, target)`` schema pair -> matching, and a
+    transaction sequence -> slot scheduling.  Extra kwargs go to the chosen
+    adapter.
+    """
+    if isinstance(obj, Problem):
+        if kwargs:
+            raise ReproError("cannot re-parameterise an existing Problem adapter")
+        return obj
+
+    from repro.db.query import JoinGraph
+    from repro.db.transactions import Transaction
+    from repro.integration.schema import Schema
+    from repro.mqo.problem import MQOProblem
+
+    if isinstance(obj, MQOProblem):
+        return MQOAdapter(obj, **kwargs)
+    if isinstance(obj, JoinGraph):
+        if kwargs.pop("bushy", False):
+            return BushyJoinAdapter(obj, **kwargs)
+        return LeftDeepJoinAdapter(obj, **kwargs)
+    if (
+        isinstance(obj, tuple)
+        and len(obj) == 2
+        and all(isinstance(s, Schema) for s in obj)
+    ):
+        return SchemaMatchingAdapter(obj[0], obj[1], **kwargs)
+    if isinstance(obj, (list, tuple)) and obj and all(isinstance(t, Transaction) for t in obj):
+        return TxnScheduleAdapter(list(obj), **kwargs)
+    raise ReproError(
+        f"cannot infer a Problem adapter for {type(obj).__name__}; "
+        "wrap it explicitly (see repro.api.adapters)"
+    )

@@ -1,0 +1,90 @@
+"""Problem adapters for join ordering ([23]-[26]).
+
+Two encodings, two solution shapes: the left-deep adapter works over join
+*orders* (relation permutations), the bushy adapter over
+:class:`~repro.db.plans.JoinTree` objects.  Both re-cost decoded plans with
+the exact C_out model — the QUBO optimises a log-cost surrogate.
+"""
+
+from __future__ import annotations
+
+from repro.api.problem import Problem
+from repro.db.cost import CostModel
+from repro.db.dp import dp_optimal_bushy, dp_optimal_leftdeep
+from repro.db.plans import JoinTree, leftdeep_tree_from_order
+from repro.db.query import JoinGraph
+from repro.joinorder.bushy_qubo import BushyJoinQubo
+from repro.joinorder.leftdeep_qubo import LeftDeepJoinQubo
+
+
+class LeftDeepJoinAdapter(Problem):
+    """Left-deep join ordering: solutions are relation orders (lists)."""
+
+    name = "joinorder_leftdeep"
+
+    def __init__(self, graph: JoinGraph, penalty: "float | None" = None):
+        self.graph = graph
+        self.builder = LeftDeepJoinQubo(graph, penalty=penalty)
+        self._cost_model = CostModel(graph)
+
+    def build_qubo(self):
+        return self.builder.build()
+
+    def decode(self, bits) -> list[str]:
+        return self.builder.decode(self.to_qubo(), bits)
+
+    def evaluate(self, solution: list[str]) -> float:
+        return self._cost_model.cost(leftdeep_tree_from_order(solution))
+
+    def refine(self, solution: list[str]) -> list[str]:
+        """First-improvement pairwise-swap descent on the exact C_out."""
+        order = list(solution)
+        cost = self.evaluate(order)
+        improved = True
+        while improved:
+            improved = False
+            for i in range(len(order) - 1):
+                for j in range(i + 1, len(order)):
+                    candidate = list(order)
+                    candidate[i], candidate[j] = candidate[j], candidate[i]
+                    c = self.evaluate(candidate)
+                    if c < cost - 1e-12:
+                        order, cost = candidate, c
+                        improved = True
+                        break
+                if improved:
+                    break
+        return order
+
+    def is_feasible(self, solution: list[str]) -> bool:
+        return sorted(solution) == self.graph.relations
+
+    def classical_baseline(self, rng=None) -> list[str]:
+        tree, _ = dp_optimal_leftdeep(self.graph, avoid_cross=False)
+        return tree.leaves_in_order()
+
+
+class BushyJoinAdapter(Problem):
+    """Bushy join trees: solutions are :class:`JoinTree` objects."""
+
+    name = "joinorder_bushy"
+
+    def __init__(self, graph: JoinGraph, penalty: "float | None" = None):
+        self.graph = graph
+        self.builder = BushyJoinQubo(graph, penalty=penalty)
+
+    def build_qubo(self):
+        return self.builder.build()
+
+    def decode(self, bits) -> JoinTree:
+        return self.builder.decode(self.to_qubo(), bits)
+
+    def evaluate(self, solution: JoinTree) -> float:
+        return self.builder.true_cost(solution)
+
+    def is_feasible(self, solution: JoinTree) -> bool:
+        return solution.relations() == frozenset(self.graph.relations)
+
+    def classical_baseline(self, rng=None) -> JoinTree:
+        tree, _ = dp_optimal_bushy(self.graph)
+        return tree

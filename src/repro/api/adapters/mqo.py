@@ -1,0 +1,53 @@
+"""Problem adapter for multiple query optimization (Trummer & Koch [20])."""
+
+from __future__ import annotations
+
+from repro.api.problem import Problem
+from repro.exceptions import ReproError
+from repro.mqo.classical import exhaustive_mqo, hill_climbing_mqo, local_search_from
+from repro.mqo.problem import MQOProblem
+from repro.mqo.qubo import decode_sample, mqo_to_qubo
+
+
+class MQOAdapter(Problem):
+    """MQO through the uniform pipeline: solutions are ``{query: plan}``."""
+
+    name = "mqo"
+
+    def __init__(self, problem: MQOProblem, weight: "float | None" = None):
+        self.problem = problem
+        self.weight = weight
+
+    def build_qubo(self):
+        return mqo_to_qubo(self.problem, weight=self.weight)
+
+    def decode(self, bits) -> dict[str, str]:
+        return decode_sample(self.problem, self.to_qubo(), bits)
+
+    def evaluate(self, solution: dict[str, str]) -> float:
+        return self.problem.total_cost(solution)
+
+    def refine(self, solution: dict[str, str]) -> dict[str, str]:
+        refined, _ = local_search_from(self.problem, solution)
+        return refined
+
+    def is_feasible(self, solution: dict[str, str]) -> bool:
+        try:
+            self.problem.validate_selection(solution)
+        except ReproError:
+            return False
+        return True
+
+    def classical_baseline(self, rng=None) -> dict[str, str]:
+        """Exhaustive optimum when tractable, else multi-restart hill climbing."""
+        space = 1
+        for q in self.problem.queries:
+            space *= len(self.problem.plans_of(q))
+        if space <= 100_000:
+            selection, _ = exhaustive_mqo(self.problem)
+        else:
+            selection, _ = hill_climbing_mqo(self.problem, rng=rng)
+        return selection
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MQOAdapter({self.problem!r})"

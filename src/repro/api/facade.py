@@ -1,0 +1,172 @@
+"""The top-level solver facade: Problem -> QUBO -> Backend -> SolveResult.
+
+One call drives the whole Fig. 2 pipeline for any Table I workload on any
+registered engine::
+
+    from repro import solve
+    result = solve(problem, backend="annealer", seed=7)
+
+``solve_portfolio`` races several backends on one instance and keeps the
+best answer; ``solve_many`` runs a batch through a *single* backend
+instance so embedding / warm-start caches amortise across structurally
+identical QUBOs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Iterable, Sequence
+
+from repro.api.adapters import as_problem
+from repro.api.backends import Backend, get_backend
+from repro.api.problem import Problem
+from repro.api.result import SolveResult
+from repro.exceptions import ReproError
+from repro.utils.rngtools import ensure_rng, spawn
+
+#: How many of the lowest-energy samples are decoded (and refined) per
+#: solve.  Post-processing several reads — not just the single best — is
+#: how the published annealing pipelines extract value from sample
+#: diversity.
+DEFAULT_TOP_K = 8
+
+
+def _as_backend(backend: "str | Backend", **backend_opts) -> Backend:
+    if isinstance(backend, Backend):
+        if backend_opts:
+            raise ReproError("backend_opts only apply when selecting a backend by name")
+        return backend
+    return get_backend(backend, **backend_opts)
+
+
+def solve(
+    problem: "Problem | Any",
+    backend: "str | Backend" = "sa",
+    seed: "int | None" = None,
+    refine: bool = True,
+    top_k: int = DEFAULT_TOP_K,
+    **backend_opts,
+) -> SolveResult:
+    """Solve one problem end to end on one backend.
+
+    Args:
+        problem: A :class:`Problem` adapter, or a raw domain object
+            (``MQOProblem``, ``JoinGraph``, schema pair, transaction list)
+            that :func:`~repro.api.adapters.as_problem` can wrap.
+        backend: Registry name (see :func:`~repro.api.backends.list_backends`)
+            or a ready :class:`Backend` instance.
+        seed: Int seed, ``numpy`` Generator, or ``None`` for fresh entropy.
+            Identical seeds yield identical results when the backend is
+            selected by name (a fresh instance per call); a reused
+            stateful ``Backend`` instance deliberately carries its
+            embedding/warm-start caches across calls, which shifts the
+            RNG stream of later solves.
+        refine: Apply the problem's classical polish to each decoded sample
+            (the hybrid loop of Sec. III-C.2).
+        top_k: Decode this many lowest-energy samples, keep the best.
+        **backend_opts: Forwarded to the backend factory (e.g.
+            ``num_reads=32`` for ``"sa"``, ``num_layers=3`` for ``"qaoa"``).
+    """
+    return _solve_one(
+        as_problem(problem),
+        _as_backend(backend, **backend_opts),
+        ensure_rng(seed),
+        refine,
+        top_k,
+    )
+
+
+def _solve_one(problem: Problem, backend: Backend, rng, refine: bool, top_k: int) -> SolveResult:
+    start = time.perf_counter()
+    if backend.solves_problem_directly:
+        solution = backend.solve_problem(problem, rng=rng)
+        if refine:
+            solution = problem.refine(solution)
+        return SolveResult(
+            problem=problem.name,
+            method=backend.name,
+            solution=solution,
+            objective=problem.evaluate(solution),
+            energy=math.nan,
+            wall_time=time.perf_counter() - start,
+            num_variables=0,
+            info={"solver": backend.name},
+        )
+
+    model = problem.to_qubo()
+    samples = backend.run(model, rng=rng)
+    best_solution = None
+    best_objective = math.inf
+    for sample in samples.truncate(max(top_k, 1)):
+        solution = problem.decode(sample.bits)
+        if refine:
+            solution = problem.refine(solution)
+        objective = problem.evaluate(solution)
+        if objective < best_objective:
+            best_objective = objective
+            best_solution = solution
+    return SolveResult(
+        problem=problem.name,
+        method=backend.name,
+        solution=best_solution,
+        objective=best_objective,
+        energy=samples.best.energy,
+        wall_time=time.perf_counter() - start,
+        num_variables=model.num_variables,
+        info=dict(samples.info),
+    )
+
+
+def solve_portfolio(
+    problem: "Problem | Any",
+    backends: Sequence["str | Backend"] = ("sa", "tabu"),
+    seed: "int | None" = None,
+    refine: bool = True,
+    top_k: int = DEFAULT_TOP_K,
+) -> SolveResult:
+    """Race several backends on one instance; return the best result.
+
+    Each backend gets an independent child RNG split from ``seed``, so the
+    portfolio is reproducible as a whole.  The winner's result carries an
+    ``info["portfolio"]`` breakdown of every contender.
+    """
+    if not backends:
+        raise ReproError("portfolio needs at least one backend")
+    problem = as_problem(problem)
+    rngs = spawn(ensure_rng(seed), len(backends))
+    results = [
+        _solve_one(problem, _as_backend(b), rng, refine, top_k)
+        for b, rng in zip(backends, rngs)
+    ]
+    best = min(results, key=lambda r: r.objective)
+    best.info["portfolio"] = [
+        {"method": r.method, "objective": r.objective, "wall_time": r.wall_time}
+        for r in results
+    ]
+    return best
+
+
+def solve_many(
+    problems: Iterable["Problem | Any"],
+    backend: "str | Backend" = "sa",
+    seed: "int | None" = None,
+    refine: bool = True,
+    top_k: int = DEFAULT_TOP_K,
+    **backend_opts,
+) -> list[SolveResult]:
+    """Solve a batch of problems on one shared backend instance.
+
+    Sharing the instance is the point: the annealer backend reuses hardware
+    embeddings and the QAOA backend warm-starts its angles across
+    structurally identical QUBOs, so a batch of same-shaped instances pays
+    the expensive setup once.  Each problem gets an independent child RNG
+    split from ``seed``, making the batch reproducible *as a whole* — but
+    batch items are not bitwise-equal to standalone ``solve`` calls: the
+    child RNG streams and the shared caches differ from the fresh-instance
+    path.
+    """
+    problems = [as_problem(p) for p in problems]
+    shared = _as_backend(backend, **backend_opts)
+    rngs = spawn(ensure_rng(seed), len(problems))
+    return [_solve_one(p, shared, rng, refine, top_k) for p, rng in zip(problems, rngs)]

@@ -1,0 +1,47 @@
+"""The uniform result type returned by every facade entry point."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class SolveResult:
+    """One solved problem instance, backend-agnostic.
+
+    Attributes:
+        problem: The :attr:`Problem.name` domain tag.
+        method: Backend name (``"sa"``, ``"annealer"``, ``"classical"``, ...).
+        solution: Domain-native decoded solution (plan selection, join
+            order/tree, attribute matching, slot assignment, ...).
+        objective: Exact domain objective of ``solution`` (lower is better;
+            maximisation domains report the negated score).
+        energy: Best sampled QUBO energy (``nan`` for backends that bypass
+            the QUBO pipeline).
+        wall_time: End-to-end seconds spent inside the facade call.
+        num_variables: QUBO size (0 when no QUBO was built).
+        info: Backend diagnostics (sampler stats, embedding chain metrics,
+            QAOA expectation, portfolio breakdown, ...).
+    """
+
+    problem: str
+    method: str
+    solution: Any
+    objective: float
+    energy: float = math.nan
+    wall_time: float = 0.0
+    num_variables: int = 0
+    info: dict = field(default_factory=dict)
+
+    @property
+    def used_qubo(self) -> bool:
+        """Whether this result came through the QUBO pipeline."""
+        return not math.isnan(self.energy)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SolveResult({self.problem!r} via {self.method!r}, "
+            f"objective={self.objective:.6g}, {self.wall_time * 1e3:.1f} ms)"
+        )

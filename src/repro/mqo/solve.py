@@ -1,20 +1,22 @@
-"""End-to-end MQO solvers: annealing-based [20] and gate-based (QAOA) [21], [22]."""
+"""End-to-end MQO solvers — deprecated aliases over :mod:`repro.api`.
+
+``solve_with_annealer`` / ``solve_with_qaoa`` / ``solve_with_sampler``
+predate the unified facade; they now delegate to
+``repro.solve(MQOAdapter(problem), backend=...)`` and merely repackage the
+:class:`~repro.api.result.SolveResult` into the historical
+:class:`MQOResult` shape.  New code should call the facade directly.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.algorithms.qaoa import QAOA
-from repro.annealing.device import AnnealerDevice
-from repro.mqo.classical import local_search_from
 from repro.mqo.problem import MQOProblem
-from repro.mqo.qubo import decode_sample, mqo_to_qubo
-from repro.utils.rngtools import ensure_rng
 
 
 @dataclass
 class MQOResult:
-    """A solved MQO instance."""
+    """A solved MQO instance (legacy result shape)."""
 
     selection: dict[str, str]
     total_cost: float
@@ -23,50 +25,34 @@ class MQOResult:
     info: dict = field(default_factory=dict)
 
 
+def _from_solve_result(result, method: str) -> MQOResult:
+    return MQOResult(
+        selection=result.solution,
+        total_cost=result.objective,
+        method=method,
+        energy=result.energy,
+        info=dict(result.info),
+    )
+
+
 def solve_with_sampler(
     problem: MQOProblem, sampler, rng=None, method: str = "sampler", refine: bool = True
 ) -> MQOResult:
     """Solve via any object with ``solve(model, rng) -> SampleSet``.
 
-    ``refine`` applies the hybrid classical polish (Sec. III-C.2): a
-    plan-swap descent starting from the decoded quantum sample.
+    Deprecated: use ``repro.solve(problem, SamplerBackend(sampler))``.
     """
-    rng = ensure_rng(rng)
-    model = mqo_to_qubo(problem)
-    samples = sampler.solve(model, rng=rng)
-    selection = _pick_selection(problem, model, samples, refine)
-    return MQOResult(
-        selection=selection,
-        total_cost=problem.total_cost(selection),
-        method=method,
-        energy=samples.best.energy,
-        info=dict(samples.info),
+    from repro.api import MQOAdapter, SamplerBackend, solve
+
+    result = solve(
+        MQOAdapter(problem), SamplerBackend(sampler, name=method), seed=rng, refine=refine
     )
-
-
-def _pick_selection(problem, model, samples, refine: bool, top_k: int = 8) -> dict[str, str]:
-    """Decode the best samples and (optionally) polish each classically.
-
-    Post-processing every read — not just the single best — is how the
-    published annealing pipelines extract value from the sample diversity.
-    """
-    best_selection = None
-    best_cost = float("inf")
-    for sample in samples.truncate(top_k):
-        selection = decode_sample(problem, model, sample.bits)
-        if refine:
-            selection, cost = local_search_from(problem, selection)
-        else:
-            cost = problem.total_cost(selection)
-        if cost < best_cost:
-            best_cost = cost
-            best_selection = selection
-    return best_selection
+    return _from_solve_result(result, method)
 
 
 def solve_with_annealer(
     problem: MQOProblem,
-    device: "AnnealerDevice | None" = None,
+    device=None,
     use_embedding: bool = True,
     rng=None,
     refine: bool = True,
@@ -74,23 +60,15 @@ def solve_with_annealer(
     """The Trummer-Koch pipeline: logical QUBO -> physical embedding -> anneal.
 
     ``use_embedding=False`` skips the topology (the "ideal annealer"
-    ablation).
+    ablation).  Deprecated: use ``repro.solve(problem, "annealer", ...)``.
     """
-    rng = ensure_rng(rng)
+    from repro.annealing.device import AnnealerDevice
+    from repro.api import AnnealerBackend, MQOAdapter, solve
+
     device = device or AnnealerDevice(sampler="sa", num_reads=24, num_sweeps=256)
-    model = mqo_to_qubo(problem)
-    if use_embedding:
-        samples = device.sample(model, rng=rng)
-    else:
-        samples = device.sample_unembedded(model, rng=rng)
-    selection = _pick_selection(problem, model, samples, refine)
-    return MQOResult(
-        selection=selection,
-        total_cost=problem.total_cost(selection),
-        method=f"annealer[{device.sampler_name}]",
-        energy=samples.best.energy,
-        info=dict(samples.info),
-    )
+    backend = AnnealerBackend(device=device, use_embedding=use_embedding)
+    result = solve(MQOAdapter(problem), backend, seed=rng, refine=refine)
+    return _from_solve_result(result, f"annealer[{device.sampler_name}]")
 
 
 def solve_with_qaoa(
@@ -102,20 +80,14 @@ def solve_with_qaoa(
     rng=None,
     refine: bool = True,
 ) -> MQOResult:
-    """The gate-based pipeline of Fankhauser et al.: QUBO -> Ising -> QAOA."""
-    rng = ensure_rng(rng)
-    model = mqo_to_qubo(problem)
-    qaoa = QAOA.from_qubo(model, num_layers=num_layers)
-    result = qaoa.run(maxiter=maxiter, restarts=restarts, shots=shots, rng=rng)
-    selection = _pick_selection(problem, model, result.samples, refine)
-    return MQOResult(
-        selection=selection,
-        total_cost=problem.total_cost(selection),
-        method=f"qaoa[p={num_layers}]",
-        energy=result.best_energy,
-        info={
-            "expectation": result.expectation,
-            "qubits": qaoa.num_qubits,
-            "optimizer_evaluations": result.optimizer_evaluations,
-        },
+    """The gate-based pipeline of Fankhauser et al.: QUBO -> Ising -> QAOA.
+
+    Deprecated: use ``repro.solve(problem, "qaoa", num_layers=..., ...)``.
+    """
+    from repro.api import MQOAdapter, QAOABackend, solve
+
+    backend = QAOABackend(
+        num_layers=num_layers, maxiter=maxiter, restarts=restarts, shots=shots
     )
+    result = solve(MQOAdapter(problem), backend, seed=rng, refine=refine)
+    return _from_solve_result(result, f"qaoa[p={num_layers}]")

@@ -1,0 +1,84 @@
+"""The backend x domain matrix: every registered backend solves a tiny
+instance of every Table I problem through ``repro.solve``.
+
+The contract checked per cell: the decoded solution is feasible for the
+domain and the reported objective is exactly ``problem.evaluate(solution)``.
+"""
+
+import math
+
+import pytest
+
+import repro
+from repro.api import (
+    BushyJoinAdapter,
+    LeftDeepJoinAdapter,
+    MQOAdapter,
+    SchemaMatchingAdapter,
+    TxnScheduleAdapter,
+    list_backends,
+)
+from repro.db.generator import chain_query
+from repro.integration import generate_schema_pair
+from repro.mqo.problem import MQOProblem
+from repro.txn import generate_transactions
+
+# Tiny instances keep the exhaustive and gate-model backends fast.
+BACKEND_OPTS = {
+    "sa": dict(num_reads=8, num_sweeps=100),
+    "sqa": dict(num_reads=4, num_sweeps=64),
+    "annealer": dict(num_reads=8, num_sweeps=100),
+    "qaoa": dict(num_layers=1, maxiter=30, restarts=1, shots=256),
+    "vqe": dict(num_layers=1, maxiter=60, restarts=1, shots=256),
+}
+
+
+def _tiny_mqo():
+    p = MQOProblem()
+    p.add_plan("q0", "p0", 10.0)
+    p.add_plan("q0", "p1", 12.0)
+    p.add_plan("q1", "p0", 20.0)
+    p.add_plan("q1", "p1", 21.0)
+    p.add_saving(("q0", "p1"), ("q1", "p1"), 8.0)
+    return MQOAdapter(p)
+
+
+def _problem_factories():
+    return {
+        "mqo": _tiny_mqo,
+        "joinorder_leftdeep": lambda: LeftDeepJoinAdapter(chain_query(3, rng=4)),
+        "joinorder_bushy": lambda: BushyJoinAdapter(chain_query(3, rng=4)),
+        "schema_matching": lambda: SchemaMatchingAdapter(*generate_schema_pair(4, rng=8)[:2]),
+        "txn_schedule": lambda: TxnScheduleAdapter(generate_transactions(3, num_items=4, rng=10)),
+    }
+
+
+@pytest.mark.parametrize("backend", list_backends())
+@pytest.mark.parametrize("domain", sorted(_problem_factories()))
+def test_every_backend_solves_every_domain(domain, backend):
+    problem = _problem_factories()[domain]()
+    result = repro.solve(problem, backend=backend, seed=3, **BACKEND_OPTS.get(backend, {}))
+    assert result.problem == problem.name
+    assert result.method == backend
+    assert problem.is_feasible(result.solution), (domain, backend, result.solution)
+    assert result.objective == pytest.approx(problem.evaluate(result.solution))
+    assert result.wall_time >= 0.0
+    if backend == "classical":
+        assert math.isnan(result.energy) and result.num_variables == 0
+    else:
+        assert not math.isnan(result.energy)
+        assert result.num_variables == problem.to_qubo().num_variables
+
+
+@pytest.mark.parametrize("domain", sorted(_problem_factories()))
+def test_bruteforce_matches_classical_reference(domain):
+    """The QUBO ground state (+ refine) is never worse than the classical
+    baseline on instances small enough for both to be exact-ish."""
+    problem = _problem_factories()[domain]()
+    exact = repro.solve(problem, backend="bruteforce", seed=0)
+    reference = repro.solve(problem, backend="classical", seed=0)
+    if domain.startswith("joinorder"):
+        # The QUBO optimises a log-cost surrogate; allow the surrogate gap.
+        assert exact.objective <= reference.objective * 2.0 + 1e-9
+    else:
+        assert exact.objective <= reference.objective + 1e-9

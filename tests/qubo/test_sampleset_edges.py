@@ -1,0 +1,64 @@
+"""Edge cases of the SampleSet container: oversized truncation, empty
+sets, and deterministic tie-breaking of ``best``."""
+
+import pytest
+
+from repro.qubo.sampleset import Sample, SampleSet
+
+
+class TestTruncate:
+    def test_k_larger_than_set(self):
+        ss = SampleSet([Sample((0, 1), 1.0), Sample((1, 0), 2.0)])
+        truncated = ss.truncate(100)
+        assert len(truncated) == 2
+        assert [s.bits for s in truncated] == [(0, 1), (1, 0)]
+
+    def test_k_zero(self):
+        ss = SampleSet([Sample((0,), 1.0)])
+        assert len(ss.truncate(0)) == 0
+
+    def test_preserves_info(self):
+        ss = SampleSet([Sample((0,), 1.0)], info={"solver": "x"})
+        assert ss.truncate(5).info == {"solver": "x"}
+
+    def test_merges_duplicate_bits(self):
+        ss = SampleSet([Sample((1, 1), 3.0), Sample((1, 1), 3.0, num_occurrences=2)])
+        assert len(ss) == 1
+        assert ss.best.num_occurrences == 3
+
+
+class TestEmpty:
+    def test_len_and_iter(self):
+        ss = SampleSet([])
+        assert len(ss) == 0
+        assert list(ss) == []
+
+    def test_best_raises(self):
+        with pytest.raises(IndexError):
+            SampleSet([]).best
+
+    def test_truncate_empty(self):
+        assert len(SampleSet([]).truncate(3)) == 0
+
+    def test_energies_empty(self):
+        assert SampleSet([]).energies().size == 0
+
+    def test_repr(self):
+        assert repr(SampleSet([])) == "SampleSet(empty)"
+
+
+class TestTieBreaking:
+    def test_best_is_lexicographically_smallest_on_energy_tie(self):
+        """Equal energies sort by bits, so ``best`` is deterministic."""
+        ss = SampleSet([Sample((1, 0), 5.0), Sample((0, 1), 5.0), Sample((1, 1), 5.0)])
+        assert ss.best.bits == (0, 1)
+
+    def test_tie_order_is_stable_across_input_permutations(self):
+        samples = [Sample((1, 0), 2.0), Sample((0, 0), 2.0), Sample((0, 1), 1.0)]
+        a = SampleSet(samples)
+        b = SampleSet(list(reversed(samples)))
+        assert [s.bits for s in a] == [s.bits for s in b] == [(0, 1), (0, 0), (1, 0)]
+
+    def test_lower_energy_beats_bit_order(self):
+        ss = SampleSet([Sample((0, 0), 2.0), Sample((1, 1), 1.0)])
+        assert ss.best.bits == (1, 1)
