@@ -28,11 +28,17 @@ From Theory to Opportunities* (ICDE 2024).  The library ships:
 __version__ = "1.1.0"
 
 from repro.api import (
+    ExecutionPlan,
     Problem,
+    ResultCache,
     SolveResult,
     as_problem,
+    as_problems,
+    compile_plan,
+    execute_plan,
     get_backend,
     list_backends,
+    list_executors,
     register_backend,
     solve,
     solve_many,

@@ -10,7 +10,9 @@ hybrid architecture argued for by Zajac & Störl:
 * :mod:`.backends` — every solver engine (exact, heuristic, annealing,
   gate-model, classical baselines) behind one ``run`` signature plus the
   string registry;
-* :mod:`.facade` — ``solve`` / ``solve_portfolio`` / ``solve_many``;
+* :mod:`.facade` — ``solve`` / ``solve_portfolio`` / ``solve_many``, thin
+  front-ends over the execution engine in :mod:`repro.engine` (planner,
+  sharded executors, content-addressed result cache);
 * :mod:`.result` — the uniform :class:`SolveResult`.
 """
 
@@ -21,6 +23,7 @@ from repro.api.adapters import (
     SchemaMatchingAdapter,
     TxnScheduleAdapter,
     as_problem,
+    as_problems,
 )
 from repro.api.backends import (
     AnnealerBackend,
@@ -40,6 +43,13 @@ from repro.api.backends import (
 from repro.api.facade import solve, solve_many, solve_portfolio
 from repro.api.problem import Problem, qubo_signature
 from repro.api.result import SolveResult
+from repro.engine import (
+    ExecutionPlan,
+    ResultCache,
+    compile_plan,
+    execute_plan,
+    list_executors,
+)
 
 __all__ = [
     "Problem",
@@ -64,7 +74,13 @@ __all__ = [
     "SchemaMatchingAdapter",
     "TxnScheduleAdapter",
     "as_problem",
+    "as_problems",
     "solve",
     "solve_portfolio",
     "solve_many",
+    "ExecutionPlan",
+    "ResultCache",
+    "compile_plan",
+    "execute_plan",
+    "list_executors",
 ]

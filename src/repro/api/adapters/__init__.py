@@ -27,6 +27,7 @@ __all__ = [
     "SchemaMatchingAdapter",
     "TxnScheduleAdapter",
     "as_problem",
+    "as_problems",
 ]
 
 
@@ -67,3 +68,22 @@ def as_problem(obj: Any, **kwargs) -> Problem:
         f"cannot infer a Problem adapter for {type(obj).__name__}; "
         "wrap it explicitly (see repro.api.adapters)"
     )
+
+
+def as_problems(objs: Any, **kwargs) -> "list[Problem]":
+    """Coerce a whole batch for the engine planner, with a clear error trail.
+
+    Applies :func:`as_problem` (sharing ``kwargs`` across the batch) to each
+    entry and tags coercion failures with the batch position.  A bare
+    transaction list is ambiguous here — ``as_problem`` would read it as a
+    *single* scheduling problem — so batches of transaction workloads must
+    wrap each entry in a :class:`TxnScheduleAdapter` first; anything
+    iterable else-wise is treated as one problem per element.
+    """
+    problems = []
+    for index, obj in enumerate(objs):
+        try:
+            problems.append(as_problem(obj, **kwargs))
+        except ReproError as exc:
+            raise ReproError(f"batch item {index}: {exc}") from None
+    return problems

@@ -6,24 +6,27 @@ registered engine::
     from repro import solve
     result = solve(problem, backend="annealer", seed=7)
 
-``solve_portfolio`` races several backends on one instance and keeps the
-best answer; ``solve_many`` runs a batch through a *single* backend
-instance so embedding / warm-start caches amortise across structurally
-identical QUBOs.
+Since the execution-engine refactor these entry points are thin front-ends
+over :mod:`repro.engine`: the planner compiles batches into structure-keyed
+shards, pluggable executors (``serial`` / ``threads`` / ``processes``) run
+the shards, and a content-addressed :class:`~repro.engine.cache.ResultCache`
+skips repeat work.  ``solve_portfolio`` races several backends on one
+instance (optionally under a wall-clock deadline) and keeps the best
+answer; ``solve_many`` runs a batch sharded by QUBO structure so
+embedding / warm-start caches amortise within each shard while shards run
+in parallel.
 """
 
 from __future__ import annotations
 
-import math
-import time
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.api.adapters import as_problem
 from repro.api.backends import Backend, get_backend
 from repro.api.problem import Problem
 from repro.api.result import SolveResult
+from repro.engine.runner import run_portfolio, solve_batch, solve_single
 from repro.exceptions import ReproError
-from repro.utils.rngtools import ensure_rng, spawn
 
 #: How many of the lowest-energy samples are decoded (and refined) per
 #: solve.  Post-processing several reads — not just the single best — is
@@ -46,6 +49,7 @@ def solve(
     seed: "int | None" = None,
     refine: bool = True,
     top_k: int = DEFAULT_TOP_K,
+    cache: "Any | None" = None,
     **backend_opts,
 ) -> SolveResult:
     """Solve one problem end to end on one backend.
@@ -65,56 +69,25 @@ def solve(
         refine: Apply the problem's classical polish to each decoded sample
             (the hybrid loop of Sec. III-C.2).
         top_k: Decode this many lowest-energy samples, keep the best.
+        cache: ``None``/``False`` (off), ``True`` (process-global
+            :class:`~repro.engine.cache.ResultCache`), a directory path, or
+            a ``ResultCache``.  Only consulted when the backend is selected
+            by name *and* ``seed`` is an integer (otherwise the result is
+            not content-addressable); hits are byte-equivalent to a re-run
+            and are flagged in ``info["engine"]["cache_hit"]``.
         **backend_opts: Forwarded to the backend factory (e.g.
             ``num_reads=32`` for ``"sa"``, ``num_layers=3`` for ``"qaoa"``).
     """
-    return _solve_one(
+    backend_name = backend if isinstance(backend, str) else None
+    return solve_single(
         as_problem(problem),
         _as_backend(backend, **backend_opts),
-        ensure_rng(seed),
+        backend_name,
+        backend_opts,
+        seed,
         refine,
         top_k,
-    )
-
-
-def _solve_one(problem: Problem, backend: Backend, rng, refine: bool, top_k: int) -> SolveResult:
-    start = time.perf_counter()
-    if backend.solves_problem_directly:
-        solution = backend.solve_problem(problem, rng=rng)
-        if refine:
-            solution = problem.refine(solution)
-        return SolveResult(
-            problem=problem.name,
-            method=backend.name,
-            solution=solution,
-            objective=problem.evaluate(solution),
-            energy=math.nan,
-            wall_time=time.perf_counter() - start,
-            num_variables=0,
-            info={"solver": backend.name},
-        )
-
-    model = problem.to_qubo()
-    samples = backend.run(model, rng=rng)
-    best_solution = None
-    best_objective = math.inf
-    for sample in samples.truncate(max(top_k, 1)):
-        solution = problem.decode(sample.bits)
-        if refine:
-            solution = problem.refine(solution)
-        objective = problem.evaluate(solution)
-        if objective < best_objective:
-            best_objective = objective
-            best_solution = solution
-    return SolveResult(
-        problem=problem.name,
-        method=backend.name,
-        solution=best_solution,
-        objective=best_objective,
-        energy=samples.best.energy,
-        wall_time=time.perf_counter() - start,
-        num_variables=model.num_variables,
-        info=dict(samples.info),
+        cache=cache,
     )
 
 
@@ -124,27 +97,37 @@ def solve_portfolio(
     seed: "int | None" = None,
     refine: bool = True,
     top_k: int = DEFAULT_TOP_K,
+    backend_opts: "Mapping[str, dict] | None" = None,
+    deadline_s: "float | None" = None,
 ) -> SolveResult:
     """Race several backends on one instance; return the best result.
 
-    Each backend gets an independent child RNG split from ``seed``, so the
-    portfolio is reproducible as a whole.  The winner's result carries an
-    ``info["portfolio"]`` breakdown of every contender.
+    Each backend gets an independent child RNG split from ``seed``, so a
+    deadline-free portfolio is reproducible as a whole.  The winner's
+    result carries an ``info["portfolio"]`` breakdown of every contender
+    and an ``info["portfolio_meta"]`` scheduling summary.
+
+    Args:
+        backend_opts: Per-backend factory options keyed by registry name,
+            e.g. ``{"sa": {"num_reads": 64}, "qaoa": {"num_layers": 3}}``.
+            Keys must name a string contender (instances configure
+            themselves).
+        deadline_s: Wall-clock budget in seconds.  When set, contenders run
+            concurrently and only those finishing inside the deadline
+            compete; stragglers are abandoned (marked
+            ``"deadline_exceeded"`` in the breakdown).  At least one
+            contender is always awaited.  Racing trades determinism for
+            latency — leave ``None`` when exact reproducibility matters.
     """
-    if not backends:
-        raise ReproError("portfolio needs at least one backend")
-    problem = as_problem(problem)
-    rngs = spawn(ensure_rng(seed), len(backends))
-    results = [
-        _solve_one(problem, _as_backend(b), rng, refine, top_k)
-        for b, rng in zip(backends, rngs)
-    ]
-    best = min(results, key=lambda r: r.objective)
-    best.info["portfolio"] = [
-        {"method": r.method, "objective": r.objective, "wall_time": r.wall_time}
-        for r in results
-    ]
-    return best
+    return run_portfolio(
+        as_problem(problem),
+        backends,
+        seed=seed,
+        refine=refine,
+        top_k=top_k,
+        backend_opts=backend_opts,
+        deadline_s=deadline_s,
+    )
 
 
 def solve_many(
@@ -153,20 +136,52 @@ def solve_many(
     seed: "int | None" = None,
     refine: bool = True,
     top_k: int = DEFAULT_TOP_K,
+    executor: str = "serial",
+    cache: "Any | None" = None,
+    max_shard_size: "int | None" = None,
     **backend_opts,
 ) -> list[SolveResult]:
-    """Solve a batch of problems on one shared backend instance.
+    """Solve a batch of problems, sharded by QUBO structure.
 
-    Sharing the instance is the point: the annealer backend reuses hardware
-    embeddings and the QAOA backend warm-starts its angles across
-    structurally identical QUBOs, so a batch of same-shaped instances pays
-    the expensive setup once.  Each problem gets an independent child RNG
-    split from ``seed``, making the batch reproducible *as a whole* — but
-    batch items are not bitwise-equal to standalone ``solve`` calls: the
-    child RNG streams and the shared caches differ from the fresh-instance
-    path.
+    The planner groups structurally identical QUBOs into shards that share
+    one backend instance — the annealer backend reuses hardware embeddings
+    and the QAOA backend warm-starts its angles within a shard, so
+    same-shaped instances pay the expensive setup once — while distinct
+    shards run independently on the chosen executor.  Each problem gets an
+    independent child RNG split from ``seed`` *in batch order*, making the
+    batch reproducible as a whole and its objectives identical across
+    ``serial``, ``threads``, and ``processes`` executors.  (Batch items are
+    still not bitwise-equal to standalone ``solve`` calls: the child RNG
+    streams and the shard-shared caches differ from the fresh-instance
+    path.)
+
+    Args:
+        executor: ``"serial"`` (default), ``"threads"`` (overlaps wherever
+            the backend drops the GIL or waits on I/O), ``"processes"``
+            (true parallelism for the CPU-bound simulator backends; shards
+            must pickle, so select the backend by name), or an
+            :class:`~repro.engine.executors.Executor` instance.  A
+            caller-supplied ``Backend`` *instance* keeps the determinism
+            guarantee only while its state is keyed by QUBO signature
+            (true of the built-ins) — and under ``"processes"`` the
+            workers operate on pickled copies, so the caller's instance
+            does not accumulate caches across the batch.
+        cache: Same spellings as :func:`solve`.  Hits are shard-atomic: a
+            shard is served from cache only when every item hits, because
+            later items' samples depend on backend state built by earlier
+            ones.  Hits never perturb the RNG stream of neighbouring items.
+        max_shard_size: Split signature groups larger than this into
+            several shards (more parallelism; setup amortises per split).
+        **backend_opts: Forwarded to the backend factory, once per shard.
     """
-    problems = [as_problem(p) for p in problems]
-    shared = _as_backend(backend, **backend_opts)
-    rngs = spawn(ensure_rng(seed), len(problems))
-    return [_solve_one(p, shared, rng, refine, top_k) for p, rng in zip(problems, rngs)]
+    return solve_batch(
+        problems,
+        backend,
+        seed=seed,
+        refine=refine,
+        top_k=top_k,
+        executor=executor,
+        cache=cache,
+        max_shard_size=max_shard_size,
+        backend_opts=backend_opts,
+    )

@@ -18,12 +18,22 @@ class SolveResult:
             order/tree, attribute matching, slot assignment, ...).
         objective: Exact domain objective of ``solution`` (lower is better;
             maximisation domains report the negated score).
-        energy: Best sampled QUBO energy (``nan`` for backends that bypass
-            the QUBO pipeline).
-        wall_time: End-to-end seconds spent inside the facade call.
-        num_variables: QUBO size (0 when no QUBO was built).
+        energy: Best sampled QUBO energy.  **NaN-energy convention:** a NaN
+            here means the backend bypassed QUBO *sampling* entirely (the
+            ``"classical"`` direct-solve path) — there simply is no sampled
+            energy to report, and ``NaN`` is deliberately unequal to every
+            real energy so it can never masquerade as one.  Test via
+            :attr:`used_qubo`, not ``==`` (NaN compares unequal to itself).
+        wall_time: End-to-end seconds spent solving.  A cache-served result
+            keeps the wall time of the original solve it memoised.
+        num_variables: Size of the problem's QUBO formulation.  Reported on
+            every path — direct-solve backends skip sampling but still
+            formulate, so result rows stay comparable across backends.
         info: Backend diagnostics (sampler stats, embedding chain metrics,
-            QAOA expectation, portfolio breakdown, ...).
+            QAOA expectation, portfolio breakdown, ...).  Engine-executed
+            results add ``info["engine"]``: shard id/position/size, executor
+            name, the item's child seed, a truncated QUBO fingerprint, and
+            ``cache_hit``.
     """
 
     problem: str
@@ -37,8 +47,13 @@ class SolveResult:
 
     @property
     def used_qubo(self) -> bool:
-        """Whether this result came through the QUBO pipeline."""
+        """Whether this result came through QUBO sampling (NaN energy = no)."""
         return not math.isnan(self.energy)
+
+    @property
+    def cache_hit(self) -> bool:
+        """Whether the engine served this result from its ResultCache."""
+        return bool(self.info.get("engine", {}).get("cache_hit", False))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,63 @@
+"""The execution engine beneath the solver facade.
+
+``repro.api.facade`` is the user-facing seam; this package is the machinery
+under it, split into three pieces that compose::
+
+    compile_plan(problems, backend, seed)        # plan.py   — what to run
+        -> ExecutionPlan (shards, seeds, fingerprints, cache keys)
+    execute_plan(plan, executor=..., cache=...)  # runner.py — how to run it
+        -> [SolveResult]  via serial / threads / processes executors
+    ResultCache                                  # cache.py  — what to skip
+
+The design invariants, relied on throughout:
+
+* **seed stability** — per-item child seeds are split from the batch seed
+  in batch order at plan time, so executor choice and cache state never
+  shift any item's RNG stream; serial and parallel runs of one plan return
+  identical objectives;
+* **shard = structure** — items are sharded by QUBO structural signature so
+  stateful backend caches (hardware embeddings, warm-start angles) amortise
+  within a shard while shards parallelise freely;
+* **content-addressed results** — cache keys hash the canonical QUBO
+  fingerprint, backend, opts, seed, and shard-prefix history, making a hit
+  byte-equivalent to a re-run.
+"""
+
+from repro.engine.cache import ResultCache, default_cache, make_cache_key, resolve_cache
+from repro.engine.executors import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    list_executors,
+)
+from repro.engine.plan import ExecutionPlan, PlanItem, compile_plan
+from repro.engine.runner import (
+    execute_plan,
+    run_portfolio,
+    solve_batch,
+    solve_one,
+    solve_single,
+)
+
+__all__ = [
+    "ResultCache",
+    "default_cache",
+    "make_cache_key",
+    "resolve_cache",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "list_executors",
+    "ExecutionPlan",
+    "PlanItem",
+    "compile_plan",
+    "execute_plan",
+    "solve_batch",
+    "solve_one",
+    "solve_single",
+    "run_portfolio",
+]

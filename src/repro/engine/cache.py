@@ -1,0 +1,173 @@
+"""Content-addressed result caching for the execution engine.
+
+A :class:`ResultCache` memoises finished :class:`~repro.api.result.SolveResult`
+objects keyed on ``(QUBO fingerprint, backend, opts, seed)``.  Because the
+fingerprint is a canonical content hash (see
+:meth:`repro.qubo.model.QuboModel.fingerprint`) and the seed pins the RNG
+stream, a hit is byte-equivalent to re-running the solve — which is what
+lets the engine skip dispatch entirely on repeated workloads.
+
+Two storage tiers:
+
+* an in-memory LRU of pickled blobs (pickling on ``put`` / unpickling on
+  ``get`` gives every caller an independent copy, so mutating a returned
+  result can never corrupt the cache);
+* an optional on-disk store (one file per key under ``directory``) so
+  worker *processes* and later sessions share hits.
+
+Cache hits must not perturb the RNG stream of neighbouring batch items.
+The engine guarantees this structurally: per-item child seeds are derived
+from the batch seed *before* any cache lookup, so skipping a solve never
+shifts what the other items draw.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.exceptions import ReproError
+
+
+def make_cache_key(fingerprint: str, backend_key: str, opts_key: str, seed: int) -> str:
+    """Flatten the ``(fingerprint, backend, opts, seed)`` tuple into one hex key."""
+    blob = "\x1f".join((fingerprint, backend_key, opts_key, str(int(seed))))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """LRU result store, optionally backed by an on-disk directory.
+
+    Args:
+        maxsize: In-memory entry cap; least-recently-used entries are
+            evicted first.  Disk entries are never evicted by this cap.
+        directory: Optional path for the cross-process tier.  Created on
+            first ``put``.  Safe for concurrent writers: files are written
+            to a temp name then atomically renamed.
+    """
+
+    def __init__(self, maxsize: int = 1024, directory: "str | os.PathLike | None" = None):
+        if maxsize < 1:
+            raise ReproError("ResultCache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.directory = Path(directory) if directory is not None else None
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # -- core protocol ---------------------------------------------------------
+
+    def get(self, key: str):
+        """Return a fresh copy of the cached result, or ``None`` on a miss."""
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is not None:
+                self._entries.move_to_end(key)
+        if blob is None and self.directory is not None:
+            path = self._path(key)
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                blob = None
+            if blob is not None:
+                with self._lock:
+                    self._store_memory(key, blob)
+        with self._lock:
+            if blob is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+        return pickle.loads(blob)
+
+    def put(self, key: str, result) -> None:
+        """Store ``result`` under ``key`` (overwrites an existing entry)."""
+        blob = pickle.dumps(result)
+        with self._lock:
+            self._store_memory(key, blob)
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._path(key)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self.directory is not None and self._path(key).exists()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and reset hit/miss counters.
+
+        Disk entries are left in place (they may be shared with other
+        processes); delete the directory to purge them.
+        """
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def stats(self) -> dict:
+        """``{"hits": ..., "misses": ..., "entries": ...}`` snapshot."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+    # -- internals -------------------------------------------------------------
+
+    def _store_memory(self, key: str, blob: bytes) -> None:
+        self._entries[key] = blob
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tier = f", dir={str(self.directory)!r}" if self.directory else ""
+        return f"ResultCache({len(self)} entries, hits={self.hits}, misses={self.misses}{tier})"
+
+
+#: Process-wide cache used when callers pass ``cache=True``.
+_DEFAULT_CACHE: "ResultCache | None" = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_cache() -> ResultCache:
+    """The lazily created process-global cache behind ``cache=True``."""
+    global _DEFAULT_CACHE
+    with _DEFAULT_LOCK:
+        if _DEFAULT_CACHE is None:
+            _DEFAULT_CACHE = ResultCache()
+        return _DEFAULT_CACHE
+
+
+def resolve_cache(spec) -> "ResultCache | None":
+    """Normalise every accepted ``cache=`` spelling to a cache (or ``None``).
+
+    ``None`` / ``False`` disable caching, ``True`` selects the process-global
+    default, a path string / ``PathLike`` builds a disk-backed cache there,
+    and a ready :class:`ResultCache` passes through.
+    """
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return default_cache()
+    if isinstance(spec, ResultCache):
+        return spec
+    if isinstance(spec, (str, os.PathLike)):
+        return ResultCache(directory=spec)
+    raise ReproError(
+        f"cache must be None/False, True, a path, or a ResultCache; got {type(spec).__name__}"
+    )

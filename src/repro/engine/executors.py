@@ -1,0 +1,122 @@
+"""Pluggable shard executors: serial, thread-pool, and process-pool.
+
+An executor maps the shard worker over shard payloads and returns results
+in payload order.  Because the planner fixes every item's seed and shard
+before dispatch, the executor choice changes *wall-clock only* — the
+returned objectives are identical across all three (the determinism
+contract the engine tests pin down).  For caller-supplied backend
+*instances* that guarantee additionally relies on instance state being
+keyed by QUBO structural signature (true of every built-in backend):
+shards have distinct signatures, so shared caches never collide across
+concurrently running shards, and a worker process's cold copy recomputes
+exactly what the shared instance would have.
+
+``threads`` suits backends that release the GIL or wait on I/O (a real
+hardware client); ``processes`` sidesteps the GIL for the CPU-bound
+simulator backends at the price of pickling shards to workers.  Payloads
+for the process pool must therefore be picklable — by-name backend specs
+always are, and every built-in adapter/problem pickles cleanly.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.exceptions import ReproError
+
+
+class Executor(abc.ABC):
+    """Maps a worker over shard payloads, preserving payload order."""
+
+    name: str = "executor"
+
+    @abc.abstractmethod
+    def run(self, worker: Callable, payloads: Sequence) -> list:
+        """Apply ``worker`` to each payload; return results in order."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SerialExecutor(Executor):
+    """In-process, one shard after another — the determinism reference."""
+
+    name = "serial"
+
+    def run(self, worker: Callable, payloads: Sequence) -> list:
+        return [worker(p) for p in payloads]
+
+
+class ThreadExecutor(Executor):
+    """Thread pool: shards overlap wherever the backend drops the GIL."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: "int | None" = None):
+        self.max_workers = max_workers
+
+    def run(self, worker: Callable, payloads: Sequence) -> list:
+        if len(payloads) <= 1:
+            return [worker(p) for p in payloads]
+        workers = self.max_workers or min(len(payloads), (os.cpu_count() or 1) * 2)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(worker, payloads))
+
+
+class ProcessExecutor(Executor):
+    """Process pool: true parallelism for the CPU-bound simulator backends."""
+
+    name = "processes"
+
+    def __init__(self, max_workers: "int | None" = None):
+        self.max_workers = max_workers
+
+    def run(self, worker: Callable, payloads: Sequence) -> list:
+        if len(payloads) <= 1:
+            return [worker(p) for p in payloads]
+        workers = self.max_workers or min(len(payloads), os.cpu_count() or 1)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(worker, payloads))
+        except Exception as exc:
+            # Diagnose serialization failures only on the error path — the
+            # happy path must not pay a second pickling pass.
+            try:
+                pickle.dumps(payloads)
+            except Exception:
+                raise ReproError(
+                    "processes executor needs picklable shards; select the backend "
+                    "by name (not a live instance) or use executor='threads'"
+                ) from exc
+            raise
+
+
+_EXECUTORS: dict[str, Callable[..., Executor]] = {
+    "serial": SerialExecutor,
+    "threads": ThreadExecutor,
+    "processes": ProcessExecutor,
+}
+
+
+def get_executor(spec: "str | Executor", **opts) -> Executor:
+    """Resolve an executor name (or pass an instance through)."""
+    if isinstance(spec, Executor):
+        if opts:
+            raise ReproError("executor opts only apply when selecting by name")
+        return spec
+    try:
+        factory = _EXECUTORS[spec]
+    except KeyError:
+        raise ReproError(
+            f"unknown executor {spec!r}; available: {', '.join(list_executors())}"
+        ) from None
+    return factory(**opts)
+
+
+def list_executors() -> list[str]:
+    """Available executor names, sorted."""
+    return sorted(_EXECUTORS)

@@ -1,0 +1,244 @@
+"""Plan compilation: problems -> canonical QUBOs -> fingerprints -> shards.
+
+The planner turns a batch into an :class:`ExecutionPlan` that any executor
+can run:
+
+1. every problem is coerced through :func:`~repro.api.adapters.as_problems`
+   and formulated once (``to_qubo`` caches the model on the adapter);
+2. each item gets a deterministic child seed split from the batch seed *in
+   batch order* — seed assignment never depends on sharding, executor
+   choice, or cache state, which is what makes serial and parallel runs of
+   the same plan return identical objectives;
+3. items are grouped into **shards** by structural signature
+   (:func:`~repro.api.problem.qubo_signature`): same-shaped QUBOs share a
+   backend instance so embedding / warm-start caches amortise *within* the
+   shard, while distinct shards are free to run in parallel;
+4. when the backend is selected by name (a fresh instance per shard), each
+   item gets a content-addressed cache key over ``(QUBO fingerprint,
+   backend, opts, seed)`` **plus its shard-prefix history** — within a
+   shard, item *k*'s samples depend on the backend state built by items
+   ``0..k-1`` (the embedding is searched with the leader's RNG, warm-start
+   angles come from the leader's optimisation), so the key hashes the
+   predecessors' fingerprints and seeds too.  A shard-position-0 key has an
+   empty history and is therefore interchangeable with a standalone
+   ``solve`` of the same fingerprint/opts/seed.
+
+Backend instances passed by the caller are shared and stateful by design;
+their state is not content-addressable, so instance-backed plans disable
+caching rather than risk wrong hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.engine.cache import make_cache_key
+from repro.exceptions import ReproError
+from repro.utils.rngtools import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; runtime imports are lazy
+    from repro.api.backends import Backend
+    from repro.api.problem import Problem
+
+#: Upper bound on the child-seed range; matches ``repro.utils.rngtools.spawn``.
+_SEED_RANGE = 2**63 - 1
+
+
+def _opts_key(backend_opts: dict, refine: bool, top_k: int) -> str:
+    """Canonical string of everything besides model/seed that shapes a result."""
+    return repr((sorted(backend_opts.items()), bool(refine), int(top_k)))
+
+
+@dataclass
+class PlanItem:
+    """One batch entry: a problem plus everything needed to solve it."""
+
+    index: int            #: position in the original batch
+    problem: Problem
+    seed: int             #: child seed split from the batch seed
+    shard: int            #: shard id (items of one shard share a backend instance)
+    shard_pos: int        #: position within the shard (0 = shard leader)
+    fingerprint: str      #: canonical content hash of the item's QUBO
+    cache_key: "str | None" = None   #: None when caching cannot be sound
+
+
+@dataclass
+class ExecutionPlan:
+    """A compiled batch: sharded items plus the backend/decode configuration.
+
+    ``backend_name``/``backend_opts`` describe a by-name backend (each shard
+    builds a fresh instance); ``backend_instance`` carries a caller-supplied
+    instance shared across shards instead.  Exactly one of the two is set.
+    """
+
+    items: list[PlanItem]
+    num_shards: int
+    backend_name: "str | None"
+    backend_opts: dict
+    backend_instance: "Backend | None"
+    refine: bool
+    top_k: int
+    direct: bool           #: backend solves problems directly (no QUBO sampling)
+    meta: dict = field(default_factory=dict)
+
+    def shards(self) -> list[list[PlanItem]]:
+        """Items grouped by shard id, batch order preserved within each."""
+        groups: list[list[PlanItem]] = [[] for _ in range(self.num_shards)]
+        for item in self.items:
+            groups[item.shard].append(item)
+        return groups
+
+    @property
+    def cacheable(self) -> bool:
+        return self.backend_name is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        backend = self.backend_name or repr(self.backend_instance)
+        return (
+            f"ExecutionPlan({len(self.items)} items, {self.num_shards} shards, "
+            f"backend={backend})"
+        )
+
+
+def compile_plan(
+    problems: Iterable["Problem | Any"],
+    backend: "str | Backend" = "sa",
+    seed: "int | None" = None,
+    refine: bool = True,
+    top_k: int = 8,
+    backend_opts: "dict | None" = None,
+    max_shard_size: "int | None" = None,
+    adapter_opts: "dict | None" = None,
+) -> ExecutionPlan:
+    """Compile a batch into an :class:`ExecutionPlan`.
+
+    Args:
+        problems: Adapters or raw domain objects (see
+            :func:`~repro.api.adapters.as_problems`).
+        backend: Registry name (fresh instance per shard, cacheable) or a
+            shared :class:`Backend` instance (stateful, not cacheable).
+        seed: Batch seed; children are split per item in batch order.
+        refine: Forwarded to the solve kernel.
+        top_k: Forwarded to the solve kernel.
+        backend_opts: Factory options for a by-name backend.
+        max_shard_size: Split signature groups larger than this into
+            several shards (more parallelism, embedding paid once per
+            split); ``None`` keeps one shard per signature.
+        adapter_opts: Extra kwargs for ``as_problems`` coercion.
+    """
+    # Lazy imports: repro.api.facade imports this package at module load,
+    # so engine modules must not import repro.api back at module level.
+    from repro.api.adapters import as_problems
+    from repro.api.backends import Backend, get_backend
+    from repro.api.problem import qubo_signature
+
+    backend_opts = dict(backend_opts or {})
+    if isinstance(backend, Backend):
+        if backend_opts:
+            raise ReproError("backend_opts only apply when selecting a backend by name")
+        if max_shard_size is not None:
+            # Splitting one signature group across shards is only sound when
+            # each shard gets a fresh instance: split shards sharing a live
+            # instance would reuse (or race on) each other's signature-keyed
+            # caches depending on scheduling.
+            raise ReproError(
+                "max_shard_size requires selecting the backend by name; shards "
+                "sharing a live Backend instance cannot split a signature group "
+                "deterministically"
+            )
+        backend_name, backend_instance = None, backend
+        probe = backend
+    else:
+        backend_name, backend_instance = str(backend), None
+        probe = get_backend(backend_name, **backend_opts)
+    if max_shard_size is not None and max_shard_size < 1:
+        raise ReproError("max_shard_size must be >= 1")
+
+    coerced = as_problems(problems, **(adapter_opts or {}))
+    base = ensure_rng(seed)
+    child_seeds = [int(s) for s in base.integers(0, _SEED_RANGE, size=len(coerced))]
+
+    # Group by structural signature in first-seen order; optionally split
+    # oversized groups so wide batches expose more parallelism.
+    shard_of: dict = {}
+    shard_fill: list[int] = []
+    signature_of_shard: list = []
+    items: list[PlanItem] = []
+    for index, (problem, child_seed) in enumerate(zip(coerced, child_seeds)):
+        model = problem.to_qubo()
+        signature = qubo_signature(model)
+        shard = shard_of.get(signature)
+        if shard is None or (max_shard_size is not None and shard_fill[shard] >= max_shard_size):
+            shard = len(shard_fill)
+            shard_of[signature] = shard
+            shard_fill.append(0)
+            signature_of_shard.append(signature)
+        shard_pos = shard_fill[shard]
+        shard_fill[shard] += 1
+        items.append(
+            PlanItem(
+                index=index,
+                problem=problem,
+                seed=child_seed,
+                shard=shard,
+                shard_pos=shard_pos,
+                fingerprint=model.fingerprint(),
+            )
+        )
+
+    plan = ExecutionPlan(
+        items=items,
+        num_shards=len(shard_fill),
+        backend_name=backend_name,
+        backend_opts=backend_opts,
+        backend_instance=backend_instance,
+        refine=refine,
+        top_k=top_k,
+        direct=probe.solves_problem_directly,
+        meta={
+            "batch_size": len(items),
+            "shard_sizes": list(shard_fill),
+            "max_shard_size": max_shard_size,
+        },
+    )
+    if plan.cacheable:
+        _assign_cache_keys(plan)
+    return plan
+
+
+def _assign_cache_keys(plan: ExecutionPlan) -> None:
+    """Attach shard-history-aware cache keys to every item of a by-name plan."""
+    opts_key = _opts_key(plan.backend_opts, plan.refine, plan.top_k)
+    for shard_items in plan.shards():
+        history = hashlib.sha256()
+        for item in shard_items:
+            item.cache_key = make_cache_key(
+                item.fingerprint,
+                plan.backend_name,
+                opts_key + "|" + history.hexdigest(),
+                item.seed,
+            )
+            history.update(item.fingerprint.encode("ascii"))
+            history.update(str(item.seed).encode("ascii"))
+
+
+def single_solve_cache_key(
+    fingerprint: str,
+    backend_name: str,
+    backend_opts: dict,
+    refine: bool,
+    top_k: int,
+    seed: int,
+) -> str:
+    """Cache key for a standalone ``solve`` call with an integer seed.
+
+    Uses an *empty* shard history, making it interchangeable with the
+    shard-leader key of a batch item that has the same fingerprint, backend,
+    opts, and effective seed — both run a fresh backend instance on a fresh
+    RNG, so their results coincide.
+    """
+    opts_key = _opts_key(dict(backend_opts), refine, top_k)
+    empty_history = hashlib.sha256().hexdigest()
+    return make_cache_key(fingerprint, backend_name, opts_key + "|" + empty_history, seed)

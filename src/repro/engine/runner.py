@@ -1,0 +1,358 @@
+"""Plan execution: the solve kernel, shard workers, caching, and racing.
+
+This module owns the code that actually runs a compiled
+:class:`~repro.engine.plan.ExecutionPlan`:
+
+* :func:`solve_one` — the Problem -> QUBO -> Backend -> SolveResult kernel
+  (moved here from the facade so every executor shares one definition);
+* :func:`execute_plan` — cache lookup, shard dispatch through a pluggable
+  executor, cache fill, and per-result engine metadata;
+* :func:`run_portfolio` — several backends on one instance, optionally
+  raced under a wall-clock deadline.
+
+Cache semantics are **shard-atomic**: a shard's items are served from the
+cache only when *every* item hits.  Item *k* of a shard is solved on
+backend state built by items ``0..k-1`` (embedding searched with the
+leader's RNG, warm-start angles from the leader's optimisation), so
+skipping a cached prefix would hand later misses a fresh instance and
+silently change their samples.  All-or-nothing keeps hits exactly
+byte-equivalent to a re-run — and since per-item child seeds are fixed at
+plan time, a hit never perturbs the RNG stream of neighbouring items.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.engine.cache import ResultCache, resolve_cache
+from repro.engine.executors import get_executor
+from repro.engine.plan import ExecutionPlan, compile_plan, single_solve_cache_key
+from repro.exceptions import ReproError
+from repro.utils.rngtools import ensure_rng, spawn
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; runtime imports are lazy
+    from repro.api.backends import Backend
+    from repro.api.problem import Problem
+    from repro.api.result import SolveResult
+
+
+def solve_one(problem: Problem, backend: Backend, rng, refine: bool, top_k: int) -> SolveResult:
+    """Solve one problem on one backend instance (the pipeline kernel).
+
+    Direct-solve backends (``classical``) bypass QUBO *sampling* but still
+    report ``num_variables`` from the problem's cached formulation, so
+    result rows stay comparable across backends; their ``energy`` is NaN by
+    convention (see :class:`~repro.api.result.SolveResult`).
+    """
+    from repro.api.result import SolveResult
+
+    start = time.perf_counter()
+    model = problem.to_qubo()
+    if backend.solves_problem_directly:
+        solution = backend.solve_problem(problem, rng=rng)
+        if refine:
+            solution = problem.refine(solution)
+        return SolveResult(
+            problem=problem.name,
+            method=backend.name,
+            solution=solution,
+            objective=problem.evaluate(solution),
+            energy=math.nan,
+            wall_time=time.perf_counter() - start,
+            num_variables=model.num_variables,
+            info={"solver": backend.name},
+        )
+
+    samples = backend.run(model, rng=rng)
+    best_solution = None
+    best_objective = math.inf
+    for sample in samples.truncate(max(top_k, 1)):
+        solution = problem.decode(sample.bits)
+        if refine:
+            solution = problem.refine(solution)
+        objective = problem.evaluate(solution)
+        if objective < best_objective:
+            best_objective = objective
+            best_solution = solution
+    return SolveResult(
+        problem=problem.name,
+        method=backend.name,
+        solution=best_solution,
+        objective=best_objective,
+        energy=samples.best.energy,
+        wall_time=time.perf_counter() - start,
+        num_variables=model.num_variables,
+        info=dict(samples.info),
+    )
+
+
+# -- shard execution --------------------------------------------------------
+
+
+def _shard_payload(plan: ExecutionPlan, shard_items, executor_name: str) -> dict:
+    return {
+        "shard": shard_items[0].shard,
+        "shard_size": len(shard_items),
+        "indices": [i.index for i in shard_items],
+        "problems": [i.problem for i in shard_items],
+        "seeds": [i.seed for i in shard_items],
+        "fingerprints": [i.fingerprint for i in shard_items],
+        "backend_name": plan.backend_name,
+        "backend_opts": plan.backend_opts,
+        "backend_instance": plan.backend_instance,
+        "refine": plan.refine,
+        "top_k": plan.top_k,
+        "executor": executor_name,
+    }
+
+
+def _execute_shard(payload: dict) -> list:
+    """Run one shard on one backend instance; module-level for pickling.
+
+    Items run in shard order on a shared instance, so signature-keyed
+    backend caches (embeddings, warm-start angles) amortise across the
+    shard exactly as they did on the old single-instance batch path.
+    """
+    from repro.api.backends import get_backend
+
+    if payload["backend_name"] is not None:
+        backend = get_backend(payload["backend_name"], **payload["backend_opts"])
+    else:
+        backend = payload["backend_instance"]
+    out = []
+    for pos, (index, problem, seed, fp) in enumerate(
+        zip(payload["indices"], payload["problems"], payload["seeds"], payload["fingerprints"])
+    ):
+        result = solve_one(
+            problem, backend, np.random.default_rng(seed), payload["refine"], payload["top_k"]
+        )
+        result.info["engine"] = {
+            "shard": payload["shard"],
+            "shard_pos": pos,
+            "shard_size": payload["shard_size"],
+            "executor": payload["executor"],
+            "seed": seed,
+            "fingerprint": fp[:16],
+            "cache_hit": False,
+        }
+        out.append((index, result))
+    return out
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    executor: str = "serial",
+    cache: "ResultCache | bool | str | None" = None,
+) -> list[SolveResult]:
+    """Run a compiled plan and return results in original batch order.
+
+    Cache hits are taken shard-atomically (see module docstring); every
+    result's ``info["engine"]`` records shard, position, executor, seed,
+    truncated fingerprint, and whether it was served from cache.
+    """
+    runner = get_executor(executor)
+    store = resolve_cache(cache)
+    if store is not None and not plan.cacheable:
+        store = None  # instance-backed plans carry opaque state; never cache
+
+    results: list = [None] * len(plan.items)
+    payloads = []
+    for shard_items in plan.shards():
+        if not shard_items:
+            continue
+        cached = None
+        if store is not None:
+            cached = [store.get(i.cache_key) for i in shard_items]
+            if any(c is None for c in cached):
+                cached = None
+        if cached is not None:
+            for pos, (item, result) in enumerate(zip(shard_items, cached)):
+                engine_info = result.info.setdefault("engine", {})
+                engine_info.update(
+                    shard=item.shard,
+                    shard_pos=pos,
+                    shard_size=len(shard_items),
+                    executor=runner.name,
+                    seed=item.seed,
+                    fingerprint=item.fingerprint[:16],
+                    cache_hit=True,
+                )
+                results[item.index] = result
+        else:
+            payloads.append(_shard_payload(plan, shard_items, runner.name))
+
+    for shard_results in runner.run(_execute_shard, payloads):
+        for index, result in shard_results:
+            results[index] = result
+    if store is not None:
+        by_index = {item.index: item for item in plan.items}
+        for index, item in by_index.items():
+            result = results[index]
+            if not result.info.get("engine", {}).get("cache_hit"):
+                store.put(item.cache_key, result)
+    return results
+
+
+def solve_batch(
+    problems,
+    backend: "str | Backend" = "sa",
+    seed: "int | None" = None,
+    refine: bool = True,
+    top_k: int = 8,
+    executor: str = "serial",
+    cache: "ResultCache | bool | str | None" = None,
+    max_shard_size: "int | None" = None,
+    backend_opts: "dict | None" = None,
+) -> list[SolveResult]:
+    """Compile + execute in one call (the engine behind ``repro.solve_many``)."""
+    plan = compile_plan(
+        problems,
+        backend,
+        seed=seed,
+        refine=refine,
+        top_k=top_k,
+        backend_opts=backend_opts,
+        max_shard_size=max_shard_size,
+    )
+    return execute_plan(plan, executor=executor, cache=cache)
+
+
+def solve_single(
+    problem: Problem,
+    backend: Backend,
+    backend_name: "str | None",
+    backend_opts: dict,
+    seed,
+    refine: bool,
+    top_k: int,
+    cache: "ResultCache | bool | str | None" = None,
+) -> SolveResult:
+    """One solve with optional caching (the engine behind ``repro.solve``).
+
+    Caching applies only when the backend was selected by name *and* the
+    seed is an integer — a live Generator's position cannot be content-
+    addressed, and an instance backend's caches make its output depend on
+    call history.  The key uses an empty shard history, so it is shared
+    with shard-leader batch items of the same fingerprint/opts/seed.
+    """
+    store = resolve_cache(cache)
+    key = None
+    if store is not None and backend_name is not None and isinstance(seed, (int, np.integer)):
+        key = single_solve_cache_key(
+            problem.to_qubo().fingerprint(), backend_name, backend_opts, refine, top_k, int(seed)
+        )
+        hit = store.get(key)
+        if hit is not None:
+            hit.info.setdefault("engine", {})["cache_hit"] = True
+            return hit
+    result = solve_one(problem, backend, ensure_rng(seed), refine, top_k)
+    if key is not None:
+        result.info.setdefault("engine", {})["cache_hit"] = False
+        store.put(key, result)
+    return result
+
+
+# -- portfolio racing -------------------------------------------------------
+
+
+def run_portfolio(
+    problem: Problem,
+    backends,
+    seed: "int | None" = None,
+    refine: bool = True,
+    top_k: int = 8,
+    backend_opts: "dict | None" = None,
+    deadline_s: "float | None" = None,
+) -> SolveResult:
+    """Race several backends on one instance; return the best finisher.
+
+    Each contender gets an independent child RNG split from ``seed`` in
+    contender order, so a deadline-free portfolio is reproducible as a
+    whole.  With ``deadline_s`` set, contenders run concurrently in a
+    thread pool and only those that finish inside the deadline compete
+    (stragglers are abandoned, not interrupted — their entry is marked
+    ``"deadline_exceeded"``); at least one contender is always awaited so
+    the call never returns empty-handed.  Which contenders beat a wall-
+    clock deadline is inherently machine-dependent, so deadline racing
+    trades determinism for latency — leave ``deadline_s=None`` when exact
+    reproducibility matters.
+    """
+    from repro.api.backends import Backend, get_backend
+
+    backends = list(backends)
+    if not backends:
+        raise ReproError("portfolio needs at least one backend")
+    opts_map = dict(backend_opts or {})
+    names = {b for b in backends if isinstance(b, str)}
+    unknown = set(opts_map) - names
+    if unknown:
+        raise ReproError(
+            f"backend_opts for {sorted(unknown)} match no named backend in the portfolio"
+        )
+
+    contenders = []
+    for b in backends:
+        if isinstance(b, Backend):
+            contenders.append((b.name, b))
+        else:
+            contenders.append((b, get_backend(b, **opts_map.get(b, {}))))
+    rngs = spawn(ensure_rng(seed), len(contenders))
+
+    def _run(idx: int) -> SolveResult:
+        return solve_one(problem, contenders[idx][1], rngs[idx], refine, top_k)
+
+    if deadline_s is None:
+        results = [_run(i) for i in range(len(contenders))]
+        entries = [
+            {"method": r.method, "objective": r.objective, "wall_time": r.wall_time,
+             "status": "completed"}
+            for r in results
+        ]
+        completed = results
+    else:
+        pool = ThreadPoolExecutor(
+            max_workers=len(contenders), thread_name_prefix="portfolio"
+        )
+        futures = {pool.submit(_run, i): i for i in range(len(contenders))}
+        done, pending = wait(futures, timeout=deadline_s)
+        if not done:
+            done, pending = wait(futures, return_when=FIRST_COMPLETED)
+        # Abandon stragglers: cancel queued work, never block on running threads.
+        pool.shutdown(wait=False, cancel_futures=True)
+        entries = [None] * len(contenders)
+        completed = []
+        errors = []
+        for future in done:
+            idx = futures[future]
+            label = contenders[idx][0]
+            exc = future.exception()
+            if exc is not None:
+                errors.append(exc)
+                entries[idx] = {"method": label, "objective": math.nan,
+                                "wall_time": math.nan, "status": "error"}
+                continue
+            r = future.result()
+            completed.append(r)
+            entries[idx] = {"method": r.method, "objective": r.objective,
+                            "wall_time": r.wall_time, "status": "completed"}
+        for future in pending:
+            idx = futures[future]
+            entries[idx] = {"method": contenders[idx][0], "objective": math.nan,
+                            "wall_time": math.nan, "status": "deadline_exceeded"}
+        if not completed:
+            raise errors[0] if errors else ReproError("portfolio produced no results")
+
+    best = min(completed, key=lambda r: r.objective)
+    best.info["portfolio"] = entries
+    best.info["portfolio_meta"] = {
+        "deadline_s": deadline_s,
+        "contenders": len(contenders),
+        "completed": len(completed),
+        "raced": deadline_s is not None,
+    }
+    return best

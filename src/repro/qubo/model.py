@@ -8,6 +8,8 @@ application layers label variables with things like ``("q1", "p3")`` for
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import Hashable, Iterable, Mapping, Sequence
 
 import networkx as nx
@@ -187,6 +189,49 @@ class QuboModel:
         values = [abs(v) for v in self.linear.values()]
         values += [abs(v) for v in self.quadratic.values()]
         return max(values, default=0.0)
+
+    # -- canonical serialization / fingerprint -----------------------------------
+
+    def to_stable_bytes(self, include_labels: bool = True) -> bytes:
+        """Canonical byte serialization of the model's content.
+
+        The encoding is independent of insertion order and of dict iteration
+        order: linear terms are emitted sorted by index, quadratic terms
+        sorted by ``(i, j)``, coefficients as IEEE-754 little-endian doubles,
+        and zero coefficients are dropped.  Two models built along different
+        code paths therefore serialize identically iff they describe the
+        same energy function over the same variables.
+
+        ``include_labels=True`` (the default) also folds in ``repr`` of each
+        variable label, so models that sample identically but *decode*
+        differently get distinct bytes — the property a result cache needs.
+        Pass ``include_labels=False`` for a pure coefficient view.
+        """
+        parts = [b"QUBO-v1", struct.pack("<q", self.num_variables)]
+        linear = sorted((i, c) for i, c in self.linear.items() if c != 0.0)
+        parts.append(struct.pack("<q", len(linear)))
+        for i, c in linear:
+            parts.append(struct.pack("<qd", i, c))
+        quadratic = sorted((i, j, c) for (i, j), c in self.quadratic.items() if c != 0.0)
+        parts.append(struct.pack("<q", len(quadratic)))
+        for i, j, c in quadratic:
+            parts.append(struct.pack("<qqd", i, j, c))
+        parts.append(struct.pack("<d", self.offset))
+        if include_labels:
+            for label in self._labels:
+                encoded = repr(label).encode("utf-8", errors="backslashreplace")
+                parts.append(struct.pack("<q", len(encoded)))
+                parts.append(encoded)
+        return b"".join(parts)
+
+    def fingerprint(self, include_labels: bool = True) -> str:
+        """Content-addressed SHA-256 hex digest of :meth:`to_stable_bytes`.
+
+        Stable across processes and sessions (``repr`` of the plain-data
+        labels the adapters use does not depend on hash randomisation), so
+        it can key cross-process result caches.
+        """
+        return hashlib.sha256(self.to_stable_bytes(include_labels=include_labels)).hexdigest()
 
     # -- conversions ---------------------------------------------------------------
 
