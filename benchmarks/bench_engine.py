@@ -1,6 +1,6 @@
-"""Engine benchmarks: sharded-parallel dispatch and result-cache reuse.
+"""Engine benchmarks: sharded dispatch, cache reuse, adaptive scheduling.
 
-Three claims, each asserted:
+Five claims, each asserted:
 
 1. on a wide batch (32 instances, 8 structure groups), sharded-parallel
    ``solve_many`` beats the serial path wall-clock — with **identical
@@ -10,14 +10,21 @@ Three claims, each asserted:
 2. a warm-cache rerun of the same batch is >= 5x faster than the cold run,
    again with identical objectives;
 3. structure-sharding itself pays even serially: one embedding search per
-   shard instead of one per instance on the annealer backend.
+   shard instead of one per instance on the annealer backend;
+4. adaptive routing beats race-everything on total wall time for a
+   32-instance mixed-structure batch, at equal-or-better mean objective —
+   the scoreboard pays for itself after one warmup portfolio per structure;
+5. the async executor returns the same objectives as the thread pool while
+   occupying strictly fewer worker threads.
 """
 
 import os
+import statistics
 import time
 
-from repro import ResultCache, solve, solve_many
+from repro import AdaptiveScheduler, ResultCache, solve, solve_many, solve_portfolio
 from repro.api import MQOAdapter
+from repro.engine import AsyncExecutor
 from repro.mqo import generate_mqo_problem
 
 #: 32 instances in 8 structure groups of 4 — wide enough that the process
@@ -123,3 +130,89 @@ def test_structure_sharding_amortises_embedding_search(benchmark):
     assert sum(not r.info["embedding_cached"] for r in naive) == len(problems)
     print(f"\nper-instance: {naive_s:.2f}s  sharded serial: {sharded_s:.2f}s")
     assert sharded_s < naive_s
+
+
+def test_adaptive_routing_beats_race_everything(benchmark):
+    """Route-by-scoreboard vs race-every-backend on a 32-instance batch.
+
+    Instances are small enough that every contender reaches the optimum, so
+    racing buys no quality — only wall clock.  The adaptive path pays one
+    full portfolio per structure group (8 warmup races feeding the
+    scoreboard), then routes all 32 shards' items to the cheapest
+    equal-quality backend; race-everything pays every backend on all 32.
+    """
+    candidates = ("sa", "tabu", "bruteforce")
+    opts = {"sa": dict(num_reads=8, num_sweeps=100), "tabu": dict(num_restarts=4)}
+    problems = _wide_batch()
+    representatives = [
+        MQOAdapter(generate_mqo_problem(4, 3, sharing_density=0.4, rng=structure))
+        for structure in range(BATCH_STRUCTURES)
+    ]
+
+    def kernel():
+        t0 = time.perf_counter()
+        race = [
+            solve_portfolio(p, backends=candidates, seed=11, backend_opts=opts)
+            for p in problems
+        ]
+        race_s = time.perf_counter() - t0
+        # Adaptive: warmup portfolios (one per structure, racing everyone to
+        # seed the scoreboard) + the routed batch. Both phases are timed.
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=0, race_top_k=len(candidates))
+        t0 = time.perf_counter()
+        for representative in representatives:
+            solve_portfolio(
+                representative, backends=candidates, seed=11, backend_opts=opts,
+                scheduler=scheduler,
+            )
+        routed = solve_many(
+            problems, backend=candidates, scheduler=scheduler, seed=11, **opts
+        )
+        adaptive_s = time.perf_counter() - t0
+        return race, race_s, routed, adaptive_s
+
+    race, race_s, routed, adaptive_s = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    mean_race = statistics.mean(r.objective for r in race)
+    mean_routed = statistics.mean(r.objective for r in routed)
+    chosen = {r.scheduled_backend for r in routed}
+    print(f"\nrace-everything: {race_s:.2f}s  adaptive (incl. warmup): {adaptive_s:.2f}s  "
+          f"routed-to={sorted(chosen)}  mean objective {mean_race:.4f} -> {mean_routed:.4f}")
+    assert mean_routed <= mean_race + 1e-9, (
+        f"adaptive routing lost quality: {mean_routed} vs {mean_race}"
+    )
+    assert adaptive_s < race_s, (
+        f"adaptive ({adaptive_s:.2f}s) should beat race-everything ({race_s:.2f}s)"
+    )
+
+
+def test_async_executor_matches_threads_with_fewer_workers(benchmark):
+    """Same objectives as the thread pool from a strictly smaller thread
+    budget — the async executor's bounded-concurrency event loop replaces
+    thread-per-shard with shards multiplexed over a capped pool."""
+    problems = _wide_batch()
+    num_shards = BATCH_STRUCTURES
+    thread_workers = min(num_shards, (os.cpu_count() or 1) * 2)
+    async_budget = max(1, thread_workers // 2)
+    async_exec = AsyncExecutor(max_concurrency=async_budget)
+
+    def kernel():
+        t0 = time.perf_counter()
+        threaded = solve_many(problems, backend="sa", seed=11, executor="threads", **SA_OPTS)
+        threads_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        via_async = solve_many(problems, backend="sa", seed=11, executor=async_exec, **SA_OPTS)
+        async_s = time.perf_counter() - t0
+        return threaded, threads_s, via_async, async_s
+
+    threaded, threads_s, via_async, async_s = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert _objectives(via_async) == _objectives(threaded)
+    assert [r.solution for r in via_async] == [r.solution for r in threaded]
+    used = async_exec.last_run["worker_threads"]
+    print(f"\nthreads: {threads_s:.2f}s on <= {thread_workers} workers  "
+          f"async: {async_s:.2f}s on {used} workers (budget {async_budget})")
+    assert used <= async_budget
+    if thread_workers > 1:
+        assert used < thread_workers, (
+            f"async used {used} worker threads, no fewer than the thread pool's "
+            f"{thread_workers}"
+        )

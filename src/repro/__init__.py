@@ -25,9 +25,11 @@ From Theory to Opportunities* (ICDE 2024).  The library ships:
   Problem -> QUBO -> Backend -> Result pipeline on any registered engine.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.api import (
+    AdaptiveScheduler,
+    BackendScoreboard,
     ExecutionPlan,
     Problem,
     ResultCache,
@@ -72,4 +74,6 @@ __all__ = [
     "solve",
     "solve_portfolio",
     "solve_many",
+    "AdaptiveScheduler",
+    "BackendScoreboard",
 ]

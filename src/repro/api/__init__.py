@@ -44,6 +44,8 @@ from repro.api.facade import solve, solve_many, solve_portfolio
 from repro.api.problem import Problem, qubo_signature
 from repro.api.result import SolveResult
 from repro.engine import (
+    AdaptiveScheduler,
+    BackendScoreboard,
     ExecutionPlan,
     ResultCache,
     compile_plan,
@@ -80,6 +82,8 @@ __all__ = [
     "solve_many",
     "ExecutionPlan",
     "ResultCache",
+    "AdaptiveScheduler",
+    "BackendScoreboard",
     "compile_plan",
     "execute_plan",
     "list_executors",

@@ -8,24 +8,32 @@ registered engine::
 
 Since the execution-engine refactor these entry points are thin front-ends
 over :mod:`repro.engine`: the planner compiles batches into structure-keyed
-shards, pluggable executors (``serial`` / ``threads`` / ``processes``) run
-the shards, and a content-addressed :class:`~repro.engine.cache.ResultCache`
-skips repeat work.  ``solve_portfolio`` races several backends on one
-instance (optionally under a wall-clock deadline) and keeps the best
-answer; ``solve_many`` runs a batch sharded by QUBO structure so
-embedding / warm-start caches amortise within each shard while shards run
-in parallel.
+shards, pluggable executors (``serial`` / ``threads`` / ``processes`` /
+``async``) run the shards, and a content-addressed
+:class:`~repro.engine.cache.ResultCache` skips repeat work.
+``solve_portfolio`` races several backends on one instance (optionally
+under a wall-clock deadline) and keeps the best answer; ``solve_many`` runs
+a batch sharded by QUBO structure so embedding / warm-start caches amortise
+within each shard while shards run in parallel.  Both accept a
+``scheduler=`` :class:`~repro.engine.scheduler.AdaptiveScheduler`, which
+routes work by observed per-structure quality/latency telemetry instead of
+racing or fixing one backend.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.api.adapters import as_problem
+from repro.api.adapters import as_problem, as_problems
 from repro.api.backends import Backend, get_backend
 from repro.api.problem import Problem
 from repro.api.result import SolveResult
 from repro.engine.runner import run_portfolio, solve_batch, solve_single
+from repro.engine.scheduler import (
+    AdaptiveScheduler,
+    run_portfolio_scheduled,
+    solve_batch_scheduled,
+)
 from repro.exceptions import ReproError
 
 #: How many of the lowest-energy samples are decoded (and refined) per
@@ -99,6 +107,7 @@ def solve_portfolio(
     top_k: int = DEFAULT_TOP_K,
     backend_opts: "Mapping[str, dict] | None" = None,
     deadline_s: "float | None" = None,
+    scheduler: "AdaptiveScheduler | None" = None,
 ) -> SolveResult:
     """Race several backends on one instance; return the best result.
 
@@ -118,7 +127,25 @@ def solve_portfolio(
             ``"deadline_exceeded"`` in the breakdown).  At least one
             contender is always awaited.  Racing trades determinism for
             latency — leave ``None`` when exact reproducibility matters.
+        scheduler: An :class:`~repro.engine.scheduler.AdaptiveScheduler`.
+            When set, race-everything becomes route-then-race-top-k: the
+            scheduler's scoreboard ranks the candidates for this instance's
+            QUBO structure and only the top ``scheduler.race_top_k`` race
+            (epsilon-greedy swap-ins keep colder backends measured).  All
+            raced outcomes feed the scoreboard; contenders must then be
+            registry names.
     """
+    if scheduler is not None:
+        return run_portfolio_scheduled(
+            as_problem(problem),
+            backends,
+            scheduler,
+            seed=seed,
+            refine=refine,
+            top_k=top_k,
+            backend_opts=backend_opts,
+            deadline_s=deadline_s,
+        )
     return run_portfolio(
         as_problem(problem),
         backends,
@@ -132,13 +159,14 @@ def solve_portfolio(
 
 def solve_many(
     problems: Iterable["Problem | Any"],
-    backend: "str | Backend" = "sa",
+    backend: "str | Backend | Sequence[str]" = "sa",
     seed: "int | None" = None,
     refine: bool = True,
     top_k: int = DEFAULT_TOP_K,
     executor: str = "serial",
     cache: "Any | None" = None,
     max_shard_size: "int | None" = None,
+    scheduler: "AdaptiveScheduler | None" = None,
     **backend_opts,
 ) -> list[SolveResult]:
     """Solve a batch of problems, sharded by QUBO structure.
@@ -159,7 +187,11 @@ def solve_many(
         executor: ``"serial"`` (default), ``"threads"`` (overlaps wherever
             the backend drops the GIL or waits on I/O), ``"processes"``
             (true parallelism for the CPU-bound simulator backends; shards
-            must pickle, so select the backend by name), or an
+            must pickle, so select the backend by name), ``"async"``
+            (asyncio event loop with bounded global/per-backend concurrency;
+            backends implementing the ``run_async`` coroutine overlap on
+            the loop without pinning a worker thread each — built for
+            latency-bound hardware clients), or an
             :class:`~repro.engine.executors.Executor` instance.  A
             caller-supplied ``Backend`` *instance* keeps the determinism
             guarantee only while its state is keyed by QUBO signature
@@ -172,8 +204,39 @@ def solve_many(
             ones.  Hits never perturb the RNG stream of neighbouring items.
         max_shard_size: Split signature groups larger than this into
             several shards (more parallelism; setup amortises per split).
-        **backend_opts: Forwarded to the backend factory, once per shard.
+        scheduler: An :class:`~repro.engine.scheduler.AdaptiveScheduler`.
+            When set, ``backend`` may be a *sequence* of registry names and
+            every shard is routed to the candidate with the best expected
+            quality-under-deadline for its QUBO structure (epsilon-greedy,
+            scoreboard-driven; see ``docs/engine.md``).  Routing happens
+            before dispatch and the scoreboard updates after the batch, so
+            scheduled batches keep the cross-executor determinism contract
+            for a fixed scheduler state.  In scheduled mode
+            ``**backend_opts`` is portfolio-style — per-backend factory
+            dicts keyed by name, e.g. ``sa={"num_reads": 64}``.
+        **backend_opts: Forwarded to the backend factory, once per shard
+            (unscheduled mode), or per-backend option dicts keyed by
+            registry name (scheduled mode).
     """
+    if scheduler is not None:
+        candidates = [backend] if isinstance(backend, (str, Backend)) else list(backend)
+        return solve_batch_scheduled(
+            as_problems(problems),
+            candidates,
+            scheduler,
+            seed=seed,
+            refine=refine,
+            top_k=top_k,
+            executor=executor,
+            cache=cache,
+            max_shard_size=max_shard_size,
+            backend_opts=backend_opts,
+        )
+    if not isinstance(backend, (str, Backend)):
+        raise ReproError(
+            "a sequence of candidate backends requires scheduler=; pass an "
+            "AdaptiveScheduler or select one backend"
+        )
     return solve_batch(
         problems,
         backend,

@@ -31,9 +31,15 @@ class SolveResult:
             formulate, so result rows stay comparable across backends.
         info: Backend diagnostics (sampler stats, embedding chain metrics,
             QAOA expectation, portfolio breakdown, ...).  Engine-executed
-            results add ``info["engine"]``: shard id/position/size, executor
-            name, the item's child seed, a truncated QUBO fingerprint, and
-            ``cache_hit``.
+            results add ``info["engine"]``: shard id/position/size, the
+            shard's 16-hex structure ``signature`` (the adaptive
+            scheduler's scoreboard key), executor name, the item's child
+            seed, a truncated QUBO fingerprint, and ``cache_hit``.
+            Scheduler-routed results additionally carry
+            ``info["engine"]["scheduler"]`` (chosen backend, routing mode
+            ``cold``/``explore``/``exploit``, candidate list), and a
+            scheduled portfolio stamps the ranking and raced subset into
+            ``info["portfolio_meta"]["scheduler"]``.
     """
 
     problem: str
@@ -54,6 +60,16 @@ class SolveResult:
     def cache_hit(self) -> bool:
         """Whether the engine served this result from its ResultCache."""
         return bool(self.info.get("engine", {}).get("cache_hit", False))
+
+    @property
+    def engine(self) -> dict:
+        """The ``info["engine"]`` telemetry block (empty dict off-engine)."""
+        return self.info.get("engine", {})
+
+    @property
+    def scheduled_backend(self) -> "str | None":
+        """Backend an adaptive scheduler routed this item to, if any."""
+        return self.engine.get("scheduler", {}).get("backend")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

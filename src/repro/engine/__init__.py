@@ -3,11 +3,13 @@
 ``repro.api.facade`` is the user-facing seam; this package is the machinery
 under it, split into three pieces that compose::
 
-    compile_plan(problems, backend, seed)        # plan.py   — what to run
+    compile_plan(problems, backend, seed)        # plan.py      — what to run
         -> ExecutionPlan (shards, seeds, fingerprints, cache keys)
-    execute_plan(plan, executor=..., cache=...)  # runner.py — how to run it
-        -> [SolveResult]  via serial / threads / processes executors
-    ResultCache                                  # cache.py  — what to skip
+    execute_plan(plan, executor=..., cache=...)  # runner.py    — how to run it
+        -> [SolveResult]  via serial / threads / processes / async executors
+    ResultCache                                  # cache.py     — what to skip
+    AdaptiveScheduler / BackendScoreboard        # scheduler.py — where to run it
+        (telemetry-driven shard routing + route-then-race-top-k portfolios)
 
 The design invariants, relied on throughout:
 
@@ -25,6 +27,7 @@ The design invariants, relied on throughout:
 
 from repro.engine.cache import ResultCache, default_cache, make_cache_key, resolve_cache
 from repro.engine.executors import (
+    AsyncExecutor,
     Executor,
     ProcessExecutor,
     SerialExecutor,
@@ -32,13 +35,23 @@ from repro.engine.executors import (
     get_executor,
     list_executors,
 )
-from repro.engine.plan import ExecutionPlan, PlanItem, compile_plan
+from repro.engine.plan import ExecutionPlan, PlanItem, compile_plan, signature_key
 from repro.engine.runner import (
     execute_plan,
+    execute_plans,
     run_portfolio,
     solve_batch,
     solve_one,
+    solve_one_async,
     solve_single,
+)
+from repro.engine.scheduler import (
+    AdaptiveScheduler,
+    BackendScoreboard,
+    BackendStats,
+    RoutingDecision,
+    run_portfolio_scheduled,
+    solve_batch_scheduled,
 )
 
 __all__ = [
@@ -50,14 +63,24 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "AsyncExecutor",
     "get_executor",
     "list_executors",
     "ExecutionPlan",
     "PlanItem",
     "compile_plan",
+    "signature_key",
     "execute_plan",
+    "execute_plans",
     "solve_batch",
     "solve_one",
+    "solve_one_async",
     "solve_single",
     "run_portfolio",
+    "AdaptiveScheduler",
+    "BackendScoreboard",
+    "BackendStats",
+    "RoutingDecision",
+    "solve_batch_scheduled",
+    "run_portfolio_scheduled",
 ]

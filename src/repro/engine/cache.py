@@ -26,6 +26,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import tempfile
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -63,7 +64,15 @@ class ResultCache:
     # -- core protocol ---------------------------------------------------------
 
     def get(self, key: str):
-        """Return a fresh copy of the cached result, or ``None`` on a miss."""
+        """Return a fresh copy of the cached result, or ``None`` on a miss.
+
+        A disk entry that fails to unpickle (torn by a crash mid-write of a
+        pre-atomic cache version, truncated by a full disk, or corrupted
+        externally) is treated as a miss and evicted from both tiers — a
+        damaged entry must never surface as a result, and dropping it lets
+        the next ``put`` heal the cache.
+        """
+        from_disk = False
         with self._lock:
             blob = self._entries.get(key)
             if blob is not None:
@@ -74,27 +83,57 @@ class ResultCache:
                 blob = path.read_bytes()
             except OSError:
                 blob = None
-            if blob is not None:
-                with self._lock:
-                    self._store_memory(key, blob)
+            from_disk = blob is not None
+        if blob is not None:
+            try:
+                value = pickle.loads(blob)
+            except Exception:
+                self._evict_corrupt(key)
+                blob = None
+        if blob is not None and from_disk:
+            with self._lock:
+                self._store_memory(key, blob)
         with self._lock:
             if blob is None:
                 self.misses += 1
                 return None
             self.hits += 1
-        return pickle.loads(blob)
+        return value
 
     def put(self, key: str, result) -> None:
-        """Store ``result`` under ``key`` (overwrites an existing entry)."""
+        """Store ``result`` under ``key`` (overwrites an existing entry).
+
+        The disk tier is written crash- and race-safely: the blob goes to a
+        uniquely named temp file in the same directory (``mkstemp``, so
+        concurrent writers — even threads sharing one PID — never collide),
+        is flushed and fsynced, and only then atomically renamed over the
+        final path.  Readers therefore see either the old complete entry or
+        the new complete entry, never a torn one; a crash mid-write leaves
+        at most a stray ``*.tmp`` file that no reader ever looks at.
+        """
         blob = pickle.dumps(result)
         with self._lock:
             self._store_memory(key, blob)
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             path = self._path(key)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_bytes(blob)
-            os.replace(tmp, path)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, path)
+            except BaseException:
+                # Never leave a visible half-written entry: the final path is
+                # untouched until os.replace, so only the temp needs cleanup.
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
@@ -130,6 +169,16 @@ class ResultCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+
+    def _evict_corrupt(self, key: str) -> None:
+        """Drop a damaged entry from both tiers (best-effort on disk)."""
+        with self._lock:
+            self._entries.pop(key, None)
+        if self.directory is not None:
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"

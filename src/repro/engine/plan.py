@@ -51,6 +51,17 @@ def _opts_key(backend_opts: dict, refine: bool, top_k: int) -> str:
     return repr((sorted(backend_opts.items()), bool(refine), int(top_k)))
 
 
+def signature_key(signature) -> str:
+    """Short stable hex key of a :func:`~repro.api.problem.qubo_signature`.
+
+    Signatures are plain-data tuples (variable count + sorted coupling
+    pairs), so ``repr`` is deterministic across processes; the digest makes
+    them usable as telemetry fields and scoreboard keys without dragging a
+    potentially large tuple through every result's ``info`` dict.
+    """
+    return hashlib.sha256(repr(signature).encode("utf-8")).hexdigest()[:16]
+
+
 @dataclass
 class PlanItem:
     """One batch entry: a problem plus everything needed to solve it."""
@@ -201,6 +212,9 @@ def compile_plan(
             "batch_size": len(items),
             "shard_sizes": list(shard_fill),
             "max_shard_size": max_shard_size,
+            # Routing key per shard: what the adaptive scheduler's scoreboard
+            # indexes backend stats by (and what result telemetry reports).
+            "shard_signatures": [signature_key(s) for s in signature_of_shard],
         },
     )
     if plan.cacheable:

@@ -41,34 +41,29 @@ if TYPE_CHECKING:  # pragma: no cover - type-only; runtime imports are lazy
     from repro.api.result import SolveResult
 
 
-def solve_one(problem: Problem, backend: Backend, rng, refine: bool, top_k: int) -> SolveResult:
-    """Solve one problem on one backend instance (the pipeline kernel).
-
-    Direct-solve backends (``classical``) bypass QUBO *sampling* but still
-    report ``num_variables`` from the problem's cached formulation, so
-    result rows stay comparable across backends; their ``energy`` is NaN by
-    convention (see :class:`~repro.api.result.SolveResult`).
-    """
+def _direct_result(problem, backend, rng, refine: bool, start: float, model) -> SolveResult:
+    """Finish a direct-solve (no QUBO sampling) run; energy is NaN by convention."""
     from repro.api.result import SolveResult
 
-    start = time.perf_counter()
-    model = problem.to_qubo()
-    if backend.solves_problem_directly:
-        solution = backend.solve_problem(problem, rng=rng)
-        if refine:
-            solution = problem.refine(solution)
-        return SolveResult(
-            problem=problem.name,
-            method=backend.name,
-            solution=solution,
-            objective=problem.evaluate(solution),
-            energy=math.nan,
-            wall_time=time.perf_counter() - start,
-            num_variables=model.num_variables,
-            info={"solver": backend.name},
-        )
+    solution = backend.solve_problem(problem, rng=rng)
+    if refine:
+        solution = problem.refine(solution)
+    return SolveResult(
+        problem=problem.name,
+        method=backend.name,
+        solution=solution,
+        objective=problem.evaluate(solution),
+        energy=math.nan,
+        wall_time=time.perf_counter() - start,
+        num_variables=model.num_variables,
+        info={"solver": backend.name},
+    )
 
-    samples = backend.run(model, rng=rng)
+
+def _sampled_result(problem, backend, samples, refine: bool, top_k: int, start: float, model) -> SolveResult:
+    """Decode/refine the ``top_k`` lowest-energy samples, keep the best."""
+    from repro.api.result import SolveResult
+
     best_solution = None
     best_objective = math.inf
     for sample in samples.truncate(max(top_k, 1)):
@@ -91,13 +86,65 @@ def solve_one(problem: Problem, backend: Backend, rng, refine: bool, top_k: int)
     )
 
 
+def solve_one(problem: Problem, backend: Backend, rng, refine: bool, top_k: int) -> SolveResult:
+    """Solve one problem on one backend instance (the pipeline kernel).
+
+    Direct-solve backends (``classical``) bypass QUBO *sampling* but still
+    report ``num_variables`` from the problem's cached formulation, so
+    result rows stay comparable across backends; their ``energy`` is NaN by
+    convention (see :class:`~repro.api.result.SolveResult`).
+    """
+    start = time.perf_counter()
+    model = problem.to_qubo()
+    if backend.solves_problem_directly:
+        return _direct_result(problem, backend, rng, refine, start, model)
+    samples = backend.run(model, rng=rng)
+    return _sampled_result(problem, backend, samples, refine, top_k, start, model)
+
+
+async def solve_one_async(
+    problem: Problem, backend: Backend, rng, refine: bool, top_k: int, offload=None
+) -> SolveResult:
+    """Coroutine twin of :func:`solve_one` for ``supports_async`` backends.
+
+    Awaits :meth:`~repro.api.backends.Backend.run_async` instead of calling
+    ``run``; everything around the sampling step (formulation, decode,
+    refine, evaluation) is byte-for-byte the same code, so an async backend
+    that honours the run/run_async equivalence contract yields identical
+    results on every executor.
+
+    ``offload`` is an optional async callable (``thunk -> awaitable``) that
+    runs the CPU segments — formulation, decode/refine/evaluation — off the
+    event loop.  The async executor passes its bounded thread pool here so
+    many in-flight shards never single-thread their post-processing on the
+    loop; ``None`` runs those segments inline.
+    """
+
+    async def cpu(thunk):
+        if offload is None:
+            return thunk()
+        return await offload(thunk)
+
+    start = time.perf_counter()
+    model = await cpu(problem.to_qubo)
+    if backend.solves_problem_directly:
+        return await cpu(lambda: _direct_result(problem, backend, rng, refine, start, model))
+    samples = await backend.run_async(model, rng=rng)
+    return await cpu(
+        lambda: _sampled_result(problem, backend, samples, refine, top_k, start, model)
+    )
+
+
 # -- shard execution --------------------------------------------------------
 
 
 def _shard_payload(plan: ExecutionPlan, shard_items, executor_name: str) -> dict:
+    signatures = plan.meta.get("shard_signatures") or []
+    shard = shard_items[0].shard
     return {
-        "shard": shard_items[0].shard,
+        "shard": shard,
         "shard_size": len(shard_items),
+        "signature": signatures[shard] if shard < len(signatures) else None,
         "indices": [i.index for i in shard_items],
         "problems": [i.problem for i in shard_items],
         "seeds": [i.seed for i in shard_items],
@@ -111,19 +158,34 @@ def _shard_payload(plan: ExecutionPlan, shard_items, executor_name: str) -> dict
     }
 
 
-def _execute_shard(payload: dict) -> list:
-    """Run one shard on one backend instance; module-level for pickling.
+def _engine_info(payload: dict, pos: int, seed: int, fingerprint: str) -> dict:
+    return {
+        "shard": payload["shard"],
+        "shard_pos": pos,
+        "shard_size": payload["shard_size"],
+        "signature": payload.get("signature"),
+        "executor": payload["executor"],
+        "seed": seed,
+        "fingerprint": fingerprint[:16],
+        "cache_hit": False,
+    }
 
-    Items run in shard order on a shared instance, so signature-keyed
-    backend caches (embeddings, warm-start angles) amortise across the
-    shard exactly as they did on the old single-instance batch path.
-    """
+
+def _resolve_payload_backend(payload: dict):
     from repro.api.backends import get_backend
 
     if payload["backend_name"] is not None:
-        backend = get_backend(payload["backend_name"], **payload["backend_opts"])
-    else:
-        backend = payload["backend_instance"]
+        return get_backend(payload["backend_name"], **payload["backend_opts"])
+    return payload["backend_instance"]
+
+
+def _run_shard_items(backend, payload: dict) -> list:
+    """Run a shard's items in order on an already-resolved backend instance.
+
+    Items run in shard order on the shared instance, so signature-keyed
+    backend caches (embeddings, warm-start angles) amortise across the
+    shard exactly as they did on the old single-instance batch path.
+    """
     out = []
     for pos, (index, problem, seed, fp) in enumerate(
         zip(payload["indices"], payload["problems"], payload["seeds"], payload["fingerprints"])
@@ -131,17 +193,127 @@ def _execute_shard(payload: dict) -> list:
         result = solve_one(
             problem, backend, np.random.default_rng(seed), payload["refine"], payload["top_k"]
         )
-        result.info["engine"] = {
-            "shard": payload["shard"],
-            "shard_pos": pos,
-            "shard_size": payload["shard_size"],
-            "executor": payload["executor"],
-            "seed": seed,
-            "fingerprint": fp[:16],
-            "cache_hit": False,
-        }
+        result.info["engine"] = _engine_info(payload, pos, seed, fp)
         out.append((index, result))
     return out
+
+
+def _execute_shard(payload: dict) -> list:
+    """Resolve the shard's backend and run it; module-level for pickling."""
+    return _run_shard_items(_resolve_payload_backend(payload), payload)
+
+
+async def _execute_shard_async(payload: dict, backend, offload) -> list:
+    """Coroutine twin of :func:`_execute_shard` (same ordering, same state).
+
+    Items still run strictly in shard order on the shared instance — the
+    awaits overlap *across* shards on the event loop, never within one, so
+    signature-keyed backend caches see the exact sequence the sync path
+    produces.  CPU segments go through ``offload`` (the executor's bounded
+    pool) so the event loop only ever holds the waits.
+    """
+    out = []
+    for pos, (index, problem, seed, fp) in enumerate(
+        zip(payload["indices"], payload["problems"], payload["seeds"], payload["fingerprints"])
+    ):
+        result = await solve_one_async(
+            problem, backend, np.random.default_rng(seed), payload["refine"], payload["top_k"],
+            offload=offload,
+        )
+        result.info["engine"] = _engine_info(payload, pos, seed, fp)
+        out.append((index, result))
+    return out
+
+
+def _shard_coroutine(payload: dict, fallback):
+    """``to_coroutine`` hook for the async executor.
+
+    Resolves the shard's backend exactly once: sync-only backends are
+    handed — already resolved — to the executor's ``fallback`` (a
+    coroutine factory running a thunk on the bounded thread pool), while
+    ``supports_async`` backends run on the event loop, awaiting their
+    samples thread-free and borrowing the pool only for the CPU segments
+    around each wait.
+    """
+    backend = _resolve_payload_backend(payload)
+    if not getattr(backend, "supports_async", False):
+        return fallback(lambda: _run_shard_items(backend, payload))
+    return _execute_shard_async(payload, backend, fallback)
+
+
+_execute_shard.to_coroutine = _shard_coroutine
+
+
+def execute_plans(
+    plans: "list[ExecutionPlan]",
+    executor: str = "serial",
+    cache: "ResultCache | bool | str | None" = None,
+) -> "list[list[SolveResult]]":
+    """Run several compiled plans as **one** dispatch wave; results per plan.
+
+    All plans' uncached shards are handed to the executor together, so a
+    scheduler-routed batch split across several backends parallelises
+    exactly as widely as a single-backend batch would — per-plan sequential
+    execution would serialise the backends and forfeit the wall-clock the
+    executor was chosen for.  Seeds and shard membership are fixed per plan
+    at compile time, so interleaving shards of different plans cannot
+    perturb any result.
+
+    Cache hits are taken shard-atomically (see module docstring); every
+    result's ``info["engine"]`` records shard, position, structure
+    signature, executor, seed, truncated fingerprint, and whether it was
+    served from cache.
+    """
+    runner = get_executor(executor)
+    shared_store = resolve_cache(cache)  # one cache (and stats) per wave
+    prepared = []
+    flat_payloads: list = []
+    payload_owner: list[int] = []
+    for plan in plans:
+        store = shared_store
+        if store is not None and not plan.cacheable:
+            store = None  # instance-backed plans carry opaque state; never cache
+        results: list = [None] * len(plan.items)
+        for shard_items in plan.shards():
+            if not shard_items:
+                continue
+            cached = None
+            if store is not None:
+                cached = [store.get(i.cache_key) for i in shard_items]
+                if any(c is None for c in cached):
+                    cached = None
+            if cached is not None:
+                signatures = plan.meta.get("shard_signatures") or []
+                for pos, (item, result) in enumerate(zip(shard_items, cached)):
+                    engine_info = result.info.setdefault("engine", {})
+                    engine_info.update(
+                        shard=item.shard,
+                        shard_pos=pos,
+                        shard_size=len(shard_items),
+                        signature=signatures[item.shard] if item.shard < len(signatures) else None,
+                        executor=runner.name,
+                        seed=item.seed,
+                        fingerprint=item.fingerprint[:16],
+                        cache_hit=True,
+                    )
+                    results[item.index] = result
+            else:
+                flat_payloads.append(_shard_payload(plan, shard_items, runner.name))
+                payload_owner.append(len(prepared))
+        prepared.append((plan, results, store))
+
+    for owner, shard_results in zip(payload_owner, runner.run(_execute_shard, flat_payloads)):
+        results = prepared[owner][1]
+        for index, result in shard_results:
+            results[index] = result
+
+    for plan, results, store in prepared:
+        if store is not None:
+            for item in plan.items:
+                result = results[item.index]
+                if not result.info.get("engine", {}).get("cache_hit"):
+                    store.put(item.cache_key, result)
+    return [results for _, results, _ in prepared]
 
 
 def execute_plan(
@@ -149,53 +321,8 @@ def execute_plan(
     executor: str = "serial",
     cache: "ResultCache | bool | str | None" = None,
 ) -> list[SolveResult]:
-    """Run a compiled plan and return results in original batch order.
-
-    Cache hits are taken shard-atomically (see module docstring); every
-    result's ``info["engine"]`` records shard, position, executor, seed,
-    truncated fingerprint, and whether it was served from cache.
-    """
-    runner = get_executor(executor)
-    store = resolve_cache(cache)
-    if store is not None and not plan.cacheable:
-        store = None  # instance-backed plans carry opaque state; never cache
-
-    results: list = [None] * len(plan.items)
-    payloads = []
-    for shard_items in plan.shards():
-        if not shard_items:
-            continue
-        cached = None
-        if store is not None:
-            cached = [store.get(i.cache_key) for i in shard_items]
-            if any(c is None for c in cached):
-                cached = None
-        if cached is not None:
-            for pos, (item, result) in enumerate(zip(shard_items, cached)):
-                engine_info = result.info.setdefault("engine", {})
-                engine_info.update(
-                    shard=item.shard,
-                    shard_pos=pos,
-                    shard_size=len(shard_items),
-                    executor=runner.name,
-                    seed=item.seed,
-                    fingerprint=item.fingerprint[:16],
-                    cache_hit=True,
-                )
-                results[item.index] = result
-        else:
-            payloads.append(_shard_payload(plan, shard_items, runner.name))
-
-    for shard_results in runner.run(_execute_shard, payloads):
-        for index, result in shard_results:
-            results[index] = result
-    if store is not None:
-        by_index = {item.index: item for item in plan.items}
-        for index, item in by_index.items():
-            result = results[index]
-            if not result.info.get("engine", {}).get("cache_hit"):
-                store.put(item.cache_key, result)
-    return results
+    """Run one compiled plan; see :func:`execute_plans` for the semantics."""
+    return execute_plans([plan], executor=executor, cache=cache)[0]
 
 
 def solve_batch(

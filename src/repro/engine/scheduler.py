@@ -1,0 +1,520 @@
+"""Telemetry-driven adaptive shard scheduling.
+
+The engine's executors answer *how* shards run; this module answers *where*.
+A :class:`BackendScoreboard` keeps online per-``(backend, QUBO-structure)``
+statistics — observed objective quality, wall latency, cache-hit rate — fed
+by the ``info["engine"]`` and ``info["portfolio"]`` telemetry every engine
+result already carries.  An :class:`AdaptiveScheduler` turns those stats
+into routing decisions:
+
+* :func:`solve_batch_scheduled` — the scheduler behind
+  ``solve_many(..., scheduler=...)``: each shard of a batch is routed to
+  the backend with the best expected quality-under-deadline for its
+  structure, epsilon-greedy so colder backends keep getting sampled;
+* :func:`run_portfolio_scheduled` — the scheduler behind
+  ``solve_portfolio(..., scheduler=...)``: instead of racing *every*
+  backend, the scoreboard ranks them and only the top-k race.
+
+Routing happens **before** dispatch and the scoreboard updates **after**
+the whole batch returns, so a scheduled batch stays deterministic for a
+fixed ``(scheduler seed, scoreboard history)`` across serial / threads /
+processes / async executors — exactly the engine's existing contract.
+Mid-batch adaptation would tie routing to completion order and silently
+break it, which is why the batch boundary is the observation boundary.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.plan import ExecutionPlan, _assign_cache_keys, compile_plan, signature_key
+from repro.engine.runner import execute_plans, run_portfolio
+from repro.exceptions import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; runtime imports are lazy
+    from repro.api.result import SolveResult
+
+
+@dataclass
+class BackendStats:
+    """Online statistics for one ``(backend, structure)`` pair.
+
+    ``quality`` and ``latency`` are exponential moving averages so the
+    scoreboard tracks drift (a congested hardware queue, a warmed cache)
+    instead of averaging over stale history.  Latency is only updated by
+    real solves — a cache hit keeps the *original* wall time and would
+    otherwise double-count it.
+    """
+
+    count: int = 0
+    quality: float = math.nan    #: EWMA of observed domain objectives (lower = better)
+    latency: float = math.nan    #: EWMA of wall seconds per real (uncached) solve
+    best_objective: float = math.inf
+    cache_hits: int = 0
+    timeouts: int = 0
+    errors: int = 0
+
+    def observe(self, objective: float, wall_time: float, alpha: float,
+                cache_hit: bool = False) -> None:
+        self.count += 1
+        if cache_hit:
+            self.cache_hits += 1
+        if not math.isnan(objective):
+            self.quality = objective if math.isnan(self.quality) else (
+                (1.0 - alpha) * self.quality + alpha * objective
+            )
+            self.best_objective = min(self.best_objective, objective)
+        if not cache_hit and not math.isnan(wall_time):
+            self.latency = wall_time if math.isnan(self.latency) else (
+                (1.0 - alpha) * self.latency + alpha * wall_time
+            )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "quality": self.quality,
+            "latency": self.latency,
+            "best_objective": self.best_objective,
+            "cache_hit_rate": self.cache_hit_rate,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+        }
+
+
+class BackendScoreboard:
+    """Per-``(backend, structure-signature)`` stats from engine telemetry.
+
+    Keys are backend registry names crossed with the 16-hex structure keys
+    the planner stamps into ``info["engine"]["signature"]`` (see
+    :func:`~repro.engine.plan.signature_key`).  Every observation also
+    updates a backend-global aggregate (signature ``None``) so routing has
+    a fallback for structures the exact pair has never seen.
+    """
+
+    def __init__(self, alpha: float = 0.25):
+        if not 0.0 < alpha <= 1.0:
+            raise ReproError("scoreboard alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._stats: "dict[tuple[str, str | None], BackendStats]" = {}
+        self._lock = threading.Lock()
+
+    # -- feeding ---------------------------------------------------------------
+
+    def observe(self, backend: str, signature: "str | None", objective: float,
+                wall_time: float, cache_hit: bool = False) -> None:
+        """Record one solve outcome (the low-level feed)."""
+        with self._lock:
+            for key in {(backend, signature), (backend, None)}:
+                self._stats.setdefault(key, BackendStats()).observe(
+                    objective, wall_time, self.alpha, cache_hit=cache_hit
+                )
+
+    def observe_result(self, result: "SolveResult") -> None:
+        """Feed one engine-executed result from its ``info["engine"]`` telemetry."""
+        engine = result.info.get("engine", {})
+        self.observe(
+            result.method,
+            engine.get("signature"),
+            result.objective,
+            result.wall_time,
+            cache_hit=bool(engine.get("cache_hit", False)),
+        )
+
+    def observe_portfolio(self, result: "SolveResult", signature: "str | None" = None) -> None:
+        """Feed every contender of an ``info["portfolio"]`` breakdown.
+
+        Completed contenders contribute quality and latency; contenders
+        marked ``"deadline_exceeded"`` count as timeouts with a latency
+        observation at the deadline itself — a floor on what they would
+        have cost, which is exactly the pessimism deadline routing needs.
+        Contenders marked ``"error"`` count as errors: the entry exists (so
+        the backend is no longer "cold" and does not get re-prioritised on
+        every call) but contributes no quality, which ranks it behind every
+        backend that ever produced a result.
+        """
+        entries = result.info.get("portfolio")
+        if not entries:
+            return
+        deadline = (result.info.get("portfolio_meta") or {}).get("deadline_s")
+        for entry in entries:
+            if entry is None:
+                continue
+            status = entry.get("status")
+            if status == "completed":
+                self.observe(entry["method"], signature, entry["objective"], entry["wall_time"])
+            elif status in ("deadline_exceeded", "error"):
+                with self._lock:
+                    for key in {(entry["method"], signature), (entry["method"], None)}:
+                        stats = self._stats.setdefault(key, BackendStats())
+                        if status == "error":
+                            stats.errors += 1
+                        else:
+                            stats.timeouts += 1
+                            if deadline is not None:
+                                stats.observe(math.nan, deadline, self.alpha)
+
+    # -- reading ---------------------------------------------------------------
+
+    def stats(self, backend: str, signature: "str | None") -> "BackendStats | None":
+        """Exact-pair stats, falling back to the backend-global aggregate."""
+        with self._lock:
+            found = self._stats.get((backend, signature))
+            if found is None and signature is not None:
+                found = self._stats.get((backend, None))
+            return found
+
+    def seen(self, backend: str) -> bool:
+        """Whether this backend has been observed at all (any structure)."""
+        with self._lock:
+            return (backend, None) in self._stats
+
+    def snapshot(self) -> dict:
+        """``{(backend, signature): stats-dict}`` copy for telemetry/tests."""
+        with self._lock:
+            return {key: stats.as_dict() for key, stats in self._stats.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            pairs = len(self._stats)
+        return f"BackendScoreboard({pairs} (backend, structure) pairs, alpha={self.alpha})"
+
+
+@dataclass
+class RoutingDecision:
+    """Why a shard went where it went (stamped into result telemetry)."""
+
+    backend: str
+    mode: str                      #: "cold" | "explore" | "exploit"
+    signature: "str | None"
+    candidates: list = field(default_factory=list)
+
+
+class AdaptiveScheduler:
+    """Epsilon-greedy, deadline-aware backend router over a scoreboard.
+
+    Exploitation ranks candidates by expected quality for the shard's
+    structure — candidates whose expected latency exceeds ``deadline_s``
+    are demoted behind every deadline-feasible one (but never dropped: if
+    *all* candidates blow the deadline the fastest is still picked, so no
+    shard is ever starved).  Quality ties within ``quality_tol`` (relative)
+    break toward lower latency.  Exploration has two triggers: a backend
+    the scoreboard has never seen anywhere is sampled first ("cold"), and
+    an ``epsilon`` draw routes uniformly at random so the scoreboard keeps
+    re-measuring backends that looked bad early ("explore").
+
+    The scheduler owns a seeded RNG, so for a fixed seed and observation
+    history its routing is deterministic — which keeps scheduled batches
+    reproducible across executors.
+    """
+
+    def __init__(
+        self,
+        scoreboard: "BackendScoreboard | None" = None,
+        epsilon: float = 0.1,
+        seed: int = 0,
+        deadline_s: "float | None" = None,
+        race_top_k: int = 2,
+        alpha: float = 0.25,
+        quality_tol: float = 1e-9,
+    ):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ReproError("epsilon must be in [0, 1]")
+        if race_top_k < 1:
+            raise ReproError("race_top_k must be >= 1")
+        self.scoreboard = scoreboard if scoreboard is not None else BackendScoreboard(alpha=alpha)
+        self.epsilon = epsilon
+        self.deadline_s = deadline_s
+        self.race_top_k = race_top_k
+        self.quality_tol = quality_tol
+        self._rng = np.random.default_rng(seed)
+
+    # -- routing ---------------------------------------------------------------
+
+    def rank(self, signature: "str | None", candidates: Sequence[str]) -> list[str]:
+        """Candidates best-first for this structure (pure exploitation view).
+
+        Never-seen backends lead (optimism under uncertainty: they must be
+        measured before they can be beaten), then deadline-feasible ones by
+        quality (latency breaks near-ties), then deadline-breakers by
+        latency.
+        """
+        names = _candidate_names(candidates)
+        cold = [n for n in names if not self.scoreboard.seen(n)]
+        scored = []
+        for name in names:
+            if name in cold:
+                continue
+            stats = self.scoreboard.stats(name, signature)
+            quality = stats.quality if stats is not None else math.inf
+            latency = stats.latency if stats is not None else math.nan
+            if math.isnan(latency):
+                # Quality-only observations (e.g. a warm cache: hits carry
+                # no latency signal) — fall back to the backend-global
+                # aggregate rather than assuming "instantaneous".
+                fallback = self.scoreboard.stats(name, None)
+                if fallback is not None:
+                    latency = fallback.latency
+            if math.isnan(quality):
+                quality = math.inf
+            if math.isnan(latency):
+                # Still unknown: pessimistic. Never deadline-feasible on
+                # faith, and last in any quality-tie latency tiebreak.
+                latency = math.inf
+            feasible = self.deadline_s is None or latency <= self.deadline_s
+            scored.append((name, feasible, quality, latency))
+        ordered = []
+        for feasible_group in (True, False):
+            group = [s for s in scored if s[1] is feasible_group]
+            if not group:
+                continue
+            best_quality = min(s[2] for s in group)
+            tol = self.quality_tol * (1.0 + abs(best_quality))
+            tied = sorted((s for s in group if s[2] <= best_quality + tol),
+                          key=lambda s: (s[3], s[0]))
+            rest = sorted((s for s in group if s[2] > best_quality + tol),
+                          key=lambda s: (s[2], s[3], s[0]))
+            ordered.extend(s[0] for s in tied + rest)
+        return cold + ordered
+
+    def choose(self, signature: "str | None", candidates: Sequence[str]) -> RoutingDecision:
+        """Pick one backend for a shard of this structure (epsilon-greedy)."""
+        names = _candidate_names(candidates)
+        cold = [n for n in names if not self.scoreboard.seen(n)]
+        if cold:
+            pick = cold[int(self._rng.integers(len(cold)))]
+            return RoutingDecision(pick, "cold", signature, names)
+        if self.epsilon > 0.0 and self._rng.random() < self.epsilon:
+            pick = names[int(self._rng.integers(len(names)))]
+            return RoutingDecision(pick, "explore", signature, names)
+        return RoutingDecision(self.rank(signature, names)[0], "exploit", signature, names)
+
+    # -- feeding (delegates) ---------------------------------------------------
+
+    def observe_batch(self, results: Iterable["SolveResult"]) -> None:
+        for result in results:
+            self.scoreboard.observe_result(result)
+
+    def observe_portfolio(self, result: "SolveResult", signature: "str | None" = None) -> None:
+        self.scoreboard.observe_portfolio(result, signature=signature)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdaptiveScheduler(epsilon={self.epsilon}, deadline_s={self.deadline_s}, "
+            f"race_top_k={self.race_top_k}, {self.scoreboard!r})"
+        )
+
+
+def _candidate_names(candidates: Sequence) -> list[str]:
+    names = []
+    for c in candidates:
+        if not isinstance(c, str):
+            raise ReproError(
+                "adaptive scheduling routes by registry name; pass backend names, "
+                f"not {type(c).__name__} instances (the scoreboard keys on names)"
+            )
+        if c not in names:
+            names.append(c)
+    if not names:
+        raise ReproError("adaptive scheduling needs at least one candidate backend")
+    return names
+
+
+def _validated_opts_map(backend_opts: "dict | None", names: Sequence[str]) -> dict:
+    """Portfolio-style per-backend opts, checked against the candidate list."""
+    opts_map = dict(backend_opts or {})
+    unknown = set(opts_map) - set(names)
+    if unknown:
+        raise ReproError(
+            f"backend_opts for {sorted(unknown)} match no candidate backend"
+        )
+    return opts_map
+
+
+# -- scheduled batch execution ----------------------------------------------
+
+
+def solve_batch_scheduled(
+    problems,
+    backends: Sequence[str],
+    scheduler: AdaptiveScheduler,
+    seed: "int | None" = None,
+    refine: bool = True,
+    top_k: int = 8,
+    executor: str = "serial",
+    cache=None,
+    max_shard_size: "int | None" = None,
+    backend_opts: "dict | None" = None,
+) -> list:
+    """Route each shard of a batch to a scoreboard-chosen backend.
+
+    The batch is compiled once (seeds split in batch order, shards grouped
+    by structure — identical to the unscheduled path), every shard is routed
+    up front via :meth:`AdaptiveScheduler.choose`, and one sub-plan per
+    chosen backend executes on the requested executor.  Item seeds are the
+    compiled ones regardless of routing, so two runs with equal scheduler
+    state solve every item identically no matter the executor.  When the
+    whole batch has returned, each result is fed back to the scoreboard —
+    including the portfolio-style telemetry stamped into
+    ``info["engine"]["scheduler"]``.
+
+    ``backend_opts`` is portfolio-style: per-backend factory options keyed
+    by registry name, e.g. ``{"sa": {"num_reads": 64}}``.
+    """
+    names = _candidate_names(backends)
+    opts_map = _validated_opts_map(backend_opts, names)
+
+    plan = compile_plan(
+        problems,
+        names[0],
+        seed=seed,
+        refine=refine,
+        top_k=top_k,
+        backend_opts=opts_map.get(names[0], {}),
+        max_shard_size=max_shard_size,
+    )
+    signatures = plan.meta["shard_signatures"]
+    shards = plan.shards()
+
+    decisions = [scheduler.choose(signatures[shard_id], names) for shard_id in range(len(shards))]
+
+    # Build every backend's sub-plan first, then execute them as ONE
+    # dispatch wave: the executor sees all routed shards together, so a
+    # cold or exploring batch spread over several backends parallelises as
+    # widely as a single-backend batch would.
+    routed = []
+    for name in names:
+        shard_ids = [i for i, d in enumerate(decisions) if d.backend == name]
+        if shard_ids:
+            subplan, local_to_global = _subplan(plan, shard_ids, name, opts_map.get(name, {}))
+            routed.append((name, subplan, local_to_global))
+
+    results: list = [None] * len(plan.items)
+    all_results = execute_plans(
+        [subplan for _, subplan, _ in routed], executor=executor, cache=cache
+    )
+    for (name, _, local_to_global), sub_results in zip(routed, all_results):
+        for local_index, result in enumerate(sub_results):
+            global_index, global_shard = local_to_global[local_index]
+            engine = result.info.setdefault("engine", {})
+            engine["shard"] = global_shard
+            engine["scheduler"] = {
+                "backend": name,
+                "mode": decisions[global_shard].mode,
+                "candidates": list(names),
+            }
+            results[global_index] = result
+
+    scheduler.observe_batch(results)
+    return results
+
+
+def _subplan(plan: ExecutionPlan, shard_ids: Sequence[int], backend_name: str,
+             backend_opts: dict) -> "tuple[ExecutionPlan, list[tuple[int, int]]]":
+    """One backend's slice of a routed plan, renumbered to be self-contained.
+
+    Items keep their compiled seeds and fingerprints; indices and shard ids
+    are renumbered locally (``execute_plan`` addresses results by them) and
+    the returned mapping restores each local index to its
+    ``(batch index, global shard id)``.
+    """
+    from repro.api.backends import get_backend
+
+    probe = get_backend(backend_name, **backend_opts)
+    shards = plan.shards()
+    signatures = plan.meta["shard_signatures"]
+    items = []
+    local_to_global: list[tuple[int, int]] = []
+    for local_shard, shard_id in enumerate(shard_ids):
+        for item in shards[shard_id]:
+            items.append(replace(item, index=len(items), shard=local_shard))
+            local_to_global.append((item.index, shard_id))
+    subplan = ExecutionPlan(
+        items=items,
+        num_shards=len(shard_ids),
+        backend_name=backend_name,
+        backend_opts=dict(backend_opts),
+        backend_instance=None,
+        refine=plan.refine,
+        top_k=plan.top_k,
+        direct=probe.solves_problem_directly,
+        meta={
+            "batch_size": len(items),
+            "shard_sizes": [len(shards[s]) for s in shard_ids],
+            "max_shard_size": plan.meta.get("max_shard_size"),
+            "shard_signatures": [signatures[s] for s in shard_ids],
+        },
+    )
+    _assign_cache_keys(subplan)
+    return subplan, local_to_global
+
+
+# -- scheduled portfolio (route-then-race-top-k) ----------------------------
+
+
+def run_portfolio_scheduled(
+    problem,
+    backends: Sequence[str],
+    scheduler: AdaptiveScheduler,
+    seed: "int | None" = None,
+    refine: bool = True,
+    top_k: int = 8,
+    backend_opts: "dict | None" = None,
+    deadline_s: "float | None" = None,
+    race_top_k: "int | None" = None,
+):
+    """Race only the scoreboard's top-k backends instead of everyone.
+
+    The scoreboard ranks the candidates for this instance's structure and
+    the best ``race_top_k`` race as a normal portfolio (sharing one child-
+    RNG split, honouring ``deadline_s``).  An epsilon draw swaps the last
+    raced slot for a random unraced candidate so the scoreboard keeps
+    sampling backends that looked bad early.  Every contender's outcome is
+    fed back before returning, and the winner's
+    ``info["portfolio_meta"]["scheduler"]`` records the ranking, the raced
+    subset, and the exploration flag.
+    """
+    from repro.api.problem import qubo_signature
+
+    names = _candidate_names(backends)
+    opts_map = _validated_opts_map(backend_opts, names)
+    signature = signature_key(qubo_signature(problem.to_qubo()))
+    # scheduler.deadline_s shapes *routing feasibility* only; it is never
+    # silently promoted into race-deadline, because deadline_s=None is the
+    # caller's documented claim to a reproducible (serial) portfolio.
+
+    ranked = scheduler.rank(signature, names)
+    k = min(race_top_k or scheduler.race_top_k, len(ranked))
+    raced = list(ranked[:k])
+    explored = False
+    leftover = [n for n in ranked[k:]]
+    if leftover and scheduler.epsilon > 0.0 and scheduler._rng.random() < scheduler.epsilon:
+        swap_in = leftover[int(scheduler._rng.integers(len(leftover)))]
+        raced[-1] = swap_in
+        explored = True
+
+    result = run_portfolio(
+        problem,
+        raced,
+        seed=seed,
+        refine=refine,
+        top_k=top_k,
+        backend_opts={n: opts_map[n] for n in raced if n in opts_map},
+        deadline_s=deadline_s,
+    )
+    scheduler.observe_portfolio(result, signature=signature)
+    result.info.setdefault("portfolio_meta", {})["scheduler"] = {
+        "signature": signature,
+        "ranked": ranked,
+        "raced": raced,
+        "explored": explored,
+    }
+    return result

@@ -111,9 +111,12 @@ class TestGroverSearch:
         result = GroverSearch(oracle).run(rng=rng)
         assert result.success_probability > 0.9
 
-    def test_found_bitstring(self, rng):
+    def test_found_bitstring(self):
+        # Own literal seed, not the shared fixture: the final measurement
+        # succeeds only with probability ~ sin^2((2k+1)theta/2) < 1, so the
+        # exact-bitstring claim is not seed-independent (docs/testing.md).
         oracle = CountingOracle([5], 4)
-        result = GroverSearch(oracle).run(rng=rng)
+        result = GroverSearch(oracle).run(rng=np.random.default_rng(12345))
         assert result.found_bitstring == "0101"
 
     def test_bbht_unknown_count(self, rng):

@@ -1,10 +1,26 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures.
+
+The ``rng`` fixture seed is overridable via ``REPRO_TEST_SEED`` so CI can
+run the whole suite under several seeds (the seed-matrix job): any test
+that only passes for one particular RNG stream is hiding a seed dependence
+behind a property-style claim, and a matrix run flushes it out.  Locally,
+``REPRO_TEST_SEED=777 pytest`` reproduces a matrix leg.
+"""
+
+import os
 
 import numpy as np
 import pytest
 
+#: The historical default; CI's seed matrix overrides it per leg.
+DEFAULT_TEST_SEED = 12345
+
+
+def repro_test_seed() -> int:
+    return int(os.environ.get("REPRO_TEST_SEED", DEFAULT_TEST_SEED))
+
 
 @pytest.fixture
 def rng():
-    """A deterministic RNG for tests."""
-    return np.random.default_rng(12345)
+    """A deterministic RNG for tests (seed from REPRO_TEST_SEED)."""
+    return np.random.default_rng(repro_test_seed())

@@ -1,5 +1,9 @@
 """ResultCache: LRU/disk tiers, hit semantics, RNG non-perturbation."""
 
+import os
+import pickle
+import threading
+
 import numpy as np
 import pytest
 
@@ -56,6 +60,87 @@ class TestResultCacheStore:
             resolve_cache(123)
         with pytest.raises(ReproError, match="maxsize"):
             ResultCache(maxsize=0)
+
+
+class TestDiskTierCrashSafety:
+    """The disk tier must never serve a torn entry, and a crash mid-write
+    must never make one visible."""
+
+    def test_torn_disk_entry_is_a_miss_and_heals(self, tmp_path):
+        writer = ResultCache(directory=tmp_path / "store")
+        writer.put("k", {"payload": list(range(100))})
+        path = writer.directory / "k.pkl"
+        # Simulate a torn write (crash halfway / truncated by a full disk).
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        reader = ResultCache(directory=tmp_path / "store")  # cold memory tier
+        assert reader.get("k") is None            # miss, not an exception
+        assert reader.stats["misses"] == 1
+        assert not path.exists()                  # damaged entry evicted
+        reader.put("k", "fresh")                  # and the slot heals
+        assert reader.get("k") == "fresh"
+
+    def test_torn_memory_blob_is_evicted(self):
+        cache = ResultCache()
+        cache.put("k", 1)
+        with cache._lock:
+            cache._entries["k"] = cache._entries["k"][:3]  # corrupt in place
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_crash_mid_write_leaves_no_visible_entry(self, tmp_path, monkeypatch):
+        """Kill the writer between temp-write and rename: the final path must
+        not exist, and the old entry (if any) must survive untouched."""
+        cache = ResultCache(directory=tmp_path / "store")
+        cache.put("k", "old")
+
+        def crash(src, dst):
+            raise KeyboardInterrupt("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put("k", "new")
+        monkeypatch.undo()
+        # No temp litter became the visible entry; disk still has "old".
+        survivor = ResultCache(directory=tmp_path / "store")
+        assert survivor.get("k") == "old"
+        assert [p.name for p in (tmp_path / "store").glob("*.pkl")] == ["k.pkl"]
+
+    def test_interrupted_write_cleans_its_temp_file(self, tmp_path, monkeypatch):
+        cache = ResultCache(directory=tmp_path / "store")
+
+        def crash(src, dst):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(os, "replace", crash)
+        with pytest.raises(RuntimeError):
+            cache.put("k", "value")
+        monkeypatch.undo()
+        assert list((tmp_path / "store").glob("*.tmp")) == []
+
+    def test_concurrent_same_key_writers_never_tear(self, tmp_path):
+        """Threads share a PID — the old pid-suffix temp naming collided and
+        could publish a half-written file; mkstemp naming must not."""
+        cache = ResultCache(directory=tmp_path / "store")
+        payload = {"blob": bytes(50_000)}
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(20):
+                    cache.put("k", payload)
+                    loaded = pickle.loads((cache.directory / "k.pkl").read_bytes())
+                    assert loaded == payload
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert errors == []
+        assert cache.get("k") == payload
 
 
 class TestBatchCaching:

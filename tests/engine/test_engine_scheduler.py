@@ -1,0 +1,367 @@
+"""Adaptive scheduler: scoreboard convergence, exploration, deadline routing.
+
+The scripted backends here have *known* quality and latency (fixed returned
+bits, fixed sleeps), so every routing claim is checked against ground truth
+rather than against whatever a stochastic sampler happened to produce.
+"""
+
+import math
+import time
+
+import pytest
+
+import repro
+from repro.api import register_backend
+from repro.api.backends import Backend
+from repro.api.problem import Problem
+from repro.api.result import SolveResult
+from repro.engine import (
+    AdaptiveScheduler,
+    BackendScoreboard,
+    run_portfolio_scheduled,
+    signature_key,
+    solve_batch_scheduled,
+)
+from repro.exceptions import ReproError
+from repro.qubo.model import QuboModel
+from repro.qubo.sampleset import Sample, SampleSet
+
+
+class ToyProblem(Problem):
+    """Minimise the number of set bits; the optimum is all-zeros = 0."""
+
+    name = "toy"
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def build_qubo(self) -> QuboModel:
+        model = QuboModel(self.n)
+        for i in range(self.n):
+            model.add_linear(i, 1.0)
+        for i in range(self.n - 1):
+            model.add_quadratic(i, i + 1, 0.5)
+        return model
+
+    def decode(self, bits):
+        return tuple(int(b) for b in bits)
+
+    def evaluate(self, solution) -> float:
+        return float(sum(solution))
+
+
+class ScriptedBackend(Backend):
+    """Returns a fixed bit value for every variable, after a fixed sleep."""
+
+    def __init__(self, name: str, bit: int, delay_s: float = 0.0):
+        self.name = name
+        self._bit = bit
+        self.delay_s = delay_s
+
+    def run(self, model, rng=None, **opts) -> SampleSet:
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        bits = tuple(self._bit for _ in range(model.num_variables))
+        return SampleSet([Sample(bits, model.energy(bits))])
+
+
+CANDIDATES = ("scripted_good", "scripted_bad")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _scripted_registry():
+    """Register the scripted pair at run time, not import time, and remove
+    it afterwards: other modules consult ``list_backends()`` (some at
+    collection time) and must never see test-only entries regardless of
+    test ordering.  ("good" finds the optimum instantly; "bad" returns the
+    worst point, slowly.)"""
+    from repro.api import backends as backend_registry
+
+    register_backend(
+        "scripted_good", lambda **o: ScriptedBackend("scripted_good", 0), overwrite=True
+    )
+    register_backend(
+        "scripted_bad", lambda **o: ScriptedBackend("scripted_bad", 1, delay_s=0.005),
+        overwrite=True,
+    )
+    yield
+    backend_registry._REGISTRY.pop("scripted_good", None)
+    backend_registry._REGISTRY.pop("scripted_bad", None)
+
+
+def _toy_batch():
+    """Three structure groups so routing has several shards to place."""
+    return [ToyProblem(n) for n in (4, 5, 4, 6, 5, 4)]
+
+
+def _fake_result(method: str, signature: str, objective: float, wall_time: float,
+                 cache_hit: bool = False) -> SolveResult:
+    return SolveResult(
+        problem="toy",
+        method=method,
+        solution=(),
+        objective=objective,
+        wall_time=wall_time,
+        info={"engine": {"signature": signature, "cache_hit": cache_hit}},
+    )
+
+
+class TestBackendScoreboard:
+    def test_ewma_tracks_quality_and_latency(self):
+        board = BackendScoreboard(alpha=0.5)
+        for objective, wall in ((4.0, 0.2), (2.0, 0.1), (2.0, 0.1)):
+            board.observe("b", "sig", objective, wall)
+        stats = board.stats("b", "sig")
+        assert stats.count == 3
+        assert stats.quality == pytest.approx(2.5)   # 4 -> 3 -> 2.5
+        assert stats.latency == pytest.approx(0.125)
+        assert stats.best_objective == 2.0
+
+    def test_cache_hits_never_skew_latency(self):
+        board = BackendScoreboard(alpha=0.5)
+        board.observe("b", "sig", 1.0, 0.2)
+        board.observe("b", "sig", 1.0, 0.0, cache_hit=True)
+        stats = board.stats("b", "sig")
+        assert stats.latency == pytest.approx(0.2)  # the hit's wall time is ignored
+        assert stats.cache_hits == 1 and stats.cache_hit_rate == 0.5
+
+    def test_signature_fallback_to_backend_global(self):
+        board = BackendScoreboard()
+        board.observe("b", "sig-a", 3.0, 0.1)
+        fallback = board.stats("b", "sig-never-seen")
+        assert fallback is not None and fallback.quality == pytest.approx(3.0)
+
+    def test_portfolio_feed_records_timeouts(self):
+        board = BackendScoreboard()
+        result = _fake_result("sa", "sig", 1.0, 0.1)
+        result.info["portfolio"] = [
+            {"method": "sa", "objective": 1.0, "wall_time": 0.1, "status": "completed"},
+            {"method": "qaoa", "objective": math.nan, "wall_time": math.nan,
+             "status": "deadline_exceeded"},
+        ]
+        result.info["portfolio_meta"] = {"deadline_s": 0.5}
+        board.observe_portfolio(result, signature="sig")
+        assert board.stats("sa", "sig").quality == pytest.approx(1.0)
+        slow = board.stats("qaoa", "sig")
+        assert slow.timeouts == 1
+        assert slow.latency == pytest.approx(0.5)  # pessimistic floor at the deadline
+
+    def test_error_contenders_are_no_longer_cold(self):
+        """A backend that errored must not be re-prioritised as unseen on
+        every subsequent routing decision — it ranks behind everyone that
+        ever produced a result instead."""
+        board = BackendScoreboard()
+        result = _fake_result("sa", "sig", 1.0, 0.1)
+        result.info["portfolio"] = [
+            {"method": "sa", "objective": 1.0, "wall_time": 0.1, "status": "completed"},
+            {"method": "flaky", "objective": math.nan, "wall_time": math.nan,
+             "status": "error"},
+        ]
+        board.observe_portfolio(result, signature="sig")
+        assert board.seen("flaky")
+        assert board.stats("flaky", "sig").errors == 1
+        scheduler = AdaptiveScheduler(epsilon=0.0, scoreboard=board)
+        assert scheduler.rank("sig", ["flaky", "sa"]) == ["sa", "flaky"]
+
+    def test_alpha_validated(self):
+        with pytest.raises(ReproError, match="alpha"):
+            BackendScoreboard(alpha=0.0)
+
+
+class TestRouting:
+    def _warmed(self, epsilon=0.0, **kwargs):
+        """A scheduler that has seen both backends on signature "sig"."""
+        scheduler = AdaptiveScheduler(epsilon=epsilon, seed=7, **kwargs)
+        for _ in range(5):
+            scheduler.scoreboard.observe("scripted_good", "sig", 0.0, 0.001)
+            scheduler.scoreboard.observe("scripted_bad", "sig", 4.0, 0.05)
+        return scheduler
+
+    def test_cold_backends_sampled_first(self):
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=0)
+        scheduler.scoreboard.observe("scripted_good", "sig", 0.0, 0.001)
+        decision = scheduler.choose("sig", CANDIDATES)
+        assert decision.backend == "scripted_bad" and decision.mode == "cold"
+
+    def test_converges_to_better_backend(self):
+        scheduler = self._warmed(epsilon=0.0)
+        decisions = [scheduler.choose("sig", CANDIDATES) for _ in range(20)]
+        assert all(d.backend == "scripted_good" for d in decisions)
+        assert all(d.mode == "exploit" for d in decisions)
+
+    def test_epsilon_still_samples_the_worse_backend(self):
+        scheduler = self._warmed(epsilon=0.3)
+        picks = [scheduler.choose("sig", CANDIDATES).backend for _ in range(300)]
+        assert picks.count("scripted_bad") > 0       # exploration happens ...
+        assert picks.count("scripted_good") > picks.count("scripted_bad")  # ... but greed wins
+
+    def test_quality_tie_breaks_toward_lower_latency(self):
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=0)
+        scheduler.scoreboard.observe("scripted_good", "sig", 1.0, 0.001)
+        scheduler.scoreboard.observe("scripted_bad", "sig", 1.0, 0.5)
+        assert scheduler.rank("sig", CANDIDATES)[0] == "scripted_good"
+
+    def test_unknown_latency_is_not_treated_as_instantaneous(self):
+        """Cache-hit-only observations leave latency NaN; deadline routing
+        must not rank such a backend as deadline-feasible on faith."""
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=0, deadline_s=0.01)
+        # "bad" has quality but ONLY cache-hit observations (no latency).
+        scheduler.scoreboard.observe("scripted_bad", "sig", 0.0, 0.0, cache_hit=True)
+        scheduler.scoreboard.observe("scripted_good", "sig", 1.0, 0.001)
+        assert math.isnan(scheduler.scoreboard.stats("scripted_bad", "sig").latency)
+        # Worse quality but measured-and-feasible beats unknown-latency.
+        assert scheduler.rank("sig", CANDIDATES)[0] == "scripted_good"
+        # A real (uncached) observation restores normal quality ranking.
+        scheduler.scoreboard.observe("scripted_bad", "sig", 0.0, 0.002)
+        assert scheduler.rank("sig", CANDIDATES)[0] == "scripted_bad"
+
+    def test_deadline_demotes_slow_but_never_starves(self):
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=0, deadline_s=0.01)
+        # Better quality but way over deadline vs worse quality inside it.
+        scheduler.scoreboard.observe("scripted_bad", "sig", 0.0, 5.0)
+        scheduler.scoreboard.observe("scripted_good", "sig", 2.0, 0.001)
+        assert scheduler.choose("sig", CANDIDATES).backend == "scripted_good"
+        # Every candidate over the deadline: the fastest is still routed to.
+        tight = AdaptiveScheduler(epsilon=0.0, seed=0, deadline_s=1e-9)
+        tight.scoreboard.observe("scripted_bad", "sig", 0.0, 5.0)
+        tight.scoreboard.observe("scripted_good", "sig", 0.0, 1.0)
+        assert tight.choose("sig", CANDIDATES).backend == "scripted_good"
+
+    def test_same_seed_same_history_same_decisions(self):
+        a, b = self._warmed(epsilon=0.3), self._warmed(epsilon=0.3)
+        assert [a.choose("sig", CANDIDATES).backend for _ in range(50)] == [
+            b.choose("sig", CANDIDATES).backend for _ in range(50)
+        ]
+
+    def test_candidate_validation(self):
+        scheduler = AdaptiveScheduler()
+        with pytest.raises(ReproError, match="at least one"):
+            scheduler.choose("sig", [])
+        with pytest.raises(ReproError, match="registry name"):
+            scheduler.choose("sig", [ScriptedBackend("x", 0)])
+        with pytest.raises(ReproError, match="epsilon"):
+            AdaptiveScheduler(epsilon=1.5)
+        with pytest.raises(ReproError, match="race_top_k"):
+            AdaptiveScheduler(race_top_k=0)
+
+
+class TestScheduledBatch:
+    def test_batch_routes_every_shard_and_converges(self):
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=3)
+        # Warmup batches sample both backends (cold-first), then exploit.
+        for _ in range(3):
+            results = repro.solve_many(
+                _toy_batch(), backend=CANDIDATES, scheduler=scheduler, seed=11
+            )
+            assert all(r is not None for r in results)
+        final = repro.solve_many(
+            _toy_batch(), backend=CANDIDATES, scheduler=scheduler, seed=11
+        )
+        assert all(r.scheduled_backend == "scripted_good" for r in final)
+        assert all(r.engine["scheduler"]["mode"] == "exploit" for r in final)
+        assert all(r.objective == 0.0 for r in final)
+
+    def test_deadline_routing_never_starves_a_shard(self):
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=3, deadline_s=1e-9)
+        for _ in range(2):
+            results = solve_batch_scheduled(
+                _toy_batch(), CANDIDATES, scheduler, seed=11
+            )
+        # Nothing can meet a nanosecond deadline, yet every shard still ran.
+        assert all(r is not None and r.solution is not None for r in results)
+        assert len(results) == len(_toy_batch())
+
+    def test_scheduled_batch_deterministic_across_executors(self):
+        def run(executor):
+            scheduler = AdaptiveScheduler(epsilon=0.1, seed=5)
+            out = []
+            for _ in range(2):
+                out.append([
+                    (r.objective, r.method)
+                    for r in solve_batch_scheduled(
+                        _toy_batch(), CANDIDATES, scheduler, seed=11, executor=executor
+                    )
+                ])
+            return out
+
+        assert run("serial") == run("threads") == run("async")
+
+    def test_mixed_routing_dispatches_as_one_wave(self):
+        """Shards routed to different backends must reach the executor in a
+        single run call, not one sequential wave per backend."""
+        from repro.engine import Executor
+
+        class CountingExecutor(Executor):
+            name = "counting"
+
+            def __init__(self):
+                self.calls = []
+
+            def run(self, worker, payloads):
+                self.calls.append(len(payloads))
+                return [worker(p) for p in payloads]
+
+        from repro.api.problem import qubo_signature
+
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=0)
+        # Warm the scoreboard so exploitation splits the batch: "good" wins
+        # the n=4 and n=6 structures, "bad" wins n=5.
+        signatures = {
+            n: signature_key(qubo_signature(ToyProblem(n).to_qubo())) for n in (4, 5, 6)
+        }
+        for n, winner in ((4, "scripted_good"), (5, "scripted_bad"), (6, "scripted_good")):
+            loser = "scripted_bad" if winner == "scripted_good" else "scripted_good"
+            scheduler.scoreboard.observe(winner, signatures[n], 0.0, 0.001)
+            scheduler.scoreboard.observe(loser, signatures[n], 5.0, 0.001)
+        counting = CountingExecutor()
+        results = solve_batch_scheduled(
+            _toy_batch(), CANDIDATES, scheduler, seed=11, executor=counting
+        )
+        assert {r.scheduled_backend for r in results} == set(CANDIDATES)
+        assert len(counting.calls) == 1  # one dispatch wave for both backends
+
+    def test_seeds_match_unscheduled_compilation(self):
+        """Routing must not perturb the compiled child seeds."""
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=3)
+        scheduled = solve_batch_scheduled(_toy_batch(), CANDIDATES, scheduler, seed=11)
+        plain = repro.solve_many(_toy_batch(), backend="scripted_good", seed=11)
+        assert [r.engine["seed"] for r in scheduled] == [r.engine["seed"] for r in plain]
+
+    def test_backend_opts_validated(self):
+        scheduler = AdaptiveScheduler()
+        with pytest.raises(ReproError, match="no candidate backend"):
+            solve_batch_scheduled(
+                _toy_batch(), CANDIDATES, scheduler, backend_opts={"sa": {}}
+            )
+
+    def test_facade_rejects_sequence_without_scheduler(self):
+        with pytest.raises(ReproError, match="scheduler"):
+            repro.solve_many(_toy_batch(), backend=CANDIDATES, seed=1)
+
+
+class TestScheduledPortfolio:
+    def test_route_then_race_top_k(self):
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=3, race_top_k=1)
+        # With k=1 each round races one backend: two cold-sampling rounds
+        # (one per candidate), then the scoreboard exploits.
+        for _ in range(3):
+            result = run_portfolio_scheduled(ToyProblem(4), CANDIDATES, scheduler, seed=5)
+        meta = result.info["portfolio_meta"]["scheduler"]
+        assert meta["ranked"][0] == "scripted_good"
+        assert meta["raced"] == ["scripted_good"]
+        assert result.method == "scripted_good" and result.objective == 0.0
+        sig = signature_key((4, ((0, 1), (1, 2), (2, 3))))
+        assert meta["signature"] == sig
+
+    def test_scoreboard_fed_by_raced_contenders(self):
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=3, race_top_k=2)
+        run_portfolio_scheduled(ToyProblem(4), CANDIDATES, scheduler, seed=5)
+        assert scheduler.scoreboard.seen("scripted_good")
+        assert scheduler.scoreboard.seen("scripted_bad")
+
+    def test_facade_scheduler_path(self):
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=3)
+        result = repro.solve_portfolio(
+            ToyProblem(4), backends=CANDIDATES, seed=5, scheduler=scheduler
+        )
+        assert "scheduler" in result.info["portfolio_meta"]
