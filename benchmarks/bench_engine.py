@@ -1,6 +1,6 @@
 """Engine benchmarks: sharded dispatch, cache reuse, adaptive scheduling.
 
-Five claims, each asserted:
+Six claims, each asserted:
 
 1. on a wide batch (32 instances, 8 structure groups), sharded-parallel
    ``solve_many`` beats the serial path wall-clock — with **identical
@@ -15,14 +15,32 @@ Five claims, each asserted:
    32-instance mixed-structure batch, at equal-or-better mean objective —
    the scoreboard pays for itself after one warmup portfolio per structure;
 5. the async executor returns the same objectives as the thread pool while
-   occupying strictly fewer worker threads.
+   occupying strictly fewer worker threads;
+6. durable engine knowledge pays across restarts: after a cold run against
+   an ``EngineStore``, a fresh "process" (new scheduler, new caches)
+   hydrated from the store routes by scoreboard from its very first shard
+   (no cold-sampling), hits the shared cross-process cache, and beats the
+   cold run's wall time at equal objectives.
+
+The restart scenario (claim 6) also emits a ``BENCH_<run>.json`` metrics
+file — wall times, mean objectives, and cache hit-rates for the cold and
+warm-store runs — which the ``bench-trajectory`` CI job uploads as the
+engine-performance trajectory artifact.
 """
 
+import json
 import os
 import statistics
 import time
 
-from repro import AdaptiveScheduler, ResultCache, solve, solve_many, solve_portfolio
+from repro import (
+    AdaptiveScheduler,
+    EngineStore,
+    ResultCache,
+    solve,
+    solve_many,
+    solve_portfolio,
+)
 from repro.api import MQOAdapter
 from repro.engine import AsyncExecutor
 from repro.mqo import generate_mqo_problem
@@ -216,3 +234,126 @@ def test_async_executor_matches_threads_with_fewer_workers(benchmark):
             f"async used {used} worker threads, no fewer than the thread pool's "
             f"{thread_workers}"
         )
+
+
+def _emit_bench_json(payload: dict) -> str:
+    """Write the benchmark-trajectory metrics file (``BENCH_<run>.json``).
+
+    The run id comes from ``BENCH_RUN_ID`` (CI passes ``github.run_id``),
+    falling back to ``GITHUB_RUN_ID`` then ``"local"``; the directory from
+    ``BENCH_OUTPUT_DIR`` (default: current directory).  CI uploads the file
+    as an artifact so engine performance has a trajectory, not just a
+    pass/fail.
+    """
+    run_id = os.environ.get("BENCH_RUN_ID") or os.environ.get("GITHUB_RUN_ID") or "local"
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{run_id}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return path
+
+
+def test_store_restart_warm_routing_beats_cold(benchmark, tmp_path):
+    """Claim 6: durable knowledge survives a restart and pays immediately.
+
+    The cold phase is a fresh deployment: it must *learn* (one warmup
+    portfolio per structure feeding the durable scoreboard) and *solve*
+    (the routed 32-instance batch, filling the shared cache tier).  Then
+    every piece of process state is dropped — scheduler, scoreboard,
+    caches — and only the store file survives.  The warm phase re-runs the
+    batch from that file alone: the hydrated scheduler must route by
+    scoreboard from its very first shard (``mode == "exploit"``, never
+    ``"cold"``), the shared tier must produce cache hits, and the restart
+    must beat the cold run's wall time at equal-or-better mean objective.
+    """
+    candidates = ("sa", "tabu", "bruteforce")
+    opts = {"sa": dict(num_reads=8, num_sweeps=100), "tabu": dict(num_restarts=4)}
+    problems = _wide_batch()
+    representatives = [
+        MQOAdapter(generate_mqo_problem(4, 3, sharing_density=0.4, rng=structure))
+        for structure in range(BATCH_STRUCTURES)
+    ]
+    store_path = tmp_path / "engine.db"
+
+    def kernel():
+        # -- cold: learn + solve, everything flowing into the store --------
+        store = EngineStore(store_path)
+        scheduler = AdaptiveScheduler(
+            epsilon=0.0, seed=0, race_top_k=len(candidates), store=store
+        )
+        cold_cache = ResultCache(store=store)
+        t0 = time.perf_counter()
+        for representative in representatives:
+            solve_portfolio(
+                representative, backends=candidates, seed=11, backend_opts=opts,
+                scheduler=scheduler,
+            )
+        cold = solve_many(
+            problems, backend=candidates, scheduler=scheduler, seed=11,
+            cache=cold_cache, store=store, **opts,
+        )
+        cold_s = time.perf_counter() - t0
+
+        # -- restart: drop every piece of process state ---------------------
+        del store, scheduler, cold_cache
+
+        # -- warm: a new process hydrates from the file alone ---------------
+        store2 = EngineStore(store_path)
+        fresh = AdaptiveScheduler(epsilon=0.0, seed=0, store=store2)
+        warm_cache = ResultCache(store=store2)
+        t0 = time.perf_counter()
+        warm = solve_many(
+            problems, backend=candidates, scheduler=fresh, seed=11,
+            cache=warm_cache, store=store2, **opts,
+        )
+        warm_s = time.perf_counter() - t0
+        return cold, cold_s, warm, warm_s, warm_cache, store2
+
+    cold, cold_s, warm, warm_s, warm_cache, store2 = benchmark.pedantic(
+        kernel, rounds=1, iterations=1
+    )
+
+    modes = [r.engine["scheduler"]["mode"] for r in warm]
+    hits = sum(r.cache_hit for r in warm)
+    warm_hit_rate = hits / len(warm)
+    mean_cold = statistics.mean(r.objective for r in cold)
+    mean_warm = statistics.mean(r.objective for r in warm)
+
+    # Emit the trajectory point *before* asserting: a regressed run is
+    # exactly the data point the trajectory exists to record, so the
+    # artifact must exist even when the assertions below fail the job.
+    path = _emit_bench_json({
+        "benchmark": "store_restart",
+        "seed": 11,
+        "batch_size": len(problems),
+        "candidates": list(candidates),
+        "cold": {
+            "wall_s": cold_s,
+            "mean_objective": mean_cold,
+            "cache_hit_rate": 0.0,
+        },
+        "warm_store": {
+            "wall_s": warm_s,
+            "mean_objective": mean_warm,
+            "cache_hit_rate": warm_hit_rate,
+            "routing_modes": sorted(set(modes)),
+        },
+        "speedup": cold_s / warm_s if warm_s > 0 else None,
+        "store": store2.stats(),
+    })
+    print(
+        f"\ncold (learn+solve): {cold_s:.2f}s  warm-store restart: {warm_s:.2f}s "
+        f"({cold_s / warm_s:.1f}x)  hit-rate {warm_hit_rate:.2f}  -> {path}"
+    )
+
+    # Scoreboard-driven routing from the very first shard: nothing is cold.
+    assert all(mode == "exploit" for mode in modes), modes
+    # The shared cross-process tier produced hits.
+    assert hits > 0, "warm-store run produced no shared-cache hits"
+    assert mean_warm <= mean_cold + 1e-9, (
+        f"warm-store routing lost quality: {mean_warm} vs {mean_cold}"
+    )
+    assert warm_s <= cold_s, (
+        f"warm-store restart ({warm_s:.2f}s) should beat the cold run ({cold_s:.2f}s)"
+    )

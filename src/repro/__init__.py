@@ -25,11 +25,12 @@ From Theory to Opportunities* (ICDE 2024).  The library ships:
   Problem -> QUBO -> Backend -> Result pipeline on any registered engine.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.api import (
     AdaptiveScheduler,
     BackendScoreboard,
+    EngineStore,
     ExecutionPlan,
     Problem,
     ResultCache,
@@ -76,4 +77,5 @@ __all__ = [
     "solve_many",
     "AdaptiveScheduler",
     "BackendScoreboard",
+    "EngineStore",
 ]

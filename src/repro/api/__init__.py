@@ -46,11 +46,14 @@ from repro.api.result import SolveResult
 from repro.engine import (
     AdaptiveScheduler,
     BackendScoreboard,
+    EngineStore,
     ExecutionPlan,
     ResultCache,
     compile_plan,
     execute_plan,
+    engine_store,
     list_executors,
+    resolve_store,
 )
 
 __all__ = [
@@ -84,6 +87,9 @@ __all__ = [
     "ResultCache",
     "AdaptiveScheduler",
     "BackendScoreboard",
+    "EngineStore",
+    "engine_store",
+    "resolve_store",
     "compile_plan",
     "execute_plan",
     "list_executors",

@@ -58,6 +58,7 @@ def solve(
     refine: bool = True,
     top_k: int = DEFAULT_TOP_K,
     cache: "Any | None" = None,
+    store: "Any | None" = None,
     **backend_opts,
 ) -> SolveResult:
     """Solve one problem end to end on one backend.
@@ -83,6 +84,13 @@ def solve(
             by name *and* ``seed`` is an integer (otherwise the result is
             not content-addressable); hits are byte-equivalent to a re-run
             and are flagged in ``info["engine"]["cache_hit"]``.
+        store: ``None`` (consult the ``REPRO_STORE`` environment variable),
+            ``False`` (off), a path, or an
+            :class:`~repro.engine.store.EngineStore` — the durable SQLite
+            tier of ``docs/engine.md``.  Adds a cross-process shared cache
+            layer under ``cache`` (enabling caching if it was off) and
+            records the solve's outcome into the durable scoreboard so
+            routing knowledge survives restarts.
         **backend_opts: Forwarded to the backend factory (e.g.
             ``num_reads=32`` for ``"sa"``, ``num_layers=3`` for ``"qaoa"``).
     """
@@ -96,6 +104,7 @@ def solve(
         refine,
         top_k,
         cache=cache,
+        store=store,
     )
 
 
@@ -108,6 +117,7 @@ def solve_portfolio(
     backend_opts: "Mapping[str, dict] | None" = None,
     deadline_s: "float | None" = None,
     scheduler: "AdaptiveScheduler | None" = None,
+    store: "Any | None" = None,
 ) -> SolveResult:
     """Race several backends on one instance; return the best result.
 
@@ -134,6 +144,10 @@ def solve_portfolio(
             (epsilon-greedy swap-ins keep colder backends measured).  All
             raced outcomes feed the scoreboard; contenders must then be
             registry names.
+        store: Durable store spelling (see :func:`solve`).  Every
+            contender's outcome is recorded into the durable scoreboard;
+            with a scheduler, its scoreboard is additionally hydrated from
+            the store so ranking starts warm.
     """
     if scheduler is not None:
         return run_portfolio_scheduled(
@@ -145,6 +159,7 @@ def solve_portfolio(
             top_k=top_k,
             backend_opts=backend_opts,
             deadline_s=deadline_s,
+            store=store,
         )
     return run_portfolio(
         as_problem(problem),
@@ -154,6 +169,7 @@ def solve_portfolio(
         top_k=top_k,
         backend_opts=backend_opts,
         deadline_s=deadline_s,
+        store=store,
     )
 
 
@@ -167,6 +183,7 @@ def solve_many(
     cache: "Any | None" = None,
     max_shard_size: "int | None" = None,
     scheduler: "AdaptiveScheduler | None" = None,
+    store: "Any | None" = None,
     **backend_opts,
 ) -> list[SolveResult]:
     """Solve a batch of problems, sharded by QUBO structure.
@@ -214,6 +231,12 @@ def solve_many(
             for a fixed scheduler state.  In scheduled mode
             ``**backend_opts`` is portfolio-style — per-backend factory
             dicts keyed by name, e.g. ``sa={"num_reads": 64}``.
+        store: Durable store spelling (see :func:`solve`).  Results flow
+            through the store's cross-process cache tier, the batch's
+            telemetry is recorded into the durable scoreboard at the batch
+            boundary, and in scheduled mode the routed shards' structure
+            signatures are prefetched from the store before dispatch (see
+            the "Durable store" section of ``docs/engine.md``).
         **backend_opts: Forwarded to the backend factory, once per shard
             (unscheduled mode), or per-backend option dicts keyed by
             registry name (scheduled mode).
@@ -231,6 +254,7 @@ def solve_many(
             cache=cache,
             max_shard_size=max_shard_size,
             backend_opts=backend_opts,
+            store=store,
         )
     if not isinstance(backend, (str, Backend)):
         raise ReproError(
@@ -247,4 +271,5 @@ def solve_many(
         cache=cache,
         max_shard_size=max_shard_size,
         backend_opts=backend_opts,
+        store=store,
     )

@@ -10,6 +10,8 @@ under it, split into three pieces that compose::
     ResultCache                                  # cache.py     — what to skip
     AdaptiveScheduler / BackendScoreboard        # scheduler.py — where to run it
         (telemetry-driven shard routing + route-then-race-top-k portfolios)
+    EngineStore                                  # store.py     — what survives
+        (durable SQLite tier: scoreboard checkpoints + shared result cache)
 
 The design invariants, relied on throughout:
 
@@ -53,6 +55,14 @@ from repro.engine.scheduler import (
     run_portfolio_scheduled,
     solve_batch_scheduled,
 )
+from repro.engine.store import (
+    EngineStore,
+    ScoreboardStore,
+    SharedCacheTier,
+    engine_store,
+    resolve_store,
+    store_bound_cache,
+)
 
 __all__ = [
     "ResultCache",
@@ -83,4 +93,10 @@ __all__ = [
     "RoutingDecision",
     "solve_batch_scheduled",
     "run_portfolio_scheduled",
+    "EngineStore",
+    "ScoreboardStore",
+    "SharedCacheTier",
+    "engine_store",
+    "resolve_store",
+    "store_bound_cache",
 ]

@@ -7,13 +7,18 @@ fingerprint is a canonical content hash (see
 stream, a hit is byte-equivalent to re-running the solve — which is what
 lets the engine skip dispatch entirely on repeated workloads.
 
-Two storage tiers:
+Three storage tiers:
 
 * an in-memory LRU of pickled blobs (pickling on ``put`` / unpickling on
   ``get`` gives every caller an independent copy, so mutating a returned
   result can never corrupt the cache);
 * an optional on-disk store (one file per key under ``directory``) so
-  worker *processes* and later sessions share hits.
+  worker *processes* and later sessions share hits;
+* an optional durable shared tier (a
+  :class:`~repro.engine.store.SharedCacheTier` via ``store=``) — a
+  SQLite-backed cross-process layer with LRU-by-last-access eviction
+  under a byte budget and a structure-signature index that
+  :meth:`ResultCache.prefetch` warms the memory LRU from.
 
 Cache hits must not perturb the RNG stream of neighbouring batch items.
 The engine guarantees this structurally: per-item child seeds are derived
@@ -49,30 +54,55 @@ class ResultCache:
         directory: Optional path for the cross-process tier.  Created on
             first ``put``.  Safe for concurrent writers: files are written
             to a temp name then atomically renamed.
+        store: Optional durable shared tier — a
+            :class:`~repro.engine.store.SharedCacheTier` or the
+            :class:`~repro.engine.store.EngineStore` that owns one.
+            Consulted after memory and directory miss; every ``put``
+            writes through with the entry's structure signature so
+            :meth:`prefetch` can warm by shard.
     """
 
-    def __init__(self, maxsize: int = 1024, directory: "str | os.PathLike | None" = None):
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        directory: "str | os.PathLike | None" = None,
+        store=None,
+    ):
         if maxsize < 1:
             raise ReproError("ResultCache maxsize must be >= 1")
         self.maxsize = maxsize
         self.directory = Path(directory) if directory is not None else None
+        if isinstance(store, (str, os.PathLike)):
+            from repro.engine.store import engine_store  # circular at module level
+
+            store = engine_store(store)
+        # Accept an EngineStore for convenience; hold its cache facet.
+        self.store = getattr(store, "cache", store)
+        if self.store is not None and not hasattr(self.store, "get"):
+            raise ReproError(
+                "ResultCache store must be an EngineStore, a SharedCacheTier, or a "
+                f"path; got {type(store).__name__}"
+            )
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
+        self._store_borrows = 0  # managed by repro.engine.store.store_bound_cache
 
     # -- core protocol ---------------------------------------------------------
 
     def get(self, key: str):
         """Return a fresh copy of the cached result, or ``None`` on a miss.
 
-        A disk entry that fails to unpickle (torn by a crash mid-write of a
-        pre-atomic cache version, truncated by a full disk, or corrupted
-        externally) is treated as a miss and evicted from both tiers — a
-        damaged entry must never surface as a result, and dropping it lets
-        the next ``put`` heal the cache.
+        A lower-tier entry that fails to unpickle (torn by a crash
+        mid-write of a pre-atomic cache version, truncated by a full disk,
+        or corrupted externally) is treated as a miss and evicted from
+        every tier — a damaged entry must never surface as a result, and
+        dropping it lets the next ``put`` heal the cache.
         """
-        from_disk = False
+        promote = False
+        from_store = False
         with self._lock:
             blob = self._entries.get(key)
             if blob is not None:
@@ -83,14 +113,17 @@ class ResultCache:
                 blob = path.read_bytes()
             except OSError:
                 blob = None
-            from_disk = blob is not None
+            promote = blob is not None
+        if blob is None and self.store is not None:
+            blob = self.store.get(key)
+            promote = from_store = blob is not None
         if blob is not None:
             try:
                 value = pickle.loads(blob)
             except Exception:
                 self._evict_corrupt(key)
                 blob = None
-        if blob is not None and from_disk:
+        if blob is not None and promote:
             with self._lock:
                 self._store_memory(key, blob)
         with self._lock:
@@ -98,9 +131,11 @@ class ResultCache:
                 self.misses += 1
                 return None
             self.hits += 1
+            if from_store:
+                self.store_hits += 1
         return value
 
-    def put(self, key: str, result) -> None:
+    def put(self, key: str, result, signature: "str | None" = None) -> None:
         """Store ``result`` under ``key`` (overwrites an existing entry).
 
         The disk tier is written crash- and race-safely: the blob goes to a
@@ -110,10 +145,16 @@ class ResultCache:
         final path.  Readers therefore see either the old complete entry or
         the new complete entry, never a torn one; a crash mid-write leaves
         at most a stray ``*.tmp`` file that no reader ever looks at.
+
+        ``signature`` (the producing shard's structure signature) is
+        recorded by the durable shared tier so :meth:`prefetch` can warm
+        the memory LRU by structure; the other tiers ignore it.
         """
         blob = pickle.dumps(result)
         with self._lock:
             self._store_memory(key, blob)
+        if self.store is not None:
+            self.store.put(key, blob, signature=signature)
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
             path = self._path(key)
@@ -135,11 +176,32 @@ class ResultCache:
                     pass
                 raise
 
+    def prefetch(self, signature: str) -> int:
+        """Warm the memory LRU with every stored entry for one structure.
+
+        The scheduler calls this the moment it routes a shard: any result
+        a sibling process already solved for this structure signature is
+        pulled out of the durable tier *before* dispatch, so the batch's
+        cache lookups hit memory instead of SQLite.  Returns the number of
+        entries warmed; a no-op (0) without a durable tier.  Prefetched
+        entries do not touch the hit/miss counters — they are staging, not
+        lookups.
+        """
+        if self.store is None or signature is None:
+            return 0
+        entries = self.store.entries_for(signature)
+        with self._lock:
+            for key, blob in entries:
+                self._store_memory(key, blob)
+        return len(entries)
+
     def __contains__(self, key: str) -> bool:
         with self._lock:
             if key in self._entries:
                 return True
-        return self.directory is not None and self._path(key).exists()
+        if self.directory is not None and self._path(key).exists():
+            return True
+        return self.store is not None and key in self.store
 
     def __len__(self) -> int:
         with self._lock:
@@ -155,12 +217,22 @@ class ResultCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.store_hits = 0
 
     @property
     def stats(self) -> dict:
-        """``{"hits": ..., "misses": ..., "entries": ...}`` snapshot."""
+        """``{"hits", "misses", "store_hits", "entries"}`` snapshot.
+
+        ``store_hits`` counts the subset of ``hits`` served by the durable
+        shared tier — the cross-process reuse the benchmarks report.
+        """
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "store_hits": self.store_hits,
+                "entries": len(self._entries),
+            }
 
     # -- internals -------------------------------------------------------------
 
@@ -171,7 +243,7 @@ class ResultCache:
             self._entries.popitem(last=False)
 
     def _evict_corrupt(self, key: str) -> None:
-        """Drop a damaged entry from both tiers (best-effort on disk)."""
+        """Drop a damaged entry from every tier (best-effort off-memory)."""
         with self._lock:
             self._entries.pop(key, None)
         if self.directory is not None:
@@ -179,6 +251,8 @@ class ResultCache:
                 os.unlink(self._path(key))
             except OSError:
                 pass
+        if self.store is not None:
+            self.store.evict(key)
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"

@@ -101,6 +101,11 @@ class ExecutionPlan:
             groups[item.shard].append(item)
         return groups
 
+    def shard_signature(self, shard: int) -> "str | None":
+        """The 16-hex structure key of one shard (scoreboard / store index)."""
+        signatures = self.meta.get("shard_signatures") or []
+        return signatures[shard] if 0 <= shard < len(signatures) else None
+
     @property
     def cacheable(self) -> bool:
         return self.backend_name is not None

@@ -312,7 +312,9 @@ def execute_plans(
             for item in plan.items:
                 result = results[item.index]
                 if not result.info.get("engine", {}).get("cache_hit"):
-                    store.put(item.cache_key, result)
+                    store.put(
+                        item.cache_key, result, signature=plan.shard_signature(item.shard)
+                    )
     return [results for _, results, _ in prepared]
 
 
@@ -335,8 +337,20 @@ def solve_batch(
     cache: "ResultCache | bool | str | None" = None,
     max_shard_size: "int | None" = None,
     backend_opts: "dict | None" = None,
+    store=None,
 ) -> list[SolveResult]:
-    """Compile + execute in one call (the engine behind ``repro.solve_many``)."""
+    """Compile + execute in one call (the engine behind ``repro.solve_many``).
+
+    With a durable ``store`` (a path, an
+    :class:`~repro.engine.store.EngineStore`, or ``None`` + ``REPRO_STORE``),
+    results flow through the store's shared cache tier and the batch's
+    telemetry is recorded into the durable scoreboard at the batch
+    boundary — so even unscheduled batches feed the routing knowledge a
+    later :class:`~repro.engine.scheduler.AdaptiveScheduler` hydrates.
+    """
+    from repro.engine.store import resolve_store, store_bound_cache
+
+    store = resolve_store(store)
     plan = compile_plan(
         problems,
         backend,
@@ -346,7 +360,15 @@ def solve_batch(
         backend_opts=backend_opts,
         max_shard_size=max_shard_size,
     )
-    return execute_plan(plan, executor=executor, cache=cache)
+    with store_bound_cache(cache, store) as bound:
+        results = execute_plan(plan, executor=executor, cache=bound)
+    if store is not None:
+        from repro.engine.store import record_best_effort
+
+        record_best_effort(
+            lambda: store.scoreboard.record_results(results), "batch telemetry record"
+        )
+    return results
 
 
 def solve_single(
@@ -358,6 +380,7 @@ def solve_single(
     refine: bool,
     top_k: int,
     cache: "ResultCache | bool | str | None" = None,
+    store=None,
 ) -> SolveResult:
     """One solve with optional caching (the engine behind ``repro.solve``).
 
@@ -366,21 +389,60 @@ def solve_single(
     addressed, and an instance backend's caches make its output depend on
     call history.  The key uses an empty shard history, so it is shared
     with shard-leader batch items of the same fingerprint/opts/seed.
+
+    A durable ``store`` adds its shared cache tier under the cache and
+    records the solve's outcome into the durable scoreboard (keyed by the
+    problem's structure signature) so single solves feed routing knowledge
+    too.
     """
-    store = resolve_cache(cache)
-    key = None
-    if store is not None and backend_name is not None and isinstance(seed, (int, np.integer)):
-        key = single_solve_cache_key(
-            problem.to_qubo().fingerprint(), backend_name, backend_opts, refine, top_k, int(seed)
+    from repro.engine.store import resolve_store, store_bound_cache
+
+    durable = resolve_store(store)
+    signature = None
+    if durable is not None:
+        from repro.api.problem import qubo_signature
+        from repro.engine.plan import signature_key
+
+        signature = signature_key(qubo_signature(problem.to_qubo()))
+    with store_bound_cache(cache, durable) as cache_store:
+        key = None
+        if (
+            cache_store is not None
+            and backend_name is not None
+            and isinstance(seed, (int, np.integer))
+        ):
+            key = single_solve_cache_key(
+                problem.to_qubo().fingerprint(), backend_name, backend_opts, refine,
+                top_k, int(seed),
+            )
+            hit = cache_store.get(key)
+            if hit is not None:
+                hit.info.setdefault("engine", {})["cache_hit"] = True
+                if durable is not None:
+                    from repro.engine.store import record_best_effort
+
+                    record_best_effort(
+                        lambda: durable.scoreboard.record(
+                            [("observe", hit.method, signature, hit.objective,
+                              hit.wall_time, True)]
+                        ),
+                        "solve telemetry record",
+                    )
+                return hit
+        result = solve_one(problem, backend, ensure_rng(seed), refine, top_k)
+        if key is not None:
+            result.info.setdefault("engine", {})["cache_hit"] = False
+            cache_store.put(key, result, signature=signature)
+    if durable is not None:
+        from repro.engine.store import record_best_effort
+
+        record_best_effort(
+            lambda: durable.scoreboard.record(
+                [("observe", result.method, signature, result.objective,
+                  result.wall_time, False)]
+            ),
+            "solve telemetry record",
         )
-        hit = store.get(key)
-        if hit is not None:
-            hit.info.setdefault("engine", {})["cache_hit"] = True
-            return hit
-    result = solve_one(problem, backend, ensure_rng(seed), refine, top_k)
-    if key is not None:
-        result.info.setdefault("engine", {})["cache_hit"] = False
-        store.put(key, result)
     return result
 
 
@@ -395,6 +457,7 @@ def run_portfolio(
     top_k: int = 8,
     backend_opts: "dict | None" = None,
     deadline_s: "float | None" = None,
+    store=None,
 ) -> SolveResult:
     """Race several backends on one instance; return the best finisher.
 
@@ -482,4 +545,17 @@ def run_portfolio(
         "completed": len(completed),
         "raced": deadline_s is not None,
     }
+    from repro.engine.store import record_best_effort, resolve_store
+
+    durable = resolve_store(store)
+    if durable is not None:
+        from repro.api.problem import qubo_signature
+        from repro.engine.plan import signature_key
+
+        record_best_effort(
+            lambda: durable.scoreboard.record_portfolio(
+                best, signature=signature_key(qubo_signature(problem.to_qubo()))
+            ),
+            "portfolio telemetry record",
+        )
     return best

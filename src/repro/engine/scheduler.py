@@ -98,14 +98,100 @@ class BackendScoreboard:
     :func:`~repro.engine.plan.signature_key`).  Every observation also
     updates a backend-global aggregate (signature ``None``) so routing has
     a fallback for structures the exact pair has never seen.
+
+    With a durable store bound (``store=`` or :meth:`bind_store`), the
+    scoreboard hydrates its statistics from the store on binding and keeps
+    the raw observations it makes afterwards; :meth:`flush` replays them
+    into the store — the same EWMA arithmetic in the same order, so for a
+    single writer the stored statistics are byte-identical to the live
+    ones and a freshly hydrated scoreboard routes exactly like the
+    instance that produced it.
     """
 
-    def __init__(self, alpha: float = 0.25):
+    def __init__(self, alpha: float = 0.25, store=None):
         if not 0.0 < alpha <= 1.0:
             raise ReproError("scoreboard alpha must be in (0, 1]")
         self.alpha = alpha
         self._stats: "dict[tuple[str, str | None], BackendStats]" = {}
         self._lock = threading.Lock()
+        self._store = None
+        self._pending: list[tuple] = []
+        if store is not None:
+            self.bind_store(store)
+
+    # -- durability ------------------------------------------------------------
+
+    @property
+    def store(self):
+        """The bound :class:`~repro.engine.store.EngineStore`, if any."""
+        return self._store
+
+    def bind_store(self, store, hydrate: bool = True) -> None:
+        """Bind a durable store, hydrating stats the scoreboard lacks.
+
+        Hydration never overwrites a pair already observed in memory (live
+        statistics are fresher than the checkpoint they were hydrated
+        from).  Re-binding the same store is a no-op; binding a different
+        one is an error — the pending observations would be replayed into
+        a store that never saw the baseline they extend.
+        """
+        from repro.engine.store import resolve_store
+
+        resolved = resolve_store(store)
+        if resolved is None:
+            return
+        with self._lock:
+            if self._store is not None:
+                # Two handles on one file are the same store; keep the bound
+                # handle (its pending observations extend its baseline).
+                if self._store.path.resolve() == resolved.path.resolve():
+                    return
+                raise ReproError("scoreboard is already bound to a different EngineStore")
+            self._store = resolved
+            if hydrate:
+                for key, stats in resolved.scoreboard.load().items():
+                    self._stats.setdefault(key, stats)
+
+    def flush(self) -> int:
+        """Replay observations made since the last flush into the store.
+
+        Returns the number of observations written (0 when no store is
+        bound or nothing is pending).  Called at batch boundaries by the
+        scheduled execution paths; a crash before a flush loses at most
+        that batch's delta, never the store's integrity.  A *failed* write
+        (disk full, lock timeout) re-queues the drained observations, so a
+        later flush retries them instead of losing the delta.
+        """
+        with self._lock:
+            store, pending = self._store, self._pending
+            self._pending = []
+        if store is None or not pending:
+            return 0
+        try:
+            return store.scoreboard.record(pending, alpha=self.alpha)
+        except BaseException:
+            with self._lock:
+                self._pending = pending + self._pending
+            raise
+
+    def discard_pending(self) -> int:
+        """Drop unflushed observations (the ``store=False`` opt-out).
+
+        The live statistics keep them — only the durable replay log is
+        emptied, so the next :meth:`flush` writes nothing for the
+        discarded batch.  Returns how many observations were dropped.
+
+        The log is shared, so this drops *everything* unflushed.  That is
+        exact under the scheduler's contract — a scheduler is driven by
+        one call at a time (concurrent scheduled calls would already race
+        its routing RNG and break determinism), and every scheduled call
+        flushes at its batch boundary, so the pending log only ever holds
+        the current call's delta.
+        """
+        with self._lock:
+            dropped = len(self._pending)
+            self._pending = []
+        return dropped
 
     # -- feeding ---------------------------------------------------------------
 
@@ -116,6 +202,10 @@ class BackendScoreboard:
             for key in {(backend, signature), (backend, None)}:
                 self._stats.setdefault(key, BackendStats()).observe(
                     objective, wall_time, self.alpha, cache_hit=cache_hit
+                )
+            if self._store is not None:
+                self._pending.append(
+                    ("observe", backend, signature, objective, wall_time, cache_hit)
                 )
 
     def observe_result(self, result: "SolveResult") -> None:
@@ -132,35 +222,32 @@ class BackendScoreboard:
     def observe_portfolio(self, result: "SolveResult", signature: "str | None" = None) -> None:
         """Feed every contender of an ``info["portfolio"]`` breakdown.
 
-        Completed contenders contribute quality and latency; contenders
-        marked ``"deadline_exceeded"`` count as timeouts with a latency
-        observation at the deadline itself — a floor on what they would
-        have cost, which is exactly the pessimism deadline routing needs.
-        Contenders marked ``"error"`` count as errors: the entry exists (so
-        the backend is no longer "cold" and does not get re-prioritised on
-        every call) but contributes no quality, which ranks it behind every
-        backend that ever produced a result.
+        The status → observation mapping lives in one place —
+        :func:`~repro.engine.store.portfolio_observations` — shared with
+        the durable :class:`~repro.engine.store.ScoreboardStore`, so live
+        and stored statistics apply identical semantics (completed →
+        quality + latency; deadline-exceeded → timeout with a latency
+        floor at the deadline; error → seen-but-ranked-last).
         """
-        entries = result.info.get("portfolio")
-        if not entries:
-            return
-        deadline = (result.info.get("portfolio_meta") or {}).get("deadline_s")
-        for entry in entries:
-            if entry is None:
+        from repro.engine.store import portfolio_observations
+
+        for op in portfolio_observations(result, signature=signature):
+            if op[0] == "observe":
+                self.observe(op[1], op[2], op[3], op[4], cache_hit=op[5])
                 continue
-            status = entry.get("status")
-            if status == "completed":
-                self.observe(entry["method"], signature, entry["objective"], entry["wall_time"])
-            elif status in ("deadline_exceeded", "error"):
-                with self._lock:
-                    for key in {(entry["method"], signature), (entry["method"], None)}:
-                        stats = self._stats.setdefault(key, BackendStats())
-                        if status == "error":
-                            stats.errors += 1
-                        else:
-                            stats.timeouts += 1
-                            if deadline is not None:
-                                stats.observe(math.nan, deadline, self.alpha)
+            kind, backend, sig = op[0], op[1], op[2]
+            deadline = op[3] if kind == "timeout" else None
+            with self._lock:
+                for key in {(backend, sig), (backend, None)}:
+                    stats = self._stats.setdefault(key, BackendStats())
+                    if kind == "error":
+                        stats.errors += 1
+                    else:
+                        stats.timeouts += 1
+                        if deadline is not None:
+                            stats.observe(math.nan, deadline, self.alpha)
+                if self._store is not None:
+                    self._pending.append(op)
 
     # -- reading ---------------------------------------------------------------
 
@@ -214,6 +301,13 @@ class AdaptiveScheduler:
     The scheduler owns a seeded RNG, so for a fixed seed and observation
     history its routing is deterministic — which keeps scheduled batches
     reproducible across executors.
+
+    ``store=`` (a path or :class:`~repro.engine.store.EngineStore`) makes
+    the routing knowledge durable: the scoreboard hydrates from the store
+    on construction — so a fresh scheduler starts warm and, for the same
+    stored history, routes exactly like the long-lived instance that wrote
+    it — and the scheduled execution paths flush new observations back at
+    every batch boundary.
     """
 
     def __init__(
@@ -225,12 +319,17 @@ class AdaptiveScheduler:
         race_top_k: int = 2,
         alpha: float = 0.25,
         quality_tol: float = 1e-9,
+        store=None,
     ):
         if not 0.0 <= epsilon <= 1.0:
             raise ReproError("epsilon must be in [0, 1]")
         if race_top_k < 1:
             raise ReproError("race_top_k must be >= 1")
-        self.scoreboard = scoreboard if scoreboard is not None else BackendScoreboard(alpha=alpha)
+        if scoreboard is not None and store is not None:
+            scoreboard.bind_store(store)
+        self.scoreboard = (
+            scoreboard if scoreboard is not None else BackendScoreboard(alpha=alpha, store=store)
+        )
         self.epsilon = epsilon
         self.deadline_s = deadline_s
         self.race_top_k = race_top_k
@@ -353,6 +452,7 @@ def solve_batch_scheduled(
     cache=None,
     max_shard_size: "int | None" = None,
     backend_opts: "dict | None" = None,
+    store=None,
 ) -> list:
     """Route each shard of a batch to a scoreboard-chosen backend.
 
@@ -368,7 +468,25 @@ def solve_batch_scheduled(
 
     ``backend_opts`` is portfolio-style: per-backend factory options keyed
     by registry name, e.g. ``{"sa": {"num_reads": 64}}``.
+
+    With a durable ``store`` (resolved through
+    :func:`~repro.engine.store.resolve_store`, so ``REPRO_STORE`` applies),
+    the scheduler's scoreboard is bound to it (hydrating any pairs it
+    lacks), routed shards' structure signatures are prefetched from the
+    shared cache tier into the in-memory LRU before dispatch, and the
+    batch's observations are flushed back at the batch boundary.  An
+    explicit ``store=False`` suppresses durable recording for this call
+    even when the scheduler's scoreboard is store-bound: the batch's
+    observations still feed the live scoreboard but are discarded instead
+    of flushed.
     """
+    from repro.engine.store import resolve_store, store_bound_cache
+
+    durable_off = store is False
+    store = resolve_store(store)
+    if store is not None:
+        scheduler.scoreboard.bind_store(store)
+
     names = _candidate_names(backends)
     opts_map = _validated_opts_map(backend_opts, names)
 
@@ -398,9 +516,17 @@ def solve_batch_scheduled(
             routed.append((name, subplan, local_to_global))
 
     results: list = [None] * len(plan.items)
-    all_results = execute_plans(
-        [subplan for _, subplan, _ in routed], executor=executor, cache=cache
-    )
+    with store_bound_cache(cache, store) as bound:
+        # Scheduler-aware prefetch: the routing step just named the
+        # structures this batch will touch, so any results a sibling
+        # process has already stored for them are warmed into the memory
+        # LRU before dispatch.
+        if bound is not None and bound.store is not None:
+            for signature in dict.fromkeys(signatures):
+                bound.prefetch(signature)
+        all_results = execute_plans(
+            [subplan for _, subplan, _ in routed], executor=executor, cache=bound
+        )
     for (name, _, local_to_global), sub_results in zip(routed, all_results):
         for local_index, result in enumerate(sub_results):
             global_index, global_shard = local_to_global[local_index]
@@ -414,6 +540,12 @@ def solve_batch_scheduled(
             results[global_index] = result
 
     scheduler.observe_batch(results)
+    if durable_off:
+        scheduler.scoreboard.discard_pending()
+    else:
+        from repro.engine.store import record_best_effort
+
+        record_best_effort(scheduler.scoreboard.flush, "scoreboard flush")
     return results
 
 
@@ -470,6 +602,7 @@ def run_portfolio_scheduled(
     backend_opts: "dict | None" = None,
     deadline_s: "float | None" = None,
     race_top_k: "int | None" = None,
+    store=None,
 ):
     """Race only the scoreboard's top-k backends instead of everyone.
 
@@ -480,9 +613,18 @@ def run_portfolio_scheduled(
     sampling backends that looked bad early.  Every contender's outcome is
     fed back before returning, and the winner's
     ``info["portfolio_meta"]["scheduler"]`` records the ranking, the raced
-    subset, and the exploration flag.
+    subset, and the exploration flag.  A durable ``store`` binds the
+    scoreboard (hydrating it) and flushes the raced outcomes back; an
+    explicit ``store=False`` keeps this call out of a bound scoreboard's
+    durable log (observations feed the live scoreboard only).
     """
     from repro.api.problem import qubo_signature
+    from repro.engine.store import resolve_store
+
+    durable_off = store is False
+    store = resolve_store(store)
+    if store is not None:
+        scheduler.scoreboard.bind_store(store)
 
     names = _candidate_names(backends)
     opts_map = _validated_opts_map(backend_opts, names)
@@ -509,8 +651,18 @@ def run_portfolio_scheduled(
         top_k=top_k,
         backend_opts={n: opts_map[n] for n in raced if n in opts_map},
         deadline_s=deadline_s,
+        # The scheduled path records through the scoreboard flush below;
+        # store=False stops run_portfolio re-resolving REPRO_STORE and
+        # recording every contender a second time.
+        store=False,
     )
     scheduler.observe_portfolio(result, signature=signature)
+    if durable_off:
+        scheduler.scoreboard.discard_pending()
+    else:
+        from repro.engine.store import record_best_effort
+
+        record_best_effort(scheduler.scoreboard.flush, "scoreboard flush")
     result.info.setdefault("portfolio_meta", {})["scheduler"] = {
         "signature": signature,
         "ranked": ranked,

@@ -1,0 +1,607 @@
+"""Durable engine knowledge: a SQLite-backed store for routing + results.
+
+The engine learns two expensive things while it runs: *where* to route work
+(the :class:`~repro.engine.scheduler.BackendScoreboard`'s per-``(backend,
+structure-signature)`` quality/latency statistics) and *what* it has already
+solved (the content-addressed :class:`~repro.engine.cache.ResultCache`
+entries).  Both die with the process, so every new session relearns routing
+from cold and re-solves work a sibling process finished minutes ago.  This
+module makes that knowledge durable:
+
+* :class:`EngineStore` — one SQLite file (WAL mode, safe for concurrent
+  processes) holding both facets; every operation opens a short-lived
+  connection and runs in one transaction, so readers never see a torn
+  write and a crash mid-batch loses at most that batch's delta.
+* :class:`ScoreboardStore` — checkpoints/restores scoreboard statistics.
+  Writers record their *observations* (not their merged stats) and the
+  store replays them into the stored rows with the same EWMA arithmetic
+  the in-memory scoreboard uses.  A single writer therefore round-trips
+  **exactly** — a fresh scoreboard hydrated from the store carries the
+  byte-identical statistics of the long-lived instance that produced it —
+  while concurrent writers merge by observation count: every process's
+  observations land, counts and tallies add, and the EWMA fields converge
+  to the interleaved history.
+* :class:`SharedCacheTier` — a cross-process result tier that slots under
+  :class:`~repro.engine.cache.ResultCache` with the same
+  ``(fingerprint, backend, opts, seed, shard-prefix)`` keying.  Upserts
+  are atomic (one ``INSERT OR REPLACE`` per entry), eviction is
+  LRU-by-last-access under a byte budget, and entries are indexed by
+  structure signature so the scheduler can prefetch a shard's stored
+  results into the in-memory LRU the moment it routes the shard.
+
+``resolve_store`` accepts the same spelling family as ``resolve_cache``:
+``None`` consults the ``REPRO_STORE`` environment variable, ``False``
+disables the store even when the variable is set, a path opens (and
+memoises) a store there, and a ready :class:`EngineStore` passes through.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+import sqlite3
+import threading
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.engine.cache import ResultCache, resolve_cache
+from repro.exceptions import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; runtime imports are lazy
+    from repro.api.result import SolveResult
+    from repro.engine.scheduler import BackendStats
+
+#: EWMA smoothing used when recording observations without a scoreboard
+#: (mirrors the ``BackendScoreboard`` default so direct and scheduled
+#: recording produce the same arithmetic).
+DEFAULT_ALPHA = 0.25
+
+#: Default byte budget for the shared cache tier (LRU-by-last-access).
+DEFAULT_CACHE_BUDGET = 256 * 1024 * 1024
+
+#: Environment variable consulted by ``resolve_store(None)``.
+STORE_ENV_VAR = "REPRO_STORE"
+
+#: ``signature`` column value for the backend-global aggregate row
+#: (SQLite primary keys cannot contain NULL).
+_GLOBAL_SIG = ""
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS scoreboard (
+    backend        TEXT    NOT NULL,
+    signature      TEXT    NOT NULL,
+    count          INTEGER NOT NULL,
+    quality        REAL,
+    latency        REAL,
+    best_objective REAL,
+    cache_hits     INTEGER NOT NULL,
+    timeouts       INTEGER NOT NULL,
+    errors         INTEGER NOT NULL,
+    PRIMARY KEY (backend, signature)
+);
+CREATE TABLE IF NOT EXISTS results (
+    key        TEXT    PRIMARY KEY,
+    blob       BLOB    NOT NULL,
+    signature  TEXT,
+    nbytes     INTEGER NOT NULL,
+    access_seq INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS results_by_signature ON results(signature);
+CREATE INDEX IF NOT EXISTS results_by_access ON results(access_seq);
+"""
+
+
+def _to_column(value: float) -> "float | None":
+    """NaN/±inf have no SQLite literal; store them as NULL."""
+    return None if (value is None or math.isnan(value) or math.isinf(value)) else float(value)
+
+
+def record_best_effort(action, description: str) -> None:
+    """Run a durable-telemetry write, downgrading failure to a warning.
+
+    Every caller sits *after* a batch's results exist.  Losing a
+    scoreboard delta is recoverable (the routing knowledge is simply
+    relearned); destroying an entire computed batch because a telemetry
+    checkpoint hit a full disk or a lock timeout is not — so the write is
+    attempted, and failure warns instead of raising.
+    """
+    try:
+        action()
+    except Exception as exc:
+        warnings.warn(
+            f"durable store {description} failed (results are unaffected): {exc!r}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
+def portfolio_observations(result, signature: "str | None" = None) -> list[tuple]:
+    """Translate an ``info["portfolio"]`` breakdown into observation ops.
+
+    The single source of the status → observation mapping: both the live
+    :meth:`~repro.engine.scheduler.BackendScoreboard.observe_portfolio`
+    and the durable :meth:`ScoreboardStore.record_portfolio` feed from it,
+    so live and stored statistics cannot drift apart when a status or its
+    semantics change.  Completed contenders observe quality + latency;
+    ``deadline_exceeded`` counts a timeout with a latency observation at
+    the deadline itself (the pessimism floor deadline routing needs);
+    ``error`` counts an error and nothing else, which leaves the backend
+    "seen" but ranked behind everyone that ever produced a result.
+    """
+    entries = result.info.get("portfolio")
+    if not entries:
+        return []
+    deadline = (result.info.get("portfolio_meta") or {}).get("deadline_s")
+    observations = []
+    for entry in entries:
+        if entry is None:
+            continue
+        status = entry.get("status")
+        if status == "completed":
+            observations.append(
+                ("observe", entry["method"], signature, entry["objective"],
+                 entry["wall_time"], False)
+            )
+        elif status == "deadline_exceeded":
+            observations.append(("timeout", entry["method"], signature, deadline))
+        elif status == "error":
+            observations.append(("error", entry["method"], signature))
+    return observations
+
+
+class EngineStore:
+    """One durable SQLite file holding scoreboard stats and cached results.
+
+    Every operation opens a short-lived connection (WAL journal, busy
+    timeout) and commits one transaction, so any number of processes can
+    share the file: SQLite serialises the writers and readers always see a
+    complete snapshot.  The two facets are exposed as :attr:`scoreboard`
+    (a :class:`ScoreboardStore`) and :attr:`cache` (a
+    :class:`SharedCacheTier`).
+
+    Args:
+        path: The database file; parent directories are created.
+        cache_budget_bytes: LRU eviction threshold for the result tier.
+        alpha: EWMA smoothing for observations recorded without a
+            scoreboard (scoreboard-driven recording uses the scoreboard's
+            own alpha).
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike",
+        cache_budget_bytes: int = DEFAULT_CACHE_BUDGET,
+        alpha: float = DEFAULT_ALPHA,
+    ):
+        if cache_budget_bytes < 1:
+            raise ReproError("EngineStore cache_budget_bytes must be >= 1")
+        if not 0.0 < alpha <= 1.0:
+            raise ReproError("EngineStore alpha must be in (0, 1]")
+        self.path = Path(path)
+        self.cache_budget_bytes = int(cache_budget_bytes)
+        self.alpha = alpha
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connection() as conn:
+            conn.executescript(_SCHEMA)
+        self.scoreboard = ScoreboardStore(self)
+        self.cache = SharedCacheTier(self)
+
+    @contextlib.contextmanager
+    def _connection(self):
+        """A short-lived connection wrapping one committed transaction."""
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            yield conn
+            conn.commit()
+        except BaseException:
+            conn.rollback()
+            raise
+        finally:
+            conn.close()
+
+    def checkpoint(self) -> None:
+        """Fold the WAL back into the main file (e.g. before copying it)."""
+        with self._connection() as conn:
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def integrity_ok(self) -> bool:
+        """Run SQLite's integrity check (used by the concurrency tests)."""
+        with self._connection() as conn:
+            row = conn.execute("PRAGMA integrity_check").fetchone()
+        return row is not None and row[0] == "ok"
+
+    def stats(self) -> dict:
+        """Row counts and result-tier byte totals (telemetry/benchmarks)."""
+        with self._connection() as conn:
+            pairs = conn.execute("SELECT COUNT(*) FROM scoreboard").fetchone()[0]
+            entries, nbytes = conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(nbytes), 0) FROM results"
+            ).fetchone()
+        return {
+            "scoreboard_pairs": pairs,
+            "cache_entries": entries,
+            "cache_bytes": nbytes,
+            "cache_budget_bytes": self.cache_budget_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EngineStore({str(self.path)!r})"
+
+
+# -- scoreboard facet --------------------------------------------------------
+
+
+class ScoreboardStore:
+    """Durable ``(backend, structure-signature)`` statistics.
+
+    The write API is *observation replay*: callers hand over the raw
+    observations (solves, timeouts, errors) and the store applies them to
+    the stored rows inside one transaction, using
+    :meth:`~repro.engine.scheduler.BackendStats.observe` — the same
+    arithmetic, in the same order, the in-memory scoreboard ran.  Replay is
+    what makes the round-trip exact for a single writer and a well-defined
+    count-weighted interleave for concurrent ones; checkpointing *merged*
+    statistics instead would double-count every re-flush.
+
+    Observation tuples (see :meth:`record`):
+
+    * ``("observe", backend, signature, objective, wall_time, cache_hit)``
+    * ``("timeout", backend, signature, deadline_s)``
+    * ``("error",   backend, signature)``
+
+    ``signature=None`` targets only the backend-global aggregate; a real
+    signature updates both the exact pair and the aggregate, mirroring
+    ``BackendScoreboard.observe``.
+    """
+
+    def __init__(self, store: EngineStore):
+        self._store = store
+
+    # -- writing ---------------------------------------------------------------
+
+    def record(self, observations: Iterable[tuple], alpha: "float | None" = None) -> int:
+        """Replay ``observations`` into the stored rows; returns the count.
+
+        One transaction: concurrent recorders serialise on the SQLite write
+        lock, so two processes flushing at once interleave whole batches
+        and every observation lands exactly once.
+        """
+        from repro.engine.scheduler import BackendStats
+
+        observations = list(observations)
+        if not observations:
+            return 0
+        alpha = self._store.alpha if alpha is None else alpha
+        with self._store._connection() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            loaded: "dict[tuple[str, str], BackendStats]" = {}
+
+            def stats_for(backend: str, signature: "str | None") -> BackendStats:
+                column = _GLOBAL_SIG if signature is None else signature
+                found = loaded.get((backend, column))
+                if found is None:
+                    row = conn.execute(
+                        "SELECT count, quality, latency, best_objective, cache_hits, "
+                        "timeouts, errors FROM scoreboard WHERE backend=? AND signature=?",
+                        (backend, column),
+                    ).fetchone()
+                    found = _row_to_stats(row) if row is not None else BackendStats()
+                    loaded[(backend, column)] = found
+                return found
+
+            for op in observations:
+                kind, backend, signature = op[0], op[1], op[2]
+                targets = {signature, None}
+                if kind == "observe":
+                    objective, wall_time, cache_hit = op[3], op[4], op[5]
+                    for target in targets:
+                        stats_for(backend, target).observe(
+                            objective, wall_time, alpha, cache_hit=cache_hit
+                        )
+                elif kind == "timeout":
+                    deadline = op[3]
+                    for target in targets:
+                        stats = stats_for(backend, target)
+                        stats.timeouts += 1
+                        if deadline is not None:
+                            stats.observe(math.nan, deadline, alpha)
+                elif kind == "error":
+                    for target in targets:
+                        stats_for(backend, target).errors += 1
+                else:
+                    raise ReproError(f"unknown scoreboard observation kind: {kind!r}")
+
+            conn.executemany(
+                "INSERT OR REPLACE INTO scoreboard "
+                "(backend, signature, count, quality, latency, best_objective, "
+                " cache_hits, timeouts, errors) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        backend,
+                        column,
+                        stats.count,
+                        _to_column(stats.quality),
+                        _to_column(stats.latency),
+                        _to_column(stats.best_objective),
+                        stats.cache_hits,
+                        stats.timeouts,
+                        stats.errors,
+                    )
+                    for (backend, column), stats in loaded.items()
+                ],
+            )
+        return len(observations)
+
+    def record_results(self, results: Sequence["SolveResult"]) -> int:
+        """Record engine-executed results from their ``info["engine"]`` blocks."""
+        return self.record(
+            [
+                (
+                    "observe",
+                    r.method,
+                    r.info.get("engine", {}).get("signature"),
+                    r.objective,
+                    r.wall_time,
+                    bool(r.info.get("engine", {}).get("cache_hit", False)),
+                )
+                for r in results
+                if r is not None
+            ]
+        )
+
+    def record_portfolio(self, result: "SolveResult", signature: "str | None" = None) -> int:
+        """Record every contender of an ``info["portfolio"]`` breakdown."""
+        return self.record(portfolio_observations(result, signature=signature))
+
+    # -- reading ---------------------------------------------------------------
+
+    def load(self) -> "dict[tuple[str, str | None], BackendStats]":
+        """Every stored pair as live :class:`BackendStats` (hydration feed)."""
+        with self._store._connection() as conn:
+            rows = conn.execute(
+                "SELECT backend, signature, count, quality, latency, best_objective, "
+                "cache_hits, timeouts, errors FROM scoreboard"
+            ).fetchall()
+        return {
+            (row[0], None if row[1] == _GLOBAL_SIG else row[1]): _row_to_stats(row[2:])
+            for row in rows
+        }
+
+    def snapshot(self) -> dict:
+        """``{(backend, signature): stats-dict}`` copy for telemetry/tests."""
+        return {key: stats.as_dict() for key, stats in self.load().items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ScoreboardStore({str(self._store.path)!r})"
+
+
+def _row_to_stats(row) -> "BackendStats":
+    from repro.engine.scheduler import BackendStats
+
+    count, quality, latency, best, cache_hits, timeouts, errors = row
+    return BackendStats(
+        count=count,
+        quality=math.nan if quality is None else quality,
+        latency=math.nan if latency is None else latency,
+        best_objective=math.inf if best is None else best,
+        cache_hits=cache_hits,
+        timeouts=timeouts,
+        errors=errors,
+    )
+
+
+# -- shared cache facet ------------------------------------------------------
+
+
+class SharedCacheTier:
+    """Cross-process content-addressed result blobs under a byte budget.
+
+    Slots beneath :class:`~repro.engine.cache.ResultCache` (its ``store=``
+    argument): the cache consults this tier after its memory and directory
+    tiers miss, and writes every ``put`` through.  Keys are the cache's own
+    ``(fingerprint, backend, opts, seed, shard-prefix)`` digests, so an
+    entry written by any process is a sound hit for every other.
+
+    * **atomic upserts** — one ``INSERT OR REPLACE`` per entry inside a
+      transaction; a crash never leaves a torn blob (SQLite rolls back).
+    * **LRU-by-last-access** — every ``get``/``put`` stamps a monotonically
+      increasing access sequence; when the tier exceeds the store's byte
+      budget the stalest entries are deleted first (never the one just
+      written, so a single oversized entry cannot thrash the tier empty).
+    * **signature index** — entries remember the structure signature of the
+      shard that produced them, which is what scheduler-aware prefetch
+      (:meth:`ResultCache.prefetch`) queries by.
+    """
+
+    def __init__(self, store: EngineStore):
+        self._store = store
+
+    def get(self, key: str) -> "bytes | None":
+        """The stored blob (touching its LRU stamp), or ``None`` on a miss.
+
+        A miss is a pure read — it never takes the SQLite write lock, so
+        concurrent processes' lookups stay WAL-parallel; only a hit pays
+        one single-statement write transaction to stamp the LRU sequence.
+        """
+        with self._store._connection() as conn:
+            row = conn.execute("SELECT blob FROM results WHERE key=?", (key,)).fetchone()
+            if row is None:
+                return None
+            conn.execute(
+                "UPDATE results SET access_seq="
+                "(SELECT COALESCE(MAX(access_seq), 0) + 1 FROM results) WHERE key=?",
+                (key,),
+            )
+            return row[0]
+
+    def put(self, key: str, blob: bytes, signature: "str | None" = None) -> None:
+        """Atomically upsert one entry, then evict LRU past the byte budget."""
+        with self._store._connection() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "INSERT OR REPLACE INTO results (key, blob, signature, nbytes, access_seq) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (key, blob, signature, len(blob), self._next_seq(conn)),
+            )
+            self._evict_over_budget(conn, keep=key)
+
+    def evict(self, key: str) -> None:
+        """Drop one entry (e.g. a blob that failed to unpickle)."""
+        with self._store._connection() as conn:
+            conn.execute("DELETE FROM results WHERE key=?", (key,))
+
+    def entries_for(self, signature: str) -> "list[tuple[str, bytes]]":
+        """All ``(key, blob)`` pairs stored for one structure signature.
+
+        A prefetch counts as an access: the whole signature group gets one
+        fresh LRU stamp (a single-statement write; nothing on an empty
+        group), so entries a scheduler keeps routing to are never the
+        eviction victims.
+        """
+        with self._store._connection() as conn:
+            rows = conn.execute(
+                "SELECT key, blob FROM results WHERE signature=? ORDER BY key", (signature,)
+            ).fetchall()
+            if rows:
+                conn.execute(
+                    "UPDATE results SET access_seq="
+                    "(SELECT COALESCE(MAX(access_seq), 0) + 1 FROM results) "
+                    "WHERE signature=?",
+                    (signature,),
+                )
+        return [(row[0], row[1]) for row in rows]
+
+    def __contains__(self, key: str) -> bool:
+        with self._store._connection() as conn:
+            row = conn.execute("SELECT 1 FROM results WHERE key=?", (key,)).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        with self._store._connection() as conn:
+            return conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def total_bytes(self) -> int:
+        with self._store._connection() as conn:
+            return conn.execute("SELECT COALESCE(SUM(nbytes), 0) FROM results").fetchone()[0]
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _next_seq(conn) -> int:
+        return conn.execute("SELECT COALESCE(MAX(access_seq), 0) + 1 FROM results").fetchone()[0]
+
+    def _evict_over_budget(self, conn, keep: str) -> None:
+        budget = self._store.cache_budget_bytes
+        total = conn.execute("SELECT COALESCE(SUM(nbytes), 0) FROM results").fetchone()[0]
+        if total <= budget:
+            return
+        victims = conn.execute(
+            "SELECT key, nbytes FROM results WHERE key != ? ORDER BY access_seq, key",
+            (keep,),
+        ).fetchall()
+        for key, nbytes in victims:
+            if total <= budget:
+                break
+            conn.execute("DELETE FROM results WHERE key=?", (key,))
+            total -= nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedCacheTier({str(self._store.path)!r})"
+
+
+# -- resolution --------------------------------------------------------------
+
+
+#: Memoised stores per resolved path, so ``store="path"`` / ``REPRO_STORE``
+#: reuse one instance (and its schema check) across calls.
+_OPEN_STORES: "dict[Path, EngineStore]" = {}
+_OPEN_LOCK = threading.Lock()
+
+
+def engine_store(path: "str | os.PathLike", **kwargs) -> EngineStore:
+    """The memoised :class:`EngineStore` for ``path`` (created on first use)."""
+    resolved = Path(path).expanduser().resolve()
+    with _OPEN_LOCK:
+        found = _OPEN_STORES.get(resolved)
+        if found is None:
+            found = EngineStore(resolved, **kwargs)
+            _OPEN_STORES[resolved] = found
+        return found
+
+
+def resolve_store(spec) -> "EngineStore | None":
+    """Normalise every accepted ``store=`` spelling to a store (or ``None``).
+
+    ``None`` consults the ``REPRO_STORE`` environment variable (unset means
+    no store), ``False`` disables the store even when the variable is set,
+    a path string / ``PathLike`` opens the memoised store there, and a
+    ready :class:`EngineStore` passes through.
+    """
+    if spec is False:
+        return None
+    if spec is None:
+        env = os.environ.get(STORE_ENV_VAR, "").strip()
+        if not env:
+            return None
+        spec = env
+    if isinstance(spec, EngineStore):
+        return spec
+    if isinstance(spec, (str, os.PathLike)):
+        return engine_store(spec)
+    raise ReproError(
+        f"store must be None/False, a path, or an EngineStore; got {type(spec).__name__}"
+    )
+
+
+@contextlib.contextmanager
+def store_bound_cache(cache, store: "EngineStore | None"):
+    """Resolve ``cache=`` with the store's shared tier attached *for the call*.
+
+    With no store this is plain :func:`~repro.engine.cache.resolve_cache`.
+    With a store, a disabled cache becomes a fresh store-backed
+    :class:`ResultCache` (a durable store is an explicit request for result
+    reuse); an enabled cache without a tier borrows the store's tier for
+    the duration of the block and is detached on exit — a caller's (or the
+    process-global) cache must not keep writing to a store the caller
+    stopped passing.  Entries promoted into the cache's memory tier during
+    the block stay (they are sound content-addressed results).  A cache
+    *constructed* around a different store is an error — silently rebinding
+    would serve one store's entries under the other's budget and stats.
+    """
+    resolved = resolve_cache(cache)
+    if store is None:
+        yield resolved
+        return
+    if resolved is None:
+        yield ResultCache(store=store.cache)
+        return
+    # Borrows are reference-counted under the cache's own lock: concurrent
+    # calls sharing one cache (e.g. the process-global ``cache=True``) and
+    # the same store each hold the tier until the *last* borrower exits —
+    # the first finisher must not detach it out from under the others.
+    with resolved._lock:
+        if resolved.store is not None:
+            if resolved.store._store.path.resolve() != store.path.resolve():
+                raise ReproError("cache is already bound to a different EngineStore")
+            borrowed = resolved._store_borrows > 0
+            if borrowed:
+                resolved._store_borrows += 1
+        else:
+            resolved.store = store.cache
+            resolved._store_borrows = 1
+            borrowed = True
+    if not borrowed:  # permanently bound at construction: nothing to manage
+        yield resolved
+        return
+    try:
+        yield resolved
+    finally:
+        with resolved._lock:
+            resolved._store_borrows -= 1
+            if resolved._store_borrows == 0:
+                resolved.store = None

@@ -46,7 +46,7 @@ class TestResultCacheStore:
         cache = ResultCache(directory=tmp_path / "store")
         cache.put("k", 1)
         cache.clear()
-        assert cache.stats == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache.stats == {"hits": 0, "misses": 0, "store_hits": 0, "entries": 0}
         assert cache.get("k") == 1  # reloaded from the disk tier
 
     def test_resolve_cache_spellings(self, tmp_path):

@@ -1,0 +1,471 @@
+"""EngineStore: durable scoreboard round-trips, shared cache tier, concurrency.
+
+The determinism bar mirrors the engine's: a fresh scheduler hydrated from
+the store must make the same routing decisions as the long-lived instance
+that produced it — across serial / threads / processes / async executors —
+and two processes hammering one store file must never corrupt it.
+"""
+
+import math
+import multiprocessing
+import shutil
+
+import pytest
+
+import repro
+from repro.api import MQOAdapter
+from repro.engine import (
+    AdaptiveScheduler,
+    BackendScoreboard,
+    EngineStore,
+    ResultCache,
+    engine_store,
+    resolve_store,
+    store_bound_cache,
+)
+from repro.engine.store import STORE_ENV_VAR
+from repro.exceptions import ReproError
+from repro.mqo import generate_mqo_problem
+
+FAST_SA = dict(num_reads=4, num_sweeps=40)
+CANDIDATES = ("sa", "tabu", "bruteforce")
+CANDIDATE_OPTS = {"sa": FAST_SA, "tabu": {"num_restarts": 2}}
+
+
+def _mqo(rng):
+    return MQOAdapter(generate_mqo_problem(3, 2, sharing_density=0.4, rng=rng))
+
+
+def _batch():
+    """Four items over three structure groups (rng 1 appears twice)."""
+    return [_mqo(r) for r in (1, 2, 1, 3)]
+
+
+def assert_stats_equal(a: dict, b: dict):
+    """Pairwise BackendStats equality with NaN-aware float comparison."""
+    assert set(a) == set(b)
+    for key in a:
+        da, db = a[key].as_dict(), b[key].as_dict()
+        for field in da:
+            va, vb = da[field], db[field]
+            if isinstance(va, float) and math.isnan(va):
+                assert isinstance(vb, float) and math.isnan(vb), (key, field)
+            else:
+                assert va == vb, (key, field)
+
+
+# -- module-level workers (pickled into forked processes) --------------------
+
+
+def _hammer_store(args):
+    """One writer process: interleave scoreboard batches and cache upserts."""
+    path, worker_id, rounds = args
+    store = EngineStore(path)
+    for i in range(rounds):
+        store.scoreboard.record(
+            [("observe", "sa", "sig-shared", float(i % 3), 0.01, False)]
+        )
+        store.cache.put(f"key-{worker_id}-{i}", b"x" * 64, signature="sig-shared")
+    return worker_id
+
+
+def _cold_process_decisions(args):
+    """A cold process: hydrate a fresh scheduler from the store and route."""
+    path, candidates, signatures = args
+    scheduler = AdaptiveScheduler(epsilon=0.0, seed=0, store=path)
+    return [scheduler.choose(sig, list(candidates)).backend for sig in signatures]
+
+
+@pytest.fixture
+def fork_pool():
+    context = multiprocessing.get_context("fork")
+    pool = context.Pool(2)
+    yield pool
+    pool.close()
+    pool.join()
+
+
+# -- scoreboard facet --------------------------------------------------------
+
+
+class TestScoreboardStore:
+    def test_single_writer_round_trip_is_exact(self, tmp_path):
+        """Replay-based recording: the stored statistics are byte-identical
+        to the live scoreboard's, including NaN/inf edge fields."""
+        store = EngineStore(tmp_path / "engine.db")
+        board = BackendScoreboard(alpha=0.5, store=store)
+        board.observe("sa", "sig-a", 4.0, 0.2)
+        board.observe("sa", "sig-a", 2.0, 0.1)
+        board.observe("sa", "sig-a", 2.0, 0.0, cache_hit=True)  # latency untouched
+        board.observe("tabu", None, 1.0, 0.05)
+        # Timeout with a deadline floor and an error, via the portfolio feed.
+        from repro.api.result import SolveResult
+
+        result = SolveResult(
+            problem="toy", method="sa", solution=(), objective=1.0, wall_time=0.1,
+            info={
+                "portfolio": [
+                    {"method": "sa", "objective": 1.0, "wall_time": 0.1,
+                     "status": "completed"},
+                    {"method": "qaoa", "objective": math.nan, "wall_time": math.nan,
+                     "status": "deadline_exceeded"},
+                    {"method": "flaky", "objective": math.nan, "wall_time": math.nan,
+                     "status": "error"},
+                ],
+                "portfolio_meta": {"deadline_s": 0.5},
+            },
+        )
+        board.observe_portfolio(result, signature="sig-a")
+        assert board.flush() > 0
+
+        hydrated = BackendScoreboard(alpha=0.5, store=EngineStore(tmp_path / "engine.db"))
+        assert_stats_equal(hydrated._stats, board._stats)
+        # The error contender is durable knowledge too: not cold, ranked last.
+        assert hydrated.seen("flaky")
+        assert hydrated.stats("qaoa", "sig-a").timeouts == 1
+        assert hydrated.stats("qaoa", "sig-a").latency == pytest.approx(0.5)
+
+    def test_flush_is_idempotent_and_unbound_is_a_noop(self, tmp_path):
+        store = EngineStore(tmp_path / "engine.db")
+        board = BackendScoreboard(store=store)
+        board.observe("sa", "sig", 1.0, 0.1)
+        assert board.flush() == 1
+        assert board.flush() == 0  # pending drained; nothing double-counts
+        assert store.scoreboard.load()[("sa", "sig")].count == 1
+        assert BackendScoreboard().flush() == 0  # no store bound
+
+    def test_rebinding_a_different_store_is_rejected(self, tmp_path):
+        board = BackendScoreboard(store=EngineStore(tmp_path / "a.db"))
+        board.bind_store(EngineStore(tmp_path / "a.db").path)  # same path: no-op
+        with pytest.raises(ReproError, match="different EngineStore"):
+            board.bind_store(EngineStore(tmp_path / "b.db"))
+
+    def test_hydration_never_overwrites_live_stats(self, tmp_path):
+        store = EngineStore(tmp_path / "engine.db")
+        store.scoreboard.record([("observe", "sa", "sig", 9.0, 9.0, False)])
+        board = BackendScoreboard()
+        board.observe("sa", "sig", 1.0, 0.1)
+        board.bind_store(store)
+        assert board.stats("sa", "sig").quality == pytest.approx(1.0)  # live wins
+        assert board.stats("tabu", "sig") is None
+
+    def test_unknown_observation_kind_rejected(self, tmp_path):
+        store = EngineStore(tmp_path / "engine.db")
+        with pytest.raises(ReproError, match="observation kind"):
+            store.scoreboard.record([("bogus", "sa", "sig")])
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ReproError, match="cache_budget_bytes"):
+            EngineStore(tmp_path / "x.db", cache_budget_bytes=0)
+        with pytest.raises(ReproError, match="alpha"):
+            EngineStore(tmp_path / "x.db", alpha=1.5)
+
+
+# -- shared cache tier -------------------------------------------------------
+
+
+class TestSharedCacheTier:
+    def test_upsert_get_touch_and_contains(self, tmp_path):
+        store = EngineStore(tmp_path / "engine.db")
+        store.cache.put("k", b"one", signature="sig")
+        store.cache.put("k", b"two", signature="sig")  # atomic overwrite
+        assert store.cache.get("k") == b"two"
+        assert "k" in store.cache and "missing" not in store.cache
+        assert len(store.cache) == 1
+        assert store.cache.get("missing") is None
+
+    def test_lru_by_last_access_eviction_under_byte_budget(self, tmp_path):
+        store = EngineStore(tmp_path / "engine.db", cache_budget_bytes=100)
+        store.cache.put("a", b"a" * 40)
+        store.cache.put("b", b"b" * 40)
+        assert store.cache.get("a") == b"a" * 40  # touch: "b" is now stalest
+        store.cache.put("c", b"c" * 40)           # 120 bytes > 100: evict LRU
+        assert "b" not in store.cache             # the untouched entry went
+        assert "a" in store.cache and "c" in store.cache
+        assert store.cache.total_bytes() <= 100
+
+    def test_eviction_never_drops_the_entry_just_written(self, tmp_path):
+        store = EngineStore(tmp_path / "engine.db", cache_budget_bytes=10)
+        store.cache.put("big", b"z" * 64)  # alone over budget: still kept
+        assert store.cache.get("big") == b"z" * 64
+
+    def test_corrupt_blob_is_a_miss_and_heals(self, tmp_path):
+        """The crash-mid-write bar of the disk tier, restated for SQLite:
+        a damaged blob must read as a miss, be evicted, and the slot heal."""
+        store = EngineStore(tmp_path / "engine.db")
+        cache = ResultCache(store=store)
+        cache.put("k", {"payload": list(range(100))}, signature="sig")
+        with store._connection() as conn:  # corrupt the blob in place
+            blob = conn.execute("SELECT blob FROM results WHERE key='k'").fetchone()[0]
+            conn.execute("UPDATE results SET blob=? WHERE key='k'", (blob[: len(blob) // 2],))
+        reader = ResultCache(store=EngineStore(tmp_path / "engine.db"))
+        assert reader.get("k") is None
+        assert "k" not in store.cache  # evicted from the durable tier
+        reader.put("k", "fresh")
+        assert reader.get("k") == "fresh"
+
+    def test_result_cache_reads_through_and_promotes(self, tmp_path):
+        writer = ResultCache(store=EngineStore(tmp_path / "engine.db"))
+        writer.put("k", 42, signature="sig")
+        reader = ResultCache(store=EngineStore(tmp_path / "engine.db"))
+        assert reader.get("k") == 42
+        assert reader.stats["store_hits"] == 1
+        # Promoted into memory: a second get does not need the store.
+        reader.store.evict("k")
+        assert reader.get("k") == 42
+        assert reader.stats == {"hits": 2, "misses": 0, "store_hits": 1, "entries": 1}
+
+    def test_prefetch_warms_memory_by_signature(self, tmp_path):
+        store = EngineStore(tmp_path / "engine.db")
+        writer = ResultCache(store=store)
+        writer.put("k1", "one", signature="sig-a")
+        writer.put("k2", "two", signature="sig-a")
+        writer.put("k3", "three", signature="sig-b")
+        fresh = ResultCache(store=store)
+        assert fresh.prefetch("sig-a") == 2
+        assert fresh.prefetch("sig-missing") == 0
+        assert ResultCache().prefetch("sig-a") == 0  # no tier: no-op
+        # Warmed entries serve from memory even after the tier loses them.
+        store.cache.evict("k1"), store.cache.evict("k2")
+        assert fresh.get("k1") == "one" and fresh.get("k2") == "two"
+        # Staging never counted as hits/misses; the two gets did.
+        assert fresh.stats["hits"] == 2 and fresh.stats["store_hits"] == 0
+
+
+# -- resolution & facade wiring ----------------------------------------------
+
+
+class TestResolution:
+    def test_resolve_store_spellings(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        assert resolve_store(None) is None
+        assert resolve_store(False) is None
+        store = EngineStore(tmp_path / "engine.db")
+        assert resolve_store(store) is store
+        by_path = resolve_store(tmp_path / "engine.db")
+        assert isinstance(by_path, EngineStore)
+        assert resolve_store(str(tmp_path / "engine.db")) is by_path  # memoised
+        assert engine_store(tmp_path / "engine.db") is by_path
+        with pytest.raises(ReproError, match="store must be"):
+            resolve_store(123)
+
+    def test_repro_store_env_variable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "env.db"))
+        resolved = resolve_store(None)
+        assert isinstance(resolved, EngineStore)
+        assert resolved.path == (tmp_path / "env.db").resolve()
+        assert resolve_store(False) is None  # explicit off beats the env
+        # The facade path picks the env store up with no store= argument.
+        result = repro.solve(_mqo(1), backend="sa", seed=9, **FAST_SA)
+        assert resolved.scoreboard.load()[("sa", None)].count == 1
+        again = repro.solve(_mqo(1), backend="sa", seed=9, **FAST_SA)
+        assert again.cache_hit and again.objective == result.objective
+
+    def test_store_bound_cache_attaches_only_for_the_call(self, tmp_path):
+        store = EngineStore(tmp_path / "engine.db")
+        with store_bound_cache(None, None) as none:
+            assert none is None
+        with store_bound_cache(None, store) as built:
+            assert isinstance(built, ResultCache) and built.store is store.cache
+        mine = ResultCache()
+        with store_bound_cache(mine, store) as bound:
+            assert bound is mine and mine.store is store.cache
+        assert mine.store is None  # detached: later calls cannot leak writes
+        # ... so the same cache can serve a different store next call.
+        other = EngineStore(tmp_path / "other.db")
+        with store_bound_cache(mine, other) as bound:
+            assert bound.store is other.cache
+        # A cache *constructed* around a store is permanently bound.
+        owned = ResultCache(store=store)
+        with pytest.raises(ReproError, match="different EngineStore"):
+            with store_bound_cache(owned, other):
+                pass  # pragma: no cover - the bind itself raises
+
+    def test_solve_with_store_never_leaks_into_later_calls(self, tmp_path):
+        """A store= call must not leave the process-global cache writing to
+        that store after the call returns."""
+        store = EngineStore(tmp_path / "engine.db")
+        repro.solve(_mqo(1), backend="sa", seed=9, cache=True, store=store, **FAST_SA)
+        entries_after_store_call = len(store.cache)
+        repro.solve(_mqo(2), backend="sa", seed=9, cache=True, **FAST_SA)  # no store
+        assert len(store.cache) == entries_after_store_call
+
+
+class TestFacadeIntegration:
+    def test_solve_many_records_and_shares_across_sessions(self, tmp_path):
+        problems = _batch()
+        cold = repro.solve_many(
+            problems, backend="sa", seed=11, store=EngineStore(tmp_path / "engine.db"),
+            **FAST_SA,
+        )
+        assert all(not r.cache_hit for r in cold)
+        # A "new session": fresh store handle, fresh (per-call) caches.
+        session2 = EngineStore(tmp_path / "engine.db")
+        warm = repro.solve_many(problems, backend="sa", seed=11, store=session2, **FAST_SA)
+        assert all(r.cache_hit for r in warm)
+        assert [r.objective for r in warm] == [r.objective for r in cold]
+        # Both batches recorded at their boundaries: 8 observations total.
+        stats = session2.scoreboard.load()[("sa", None)]
+        assert stats.count == 2 * len(problems)
+        assert stats.cache_hits == len(problems)
+        summary = session2.stats()
+        assert summary["cache_entries"] == len(problems)
+        assert 0 < summary["cache_bytes"] <= summary["cache_budget_bytes"]
+        assert summary["scoreboard_pairs"] == len(session2.scoreboard.load())
+
+    def test_portfolio_records_contenders(self, tmp_path):
+        store = EngineStore(tmp_path / "engine.db")
+        repro.solve_portfolio(
+            _mqo(1), backends=CANDIDATES, seed=5, backend_opts=CANDIDATE_OPTS, store=store
+        )
+        loaded = store.scoreboard.load()
+        for name in CANDIDATES:
+            assert loaded[(name, None)].count == 1
+
+    def test_scheduled_portfolio_hydrates_and_flushes(self, tmp_path):
+        store = EngineStore(tmp_path / "engine.db")
+        scheduler = AdaptiveScheduler(
+            epsilon=0.0, seed=3, race_top_k=len(CANDIDATES), store=store
+        )
+        repro.solve_portfolio(
+            _mqo(1), backends=CANDIDATES, seed=5, backend_opts=CANDIDATE_OPTS,
+            scheduler=scheduler,
+        )
+        fresh = AdaptiveScheduler(epsilon=0.0, seed=3, store=store)
+        assert_stats_equal(fresh.scoreboard._stats, scheduler.scoreboard._stats)
+
+    def test_scheduled_portfolio_records_each_contender_once(self, tmp_path, monkeypatch):
+        """With REPRO_STORE set, the scheduled path must not record through
+        both run_portfolio and the scoreboard flush (the double-count would
+        break the exact round-trip)."""
+        monkeypatch.setenv(STORE_ENV_VAR, str(tmp_path / "env.db"))
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=3, race_top_k=len(CANDIDATES))
+        repro.solve_portfolio(
+            _mqo(1), backends=CANDIDATES, seed=5, backend_opts=CANDIDATE_OPTS,
+            scheduler=scheduler,
+        )
+        loaded = resolve_store(None).scoreboard.load()
+        for name in CANDIDATES:
+            assert loaded[(name, None)].count == 1, name
+
+    def test_store_false_keeps_a_bound_scheduler_off_the_record(self, tmp_path):
+        """store=False is 'off for this call' even after an earlier call
+        bound the scheduler's scoreboard to a store."""
+        store = EngineStore(tmp_path / "engine.db")
+        scheduler = AdaptiveScheduler(epsilon=0.0, seed=0, store=store)
+        repro.solve_many(
+            _batch(), backend=CANDIDATES, scheduler=scheduler, seed=11, store=store,
+            **CANDIDATE_OPTS,
+        )
+        recorded = store.scoreboard.load()
+        off = repro.solve_many(
+            _batch(), backend=CANDIDATES, scheduler=scheduler, seed=11, store=False,
+            **CANDIDATE_OPTS,
+        )
+        assert all(r is not None for r in off)
+        assert_stats_equal(store.scoreboard.load(), recorded)  # nothing flushed
+        # ... and the discarded delta does not resurface on the next flush.
+        repro.solve_many(
+            _batch(), backend=CANDIDATES, scheduler=scheduler, seed=11, store=store,
+            **CANDIDATE_OPTS,
+        )
+        total = sum(s.count for (b, sig), s in store.scoreboard.load().items() if sig is None)
+        assert total == 2 * len(_batch())
+
+
+# -- the determinism bar -----------------------------------------------------
+
+
+class TestHydratedRoutingDeterminism:
+    def _warm(self, path):
+        """Measure every candidate (portfolio per structure), then route a
+        batch — all durable."""
+        store = EngineStore(path)
+        scheduler = AdaptiveScheduler(
+            epsilon=0.0, seed=0, race_top_k=len(CANDIDATES), store=store
+        )
+        for rng in (1, 2, 3):
+            repro.solve_portfolio(
+                _mqo(rng), backends=CANDIDATES, seed=5, backend_opts=CANDIDATE_OPTS,
+                scheduler=scheduler,
+            )
+        repro.solve_many(
+            _batch(), backend=CANDIDATES, scheduler=scheduler, seed=11, store=store,
+            **CANDIDATE_OPTS,
+        )
+        return store, scheduler
+
+    def test_fresh_scheduler_routes_like_long_lived_across_executors(self, tmp_path):
+        store, long_lived = self._warm(tmp_path / "engine.db")
+        store.checkpoint()  # fold the WAL so the file can be copied
+        copies = {}
+        for executor in ("serial", "threads", "processes", "async"):
+            copy = tmp_path / f"engine-{executor}.db"
+            shutil.copy(store.path, copy)
+            copies[executor] = copy
+
+        def fingerprint(results):
+            return [
+                (r.method, r.objective, r.engine["scheduler"]["mode"]) for r in results
+            ]
+
+        reference = fingerprint(
+            repro.solve_many(
+                _batch(), backend=CANDIDATES, scheduler=long_lived, seed=11,
+                store=store, **CANDIDATE_OPTS,
+            )
+        )
+        assert all(mode == "exploit" for _, _, mode in reference)  # warm from step one
+        for executor, copy in copies.items():
+            fresh = AdaptiveScheduler(epsilon=0.0, seed=0, store=EngineStore(copy))
+            routed = repro.solve_many(
+                _batch(), backend=CANDIDATES, scheduler=fresh, seed=11,
+                executor=executor, store=EngineStore(copy), **CANDIDATE_OPTS,
+            )
+            assert fingerprint(routed) == reference, executor
+
+    def test_cold_process_routes_like_the_writer(self, tmp_path, fork_pool):
+        store, long_lived = self._warm(tmp_path / "engine.db")
+        plan = repro.compile_plan(_batch(), CANDIDATES[0])
+        signatures = plan.meta["shard_signatures"]
+        parent = [
+            long_lived.choose(sig, list(CANDIDATES)).backend for sig in signatures
+        ]
+        child = fork_pool.map(
+            _cold_process_decisions, [(str(store.path), CANDIDATES, signatures)]
+        )[0]
+        assert child == parent
+
+    def test_warm_batch_prefetches_and_hits_the_shared_tier(self, tmp_path):
+        store, _ = self._warm(tmp_path / "engine.db")
+        cache = ResultCache(store=store)
+        fresh = AdaptiveScheduler(epsilon=0.0, seed=0, store=store)
+        warm = repro.solve_many(
+            _batch(), backend=CANDIDATES, scheduler=fresh, seed=11, store=store,
+            cache=cache, **CANDIDATE_OPTS,
+        )
+        assert all(r.cache_hit for r in warm)
+        # The hits were staged by prefetch, not read one-by-one from SQLite.
+        assert cache.stats["hits"] == len(_batch())
+        assert cache.stats["store_hits"] == 0
+
+
+class TestConcurrentWriters:
+    def test_two_processes_never_corrupt_the_store(self, tmp_path, fork_pool):
+        """Concurrent scoreboard batches and cache upserts against one file:
+        SQLite serialises them; counts merge by observation count."""
+        path = str(tmp_path / "engine.db")
+        EngineStore(path)  # schema exists before the writers race
+        rounds = 25
+        assert sorted(
+            fork_pool.map(_hammer_store, [(path, 0, rounds), (path, 1, rounds)])
+        ) == [0, 1]
+        store = EngineStore(path)
+        assert store.integrity_ok()
+        loaded = store.scoreboard.load()
+        assert loaded[("sa", "sig-shared")].count == 2 * rounds
+        assert loaded[("sa", None)].count == 2 * rounds
+        assert len(store.cache) == 2 * rounds
+        for worker in (0, 1):
+            for i in range(rounds):
+                assert store.cache.get(f"key-{worker}-{i}") == b"x" * 64
