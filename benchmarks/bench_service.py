@@ -1,0 +1,144 @@
+"""Service-tier benchmark: coalesced waves vs sequential single solves.
+
+One claim, asserted: for a burst of concurrent single-solve requests, the
+service's coalescing queue dispatches **at least 4x fewer engine waves
+than requests** and finishes the burst **no slower than solving each
+request sequentially through the facade** — at *identical objectives*,
+because explicit per-request seeds plus single-item shards make every
+coalesced solve bit-identical to its direct counterpart.
+
+The throughput edge is structural, not a scheduling coincidence: the burst
+contains duplicate ``(problem, seed)`` requests (as real traffic does —
+specs are content-addressable), and single-flight dedup halves the engine
+work before the thread pool even starts, so the claim holds on a
+single-core runner too.
+
+Emits ``BENCH_<run>_service.json`` (wave counts, wall times, dedup ratio)
+for the CI trajectory artifact, alongside ``bench_engine.py``'s file.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from repro.api.facade import solve
+from repro.service import ServiceConfig, SolverService, problem_from_spec
+
+#: 16 unique (instance, seed) requests, each submitted twice: 32 requests.
+UNIQUE_INSTANCES = 8
+SEEDS_PER_INSTANCE = 2
+DUPLICATES = 2
+SA_OPTS = dict(num_reads=8, num_sweeps=150)
+
+
+def _burst():
+    """The request burst: (spec, seed) pairs with every pair repeated."""
+    requests = [
+        (
+            {
+                "kind": "mqo",
+                "num_queries": 4,
+                "plans_per_query": 3,
+                "sharing_density": 0.4,
+                "instance_seed": instance,
+            },
+            seed,
+        )
+        for instance in range(UNIQUE_INSTANCES)
+        for seed in range(SEEDS_PER_INSTANCE)
+    ]
+    return requests * DUPLICATES
+
+
+def _emit_bench_json(payload: dict) -> str:
+    """Write ``BENCH_<run>_service.json`` (same convention as bench_engine,
+    suffixed so the two trajectory files can share an output directory)."""
+    run_id = os.environ.get("BENCH_RUN_ID") or os.environ.get("GITHUB_RUN_ID") or "local"
+    out_dir = os.environ.get("BENCH_OUTPUT_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{run_id}_service.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return path
+
+
+def test_coalesced_burst_beats_sequential_at_equal_objectives(benchmark):
+    requests = _burst()
+    assert len(requests) >= 16
+
+    def sequential():
+        t0 = time.perf_counter()
+        results = [
+            solve(problem_from_spec(spec), backend="sa", seed=seed, **SA_OPTS)
+            for spec, seed in requests
+        ]
+        return results, time.perf_counter() - t0
+
+    async def burst_through_service():
+        service = SolverService(
+            ServiceConfig(
+                window_s=0.5,
+                max_wave=len(requests),
+                backends=("sa",),
+                backend_opts={"sa": dict(SA_OPTS)},
+                executor="threads",
+            )
+        )
+        await service.start()
+        t0 = time.perf_counter()
+        jobs = [service.submit(spec, seed=seed) for spec, seed in requests]
+        await asyncio.gather(*[job.future for job in jobs])
+        elapsed = time.perf_counter() - t0
+        await service.shutdown()
+        return service, jobs, elapsed
+
+    def kernel():
+        direct, sequential_s = sequential()
+        service, jobs, service_s = asyncio.run(burst_through_service())
+        return direct, sequential_s, service, jobs, service_s
+
+    direct, sequential_s, service, jobs, service_s = benchmark.pedantic(
+        kernel, rounds=1, iterations=1
+    )
+
+    # Identical results, request by request.
+    for reference, job in zip(direct, jobs):
+        assert job.status == "done"
+        assert reference.objective == job.result.objective
+        assert reference.solution == job.result.solution
+
+    # Coalescing: >= 4x fewer waves than requests.
+    waves = service._m["waves"].value()
+    unique = service._m["unique_solves"].value()
+    deduped = service._m["deduped"].value()
+    assert waves <= len(requests) / 4, f"{waves} waves for {len(requests)} requests"
+    assert unique + deduped == len(requests)
+    assert deduped >= len(requests) // DUPLICATES  # single-flight dedup worked
+
+    # Throughput: the coalesced burst must not lose to sequential solving.
+    assert service_s <= sequential_s, (
+        f"coalesced burst took {service_s:.3f}s vs sequential {sequential_s:.3f}s"
+    )
+
+    path = _emit_bench_json(
+        {
+            "benchmark": "service_coalescing_burst",
+            "requests": len(requests),
+            "unique_solves": unique,
+            "deduped_requests": deduped,
+            "waves": waves,
+            "coalescing_ratio": len(requests) / waves,
+            "sequential_s": round(sequential_s, 4),
+            "service_s": round(service_s, 4),
+            "speedup": round(sequential_s / service_s, 3) if service_s else None,
+            "mean_objective": round(
+                sum(r.objective for r in direct) / len(direct), 6
+            ),
+        }
+    )
+    print(
+        f"\n[bench_service] {len(requests)} requests -> {int(waves)} wave(s), "
+        f"{int(unique)} engine solves; sequential {sequential_s:.3f}s, "
+        f"coalesced {service_s:.3f}s -> {path}"
+    )

@@ -25,7 +25,7 @@ From Theory to Opportunities* (ICDE 2024).  The library ships:
   Problem -> QUBO -> Backend -> Result pipeline on any registered engine.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro.api import (
     AdaptiveScheduler,

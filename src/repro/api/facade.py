@@ -184,6 +184,7 @@ def solve_many(
     max_shard_size: "int | None" = None,
     scheduler: "AdaptiveScheduler | None" = None,
     store: "Any | None" = None,
+    seeds: "Sequence[int] | None" = None,
     **backend_opts,
 ) -> list[SolveResult]:
     """Solve a batch of problems, sharded by QUBO structure.
@@ -237,6 +238,13 @@ def solve_many(
             boundary, and in scheduled mode the routed shards' structure
             signatures are prefetched from the store before dispatch (see
             the "Durable store" section of ``docs/engine.md``).
+        seeds: Explicit per-item child seeds (one integer per problem),
+            overriding the batch split from ``seed``.  Combined with
+            ``max_shard_size=1``, each item becomes its own shard leader
+            and its result (and cache key) is exactly that of a standalone
+            :func:`solve` with the same backend/opts/seed — the contract
+            the service tier's request coalescing relies on
+            (``docs/service.md``).
         **backend_opts: Forwarded to the backend factory, once per shard
             (unscheduled mode), or per-backend option dicts keyed by
             registry name (scheduled mode).
@@ -255,6 +263,7 @@ def solve_many(
             max_shard_size=max_shard_size,
             backend_opts=backend_opts,
             store=store,
+            seeds=seeds,
         )
     if not isinstance(backend, (str, Backend)):
         raise ReproError(
@@ -272,4 +281,5 @@ def solve_many(
         max_shard_size=max_shard_size,
         backend_opts=backend_opts,
         store=store,
+        seeds=seeds,
     )

@@ -7,6 +7,38 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
+def _jsonify(value: Any) -> Any:
+    """Coerce a result payload into strict-JSON-safe plain python.
+
+    Backends leak ``numpy`` scalars and arrays into solutions and info
+    dicts, and several conventions use non-finite floats (the NaN-energy
+    convention, ``math.inf`` portfolio placeholders) that strict JSON
+    cannot represent.  Scalars become their python equivalents, arrays
+    become nested lists, tuples/sets become (sorted, for sets) lists,
+    non-finite floats become ``None``, and non-string dict keys are
+    stringified — lossy only in container *type*, never in numeric value.
+    """
+    import numpy as np
+
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {
+            (k if isinstance(k, str) else str(k)): _jsonify(v) for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonify(v) for v in value)
+    return repr(value)
+
+
 @dataclass
 class SolveResult:
     """One solved problem instance, backend-agnostic.
@@ -70,6 +102,52 @@ class SolveResult:
     def scheduled_backend(self) -> "str | None":
         """Backend an adaptive scheduler routed this item to, if any."""
         return self.engine.get("scheduler", {}).get("backend")
+
+    def to_json_dict(self) -> dict:
+        """A strict-JSON-safe dict of this result (``json.dumps`` clean).
+
+        The NaN-energy convention crosses the wire as ``"energy": null``
+        (NaN is not JSON, and ``nan`` tokens break strict parsers), and
+        every ``numpy`` scalar or array in ``solution``/``info`` is
+        converted to plain python (see :func:`_jsonify`), so service
+        responses never leak ``nan``/``float64`` reprs into JSON.
+        :meth:`from_json_dict` reverses the trip; container types inside
+        ``solution``/``info`` may relax (tuples and sets come back as
+        lists) but every numeric value survives exactly.
+        """
+        return {
+            "problem": self.problem,
+            "method": self.method,
+            "solution": _jsonify(self.solution),
+            "objective": _jsonify(float(self.objective)),
+            "energy": _jsonify(float(self.energy)),
+            "wall_time": float(self.wall_time),
+            "num_variables": int(self.num_variables),
+            "info": _jsonify(self.info),
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "SolveResult":
+        """Rebuild a result from :meth:`to_json_dict` output.
+
+        ``null`` objective/energy deserialise to NaN (restoring the
+        NaN-energy convention: ``used_qubo`` is ``False`` again on the
+        direct-solve path).
+        """
+
+        def _num(value) -> float:
+            return math.nan if value is None else float(value)
+
+        return cls(
+            problem=payload["problem"],
+            method=payload["method"],
+            solution=payload.get("solution"),
+            objective=_num(payload.get("objective")),
+            energy=_num(payload.get("energy")),
+            wall_time=float(payload.get("wall_time", 0.0)),
+            num_variables=int(payload.get("num_variables", 0)),
+            info=dict(payload.get("info") or {}),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.engine.cache import make_cache_key
 from repro.exceptions import ReproError
@@ -127,6 +127,7 @@ def compile_plan(
     backend_opts: "dict | None" = None,
     max_shard_size: "int | None" = None,
     adapter_opts: "dict | None" = None,
+    seeds: "Sequence[int] | None" = None,
 ) -> ExecutionPlan:
     """Compile a batch into an :class:`ExecutionPlan`.
 
@@ -143,6 +144,14 @@ def compile_plan(
             several shards (more parallelism, embedding paid once per
             split); ``None`` keeps one shard per signature.
         adapter_opts: Extra kwargs for ``as_problems`` coercion.
+        seeds: Explicit per-item child seeds, overriding the batch split.
+            One integer per problem, used verbatim.  This is the seam a
+            caller that aggregates *independently seeded* requests (the
+            service tier's coalescing queue) needs: combined with
+            ``max_shard_size=1``, every item is its own shard leader, so
+            its result — and its cache key — is exactly that of a
+            standalone ``solve`` with the same fingerprint/opts/seed, no
+            matter which batch it rode in.
     """
     # Lazy imports: repro.api.facade imports this package at module load,
     # so engine modules must not import repro.api back at module level.
@@ -173,8 +182,18 @@ def compile_plan(
         raise ReproError("max_shard_size must be >= 1")
 
     coerced = as_problems(problems, **(adapter_opts or {}))
-    base = ensure_rng(seed)
-    child_seeds = [int(s) for s in base.integers(0, _SEED_RANGE, size=len(coerced))]
+    if seeds is not None:
+        child_seeds = [int(s) for s in seeds]
+        if len(child_seeds) != len(coerced):
+            raise ReproError(
+                f"seeds= must provide one seed per problem: got {len(child_seeds)} "
+                f"seeds for {len(coerced)} problems"
+            )
+        if any(not 0 <= s < _SEED_RANGE for s in child_seeds):
+            raise ReproError(f"explicit seeds must be integers in [0, {_SEED_RANGE})")
+    else:
+        base = ensure_rng(seed)
+        child_seeds = [int(s) for s in base.integers(0, _SEED_RANGE, size=len(coerced))]
 
     # Group by structural signature in first-seen order; optionally split
     # oversized groups so wide batches expose more parallelism.

@@ -338,6 +338,7 @@ def solve_batch(
     max_shard_size: "int | None" = None,
     backend_opts: "dict | None" = None,
     store=None,
+    seeds=None,
 ) -> list[SolveResult]:
     """Compile + execute in one call (the engine behind ``repro.solve_many``).
 
@@ -347,6 +348,9 @@ def solve_batch(
     telemetry is recorded into the durable scoreboard at the batch
     boundary — so even unscheduled batches feed the routing knowledge a
     later :class:`~repro.engine.scheduler.AdaptiveScheduler` hydrates.
+
+    ``seeds`` passes explicit per-item child seeds to the planner (see
+    :func:`~repro.engine.plan.compile_plan`); ``seed`` is ignored when set.
     """
     from repro.engine.store import resolve_store, store_bound_cache
 
@@ -359,6 +363,7 @@ def solve_batch(
         top_k=top_k,
         backend_opts=backend_opts,
         max_shard_size=max_shard_size,
+        seeds=seeds,
     )
     with store_bound_cache(cache, store) as bound:
         results = execute_plan(plan, executor=executor, cache=bound)

@@ -269,6 +269,40 @@ class BackendScoreboard:
         with self._lock:
             return {key: stats.as_dict() for key, stats in self._stats.items()}
 
+    def capacity_snapshot(self) -> "dict[str, dict]":
+        """Per-backend capacity summary: the admission-control read model.
+
+        One row per backend, from the backend-global aggregate (signature
+        ``None``) plus a count of distinct structures observed::
+
+            {"sa": {"count": 37, "quality": ..., "latency": ...,
+                    "best_objective": ..., "cache_hit_rate": 0.4,
+                    "timeouts": 0, "errors": 0, "timeout_rate": 0.0,
+                    "error_rate": 0.0, "structures": 5}, ...}
+
+        ``latency`` is the EWMA wall seconds per real (uncached) solve —
+        the expected-service-time signal a capacity model or readiness
+        probe needs; ``timeout_rate``/``error_rate`` are per observed
+        solve.  Values are plain floats/ints (NaN where never observed),
+        safe to serialise after NaN-scrubbing.  This is the queryable
+        seam the service's ``/metrics`` and ``/readyz`` endpoints read,
+        and the one the ROADMAP's admission-control item builds on.
+        """
+        with self._lock:
+            rows: dict[str, dict] = {}
+            structures: dict[str, int] = {}
+            for (backend, signature), stats in self._stats.items():
+                if signature is None:
+                    rows[backend] = stats.as_dict()
+                else:
+                    structures[backend] = structures.get(backend, 0) + 1
+            for backend, row in rows.items():
+                count = row["count"]
+                row["timeout_rate"] = row["timeouts"] / count if count else 0.0
+                row["error_rate"] = row["errors"] / count if count else 0.0
+                row["structures"] = structures.get(backend, 0)
+            return rows
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         with self._lock:
             pairs = len(self._stats)
@@ -453,6 +487,7 @@ def solve_batch_scheduled(
     max_shard_size: "int | None" = None,
     backend_opts: "dict | None" = None,
     store=None,
+    seeds=None,
 ) -> list:
     """Route each shard of a batch to a scoreboard-chosen backend.
 
@@ -467,7 +502,9 @@ def solve_batch_scheduled(
     ``info["engine"]["scheduler"]``.
 
     ``backend_opts`` is portfolio-style: per-backend factory options keyed
-    by registry name, e.g. ``{"sa": {"num_reads": 64}}``.
+    by registry name, e.g. ``{"sa": {"num_reads": 64}}``.  ``seeds`` passes
+    explicit per-item child seeds to the planner (see
+    :func:`~repro.engine.plan.compile_plan`); ``seed`` is ignored when set.
 
     With a durable ``store`` (resolved through
     :func:`~repro.engine.store.resolve_store`, so ``REPRO_STORE`` applies),
@@ -498,6 +535,7 @@ def solve_batch_scheduled(
         top_k=top_k,
         backend_opts=opts_map.get(names[0], {}),
         max_shard_size=max_shard_size,
+        seeds=seeds,
     )
     signatures = plan.meta["shard_signatures"]
     shards = plan.shards()

@@ -1,0 +1,71 @@
+"""``python -m repro.service`` — boot the solver service and run until signalled.
+
+Prints one line once bound (``repro.service listening on http://host:port``,
+flushed, with the *real* port so ``--port 0`` smoke tests can parse it),
+then serves until SIGTERM/SIGINT, at which point it drains gracefully:
+new submissions are rejected with 503, every accepted job finishes, the
+scoreboard delta is flushed to the durable store, and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.exceptions import ReproError
+from repro.service.app import SolverService
+from repro.service.config import load_config
+from repro.service.http import ServiceServer
+
+
+def _parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Coalescing solver-as-a-service over the repro engine.",
+    )
+    parser.add_argument("--config", default=None, help="TOML config file")
+    parser.add_argument("--host", default=None, help="bind address override")
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="bind port override (0 asks the OS for an ephemeral port)",
+    )
+    return parser.parse_args(argv)
+
+
+async def _serve(server: ServiceServer) -> None:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    await server.start()
+    print(
+        f"repro.service listening on http://{server.host}:{server.bound_port}",
+        flush=True,
+    )
+    await stop.wait()
+    print("repro.service draining...", flush=True)
+    await server.shutdown()
+    print("repro.service stopped", flush=True)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _parse_args(argv)
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    try:
+        config = load_config(args.config, **overrides)
+        service = SolverService(config)
+    except ReproError as exc:
+        print(f"repro.service: {exc}", file=sys.stderr, flush=True)
+        return 2
+    asyncio.run(_serve(ServiceServer(service)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

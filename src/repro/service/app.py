@@ -1,0 +1,406 @@
+"""The solver service: jobs in, coalesced engine waves out, metrics up.
+
+:class:`SolverService` owns the long-lived engine state (one
+:class:`~repro.engine.cache.ResultCache`, one
+:class:`~repro.engine.scheduler.BackendScoreboard` — wrapped in an
+:class:`~repro.engine.scheduler.AdaptiveScheduler` when the fleet has more
+than one backend — and optionally one durable
+:class:`~repro.engine.store.EngineStore`), the job book, the coalescing
+queue, and the dispatcher task that turns queued submissions into
+``solve_many`` waves.
+
+**Determinism contract.**  Every wave dispatches with *explicit per-request
+seeds* and ``max_shard_size=1``: each request is its own shard leader, so
+its result is exactly the one a direct ``repro.solve(problem,
+backend=..., seed=...)`` call returns — the same objective, the same
+samples, the same cache key — no matter which wave it rode in or with
+whom.  Coalescing is therefore free of result skew; what it buys is
+amortisation: one executor dispatch per wave instead of per request,
+**single-flight dedup** (identical ``(problem fingerprint, seed)``
+submissions in one wave are solved once and fanned out), shared cache and
+store tiers, and — in fleet mode — scoreboard routing per structure.
+
+Threading model: the event loop owns jobs/queue/metrics bookkeeping; each
+wave's engine call runs in a worker thread (``asyncio.to_thread``) and
+marshals back to the loop before touching any job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any
+
+from repro.engine.cache import ResultCache
+from repro.engine.scheduler import AdaptiveScheduler, BackendScoreboard
+from repro.engine.store import record_best_effort, resolve_store
+from repro.exceptions import ReproError
+from repro.service.coalesce import CoalescingQueue, QueueFull
+from repro.service.config import ServiceConfig
+from repro.service.jobs import STATES, Job, JobBook
+from repro.service.metrics import (
+    LATENCY_BUCKETS,
+    WAVE_BUCKETS,
+    MetricsRegistry,
+)
+from repro.service.problems import problem_from_spec
+
+#: Engine seed ceiling (repro.engine.plan._SEED_RANGE): request seeds must
+#: be valid explicit child seeds.
+MAX_SEED = 2**63 - 1
+
+
+class SolverService:
+    """Coalescing solver-as-a-service over the ``repro`` engine."""
+
+    def __init__(self, config: "ServiceConfig | None" = None):
+        self.config = (config or ServiceConfig()).validate()
+        self.jobs = JobBook(retention=self.config.job_retention)
+        self.queue = CoalescingQueue(
+            window_s=self.config.window_s,
+            max_wave=self.config.max_wave,
+            max_depth=self.config.max_queue_depth,
+        )
+
+        # -- long-lived engine state ----------------------------------------
+        store_spec = False if self.config.store == "" else self.config.store
+        self.store = resolve_store(store_spec)
+        cache_spec = self.config.cache
+        if cache_spec is True:
+            self.cache = ResultCache()
+        elif cache_spec in (False, None):
+            self.cache = None
+        elif isinstance(cache_spec, str):
+            self.cache = ResultCache(directory=cache_spec)
+        else:
+            raise ReproError("service cache must be true/false or a directory path")
+        self.scoreboard = BackendScoreboard(store=self.store)
+        self.scheduler: "AdaptiveScheduler | None" = None
+        if self.config.scheduled:
+            self.scheduler = AdaptiveScheduler(
+                scoreboard=self.scoreboard,
+                epsilon=self.config.epsilon,
+                seed=self.config.scheduler_seed,
+                deadline_s=self.config.scheduler_deadline_s,
+            )
+
+        # -- lifecycle -------------------------------------------------------
+        self._accepting = False
+        self._draining = False
+        self._stopped = False
+        self._started_at = time.time()
+        self._dispatcher: "asyncio.Task | None" = None
+        self._wave_tasks: "set[asyncio.Task]" = set()
+        self._inflight = asyncio.Semaphore(self.config.max_inflight_waves)
+        self._wave_counter = 0
+
+        self._build_metrics()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def _build_metrics(self) -> None:
+        reg = self.metrics = MetricsRegistry()
+        m = self._m = {}
+        m["requests"] = reg.counter(
+            "repro_service_requests_total", "Accepted solve submissions."
+        )
+        m["rejected"] = reg.counter(
+            "repro_service_rejected_total",
+            "Rejected submissions by reason.",
+            labelnames=("reason",),
+        )
+        m["responses"] = reg.counter(
+            "repro_service_responses_total",
+            "Finished jobs by terminal status.",
+            labelnames=("status",),
+        )
+        m["waves"] = reg.counter(
+            "repro_service_waves_total", "Coalesced solve_many dispatch waves."
+        )
+        m["unique_solves"] = reg.counter(
+            "repro_service_wave_unique_solves_total",
+            "Engine solves dispatched after single-flight dedup.",
+        )
+        m["deduped"] = reg.counter(
+            "repro_service_deduped_requests_total",
+            "Requests served by another identical request in the same wave.",
+        )
+        m["wave_size"] = reg.histogram(
+            "repro_service_wave_size",
+            "Requests per dispatched wave.",
+            buckets=WAVE_BUCKETS,
+        )
+        m["latency"] = reg.histogram(
+            "repro_service_request_latency_seconds",
+            "Submit-to-finish request latency.",
+            buckets=LATENCY_BUCKETS,
+        )
+        m["queue_depth"] = reg.gauge(
+            "repro_service_queue_depth", "Undispatched submissions."
+        )
+        m["jobs"] = reg.gauge(
+            "repro_service_jobs", "Retained jobs by state.", labelnames=("state",)
+        )
+        m["uptime"] = reg.gauge("repro_service_uptime_seconds", "Seconds since boot.")
+        m["ready"] = reg.gauge(
+            "repro_service_ready", "1 when accepting submissions, else 0."
+        )
+        m["cache"] = reg.gauge(
+            "repro_engine_cache", "ResultCache counters.", labelnames=("event",)
+        )
+        m["backend"] = reg.gauge(
+            "repro_backend_capacity",
+            "Per-backend scoreboard capacity stats (EWMA latency/quality, rates).",
+            labelnames=("backend", "stat"),
+        )
+        m["store"] = reg.gauge(
+            "repro_engine_store", "Durable EngineStore row/byte totals.",
+            labelnames=("stat",),
+        )
+
+    def render_metrics(self) -> str:
+        """Refresh scrape-time gauges and render the exposition text."""
+        m = self._m
+        m["queue_depth"].set(self.queue.depth)
+        m["uptime"].set(time.time() - self._started_at)
+        m["ready"].set(1.0 if self.ready else 0.0)
+        counts = self.jobs.counts()
+        for state in STATES:
+            m["jobs"].set(counts.get(state, 0), state=state)
+        if self.cache is not None:
+            for event, value in self.cache.stats.items():
+                m["cache"].set(value, event=event)
+        m["backend"].clear()
+        for backend, row in self.scoreboard.capacity_snapshot().items():
+            for stat, value in row.items():
+                if isinstance(value, (int, float)):
+                    m["backend"].set(float(value), backend=backend, stat=stat)
+        if self.store is not None:
+            for stat, value in self.store.stats().items():
+                m["store"].set(value, stat=stat)
+        return self.metrics.render()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the dispatcher; the service accepts work once this returns."""
+        if self._dispatcher is not None:
+            raise ReproError("service already started")
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-service-dispatcher"
+        )
+        self._accepting = True
+
+    async def shutdown(self) -> None:
+        """Graceful stop: reject new work, drain every accepted job, flush.
+
+        Idempotent.  Pending submissions are dispatched (the queue releases
+        them in waves once closed), in-flight waves are awaited, and any
+        unflushed scoreboard observations are pushed into the durable store
+        so the next boot starts warm.
+        """
+        if self._stopped:
+            return
+        self._accepting = False
+        self._draining = True
+        self.queue.close()
+        if self._dispatcher is not None:
+            await self._dispatcher
+        if self._wave_tasks:
+            await asyncio.gather(*self._wave_tasks)
+        if self.store is not None:
+            record_best_effort(self.scoreboard.flush, "service shutdown flush")
+        self._draining = False
+        self._stopped = True
+
+    @property
+    def ready(self) -> bool:
+        """Accepting work with queue headroom (the ``/readyz`` verdict)."""
+        return (
+            self._accepting
+            and not self._draining
+            and self.queue.depth < self.config.max_queue_depth
+        )
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def readiness(self) -> dict:
+        """The ``/readyz`` body: verdict plus the capacity read model."""
+        return {
+            "ready": self.ready,
+            "draining": self._draining,
+            "queue_depth": self.queue.depth,
+            "max_queue_depth": self.config.max_queue_depth,
+            "backends": list(self.config.backends),
+            "capacity": _scrub(self.scoreboard.capacity_snapshot()),
+        }
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, spec: Any, seed: int = 0) -> Job:
+        """Validate one request, register its job, and enqueue it.
+
+        Raises :class:`~repro.exceptions.ReproError` subclasses the HTTP
+        layer maps to 400 (bad spec/seed), 429 (queue full), or 503
+        (draining).  On success the job is pending and its ``future``
+        resolves when the wave carrying it completes.
+        """
+        if not self._accepting:
+            self._m["rejected"].inc(reason="draining")
+            raise ReproError("service is draining; not accepting new work")
+        if isinstance(seed, bool) or not isinstance(seed, int) or not 0 <= seed < MAX_SEED:
+            self._m["rejected"].inc(reason="bad_seed")
+            raise ReproError(f"seed must be an integer in [0, {MAX_SEED}), got {seed!r}")
+        try:
+            problem = problem_from_spec(spec)
+        except ReproError:
+            self._m["rejected"].inc(reason="bad_spec")
+            raise
+        job = self.jobs.create(problem, seed, dict(spec))
+        try:
+            self.queue.put(job)
+        except ReproError as exc:
+            job.status = "error"
+            job.error = str(exc)
+            job.finished_at = time.time()
+            if not job.future.done():
+                job.future.set_result(job)
+            self._m["rejected"].inc(
+                reason="queue_full" if isinstance(exc, QueueFull) else "draining"
+            )
+            raise
+        self._m["requests"].inc()
+        return job
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Collect waves forever; exit once the closed queue runs dry."""
+        while True:
+            wave = await self.queue.collect_wave()
+            if not wave:
+                if self.queue.closed:
+                    return
+                continue
+            await self._inflight.acquire()
+            task = asyncio.create_task(self._run_wave(wave))
+            self._wave_tasks.add(task)
+
+            def _done(finished: asyncio.Task) -> None:
+                self._wave_tasks.discard(finished)
+                self._inflight.release()
+
+            task.add_done_callback(_done)
+
+    async def _run_wave(self, jobs: "list[Job]") -> None:
+        self._wave_counter += 1
+        wave_id = self._wave_counter
+        now = time.time()
+        for job in jobs:
+            job.status = "running"
+            job.started_at = now
+            job.wave = wave_id
+        self._m["waves"].inc()
+        self._m["wave_size"].observe(len(jobs))
+
+        try:
+            results = await asyncio.to_thread(self._solve_wave, jobs)
+        except Exception as exc:  # an engine failure fails the wave, not the service
+            message = f"{type(exc).__name__}: {exc}"
+            for job in jobs:
+                self._finish(job, status="error", error=message)
+            return
+        for job, result in zip(jobs, results):
+            self._finish(job, status="done", result=result)
+
+    def _finish(self, job: Job, status: str, result=None, error=None) -> None:
+        job.status = status
+        job.result = result
+        job.error = error
+        job.finished_at = time.time()
+        self._m["responses"].inc(status=status)
+        latency = job.latency_s
+        if latency is not None:
+            self._m["latency"].observe(latency)
+        if job.future is not None and not job.future.done():
+            job.future.set_result(job)
+
+    def _solve_wave(self, jobs: "list[Job]") -> list:
+        """One coalesced engine dispatch (worker thread; no job mutation).
+
+        Single-flight dedup first: requests naming the same
+        ``(QUBO fingerprint, seed)`` are literally the same solve under the
+        service's determinism contract, so only the first is dispatched
+        and the rest share its result object (results are treated as
+        immutable once returned).  The survivors go through ``solve_many``
+        with explicit seeds and single-item shards.
+        """
+        config = self.config
+        order: "dict[tuple[str, int], int]" = {}
+        assignment: list[int] = []
+        problems: list = []
+        seeds: list[int] = []
+        for job in jobs:
+            key = (job.problem.to_qubo().fingerprint(), job.seed)
+            slot = order.get(key)
+            if slot is None:
+                slot = len(problems)
+                order[key] = slot
+                problems.append(job.problem)
+                seeds.append(job.seed)
+            assignment.append(slot)
+        self._m["unique_solves"].inc(len(problems))
+        self._m["deduped"].inc(len(jobs) - len(problems))
+
+        from repro.api.facade import solve_many
+
+        if self.scheduler is not None:
+            results = solve_many(
+                problems,
+                backend=tuple(config.backends),
+                scheduler=self.scheduler,
+                seeds=seeds,
+                refine=config.refine,
+                top_k=config.top_k,
+                executor=config.executor,
+                cache=self.cache,
+                max_shard_size=1,
+                store=self.store if self.store is not None else False,
+                **{name: dict(opts) for name, opts in config.backend_opts.items()},
+            )
+        else:
+            backend = config.backends[0]
+            results = solve_many(
+                problems,
+                backend=backend,
+                seeds=seeds,
+                refine=config.refine,
+                top_k=config.top_k,
+                executor=config.executor,
+                cache=self.cache,
+                max_shard_size=1,
+                store=self.store if self.store is not None else False,
+                **dict(config.backend_opts.get(backend, {})),
+            )
+            # The scheduled path feeds the scoreboard itself; the fixed-
+            # backend path feeds it here so capacity stats exist either way.
+            for result in results:
+                self.scoreboard.observe_result(result)
+            if self.store is not None:
+                record_best_effort(self.scoreboard.flush, "wave scoreboard flush")
+        return [results[slot] for slot in assignment]
+
+
+def _scrub(value):
+    """NaN/inf -> None so readiness JSON stays strict-JSON clean."""
+    import math
+
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: _scrub(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_scrub(v) for v in value]
+    return value

@@ -1,0 +1,125 @@
+"""The coalescing request queue: single submits -> ``solve_many`` waves.
+
+The engine's amortisation — sharded dispatch, content-addressed caching,
+scoreboard routing, store prefetch — only pays when work arrives in
+batches, but interactive clients submit one problem at a time.  This queue
+is the adapter between the two: concurrent submissions accumulate, and the
+dispatcher collects them into **waves** under a two-trigger policy:
+
+* **window** — the first pending submission opens a window of
+  ``window_s`` seconds; companions arriving inside it ride the same wave
+  (bounded added latency, tunable to the deployment's traffic);
+* **size** — the moment ``max_wave`` submissions are pending the wave
+  dispatches immediately, window notwithstanding (a burst never waits).
+
+Backpressure is explicit: past ``max_depth`` undispatched items,
+:meth:`CoalescingQueue.put` raises :class:`QueueFull` (HTTP 429 at the
+edge) instead of buffering without bound.  Closing the queue rejects new
+work but lets the dispatcher drain every accepted item — the graceful-
+shutdown contract: accepted jobs always finish.
+
+Single-loop discipline: every method is called from the service's event
+loop (submissions via the HTTP handlers, collection via the dispatcher
+task), so the queue needs no lock — only the ``asyncio.Event`` that wakes
+the dispatcher.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any
+
+from repro.exceptions import ReproError
+
+
+class QueueFull(ReproError):
+    """Raised by :meth:`CoalescingQueue.put` past ``max_depth`` (HTTP 429)."""
+
+
+class QueueClosed(ReproError):
+    """Raised by :meth:`CoalescingQueue.put` after close (HTTP 503)."""
+
+
+class CoalescingQueue:
+    """Accumulate concurrent submissions; release them in waves."""
+
+    def __init__(self, window_s: float = 0.05, max_wave: int = 64, max_depth: int = 1024):
+        if window_s < 0:
+            raise ReproError("window_s must be >= 0")
+        if max_wave < 1:
+            raise ReproError("max_wave must be >= 1")
+        if max_depth < 1:
+            raise ReproError("max_depth must be >= 1")
+        self.window_s = window_s
+        self.max_wave = max_wave
+        self.max_depth = max_depth
+        self._items: "deque[tuple[float, Any]]" = deque()
+        self._arrived = asyncio.Event()
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        """Undispatched submissions (the queue-depth gauge feed)."""
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> None:
+        """Enqueue one submission (synchronous: admission is loop-side)."""
+        if self._closed:
+            raise QueueClosed("service is draining; not accepting new work")
+        if len(self._items) >= self.max_depth:
+            raise QueueFull(
+                f"queue depth limit reached ({self.max_depth} undispatched requests)"
+            )
+        loop = asyncio.get_running_loop()
+        self._items.append((loop.time(), item))
+        self._arrived.set()
+
+    def close(self) -> None:
+        """Reject future submissions; pending items remain collectable."""
+        self._closed = True
+        self._arrived.set()  # wake a dispatcher blocked on arrival
+
+    async def collect_wave(self) -> "list[Any]":
+        """Block until a wave is due; return its items (``[]`` = shut down).
+
+        The window anchors on the *arrival time of the wave's first item*,
+        not on when the dispatcher got around to asking — a slow previous
+        wave must not extend the next wave's collection past what the
+        latency budget promised.  After :meth:`close`, pending items are
+        released immediately (in ``max_wave``-sized waves) and the empty
+        list is returned once drained, which is the dispatcher's signal to
+        exit.
+        """
+        loop = asyncio.get_running_loop()
+        while not self._items:
+            if self._closed:
+                return []
+            self._arrived.clear()
+            # Re-check before awaiting: a put() between the while-check and
+            # clear() would otherwise be slept through.
+            if self._items or self._closed:
+                continue
+            await self._arrived.wait()
+
+        deadline = self._items[0][0] + self.window_s
+        while len(self._items) < self.max_wave and not self._closed:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            self._arrived.clear()
+            if len(self._items) >= self.max_wave or self._closed:
+                continue
+            try:
+                await asyncio.wait_for(self._arrived.wait(), timeout=remaining)
+            except asyncio.TimeoutError:  # distinct from builtin on 3.10
+                break
+
+        wave = []
+        while self._items and len(wave) < self.max_wave:
+            wave.append(self._items.popleft()[1])
+        return wave

@@ -1,0 +1,232 @@
+"""Service configuration: defaults -> TOML file -> environment overrides.
+
+The loader is stdlib-only (``tomllib``): a config file is optional, every
+field has a production-sane default, and a handful of ``REPRO_SERVICE_*``
+environment variables override both — the twelve-factor shape a container
+deployment needs.  Unknown TOML keys are an error, not a silent ignore: a
+typo in ``window_s`` must not quietly run the service with a default.
+
+TOML layout (every table and key optional)::
+
+    [service]
+    host = "127.0.0.1"
+    port = 8735
+    max_queue_depth = 1024
+    job_retention = 4096
+
+    [coalesce]
+    window_s = 0.05
+    max_wave = 64
+    max_inflight_waves = 1
+
+    [engine]
+    backends = ["sa", "tabu"]          # >1 name enables adaptive routing
+    executor = "threads"
+    refine = true
+    top_k = 8
+    cache = true                        # true | false | "/path/to/dir"
+    store = "/var/lib/repro/engine.db"  # omit to consult REPRO_STORE
+    epsilon = 0.1
+    scheduler_seed = 0
+
+    [engine.backend_opts.sa]
+    num_reads = 16
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python 3.10: env/kwargs config only
+    tomllib = None
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError
+
+#: Environment overrides: variable -> (config field, parser).
+_ENV_OVERRIDES = {
+    "REPRO_SERVICE_HOST": ("host", str),
+    "REPRO_SERVICE_PORT": ("port", int),
+    "REPRO_SERVICE_WINDOW_S": ("window_s", float),
+    "REPRO_SERVICE_MAX_WAVE": ("max_wave", int),
+    "REPRO_SERVICE_MAX_QUEUE_DEPTH": ("max_queue_depth", int),
+    "REPRO_SERVICE_EXECUTOR": ("executor", str),
+    "REPRO_SERVICE_BACKENDS": (
+        "backends",
+        lambda raw: tuple(name.strip() for name in raw.split(",") if name.strip()),
+    ),
+    "REPRO_SERVICE_STORE": ("store", str),
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the service tier needs to boot, in one value object.
+
+    Attributes:
+        host: Bind address; ``port`` 0 asks the OS for an ephemeral port
+            (the bound port is printed by ``python -m repro.service``).
+        max_queue_depth: Submissions beyond this many undispatched jobs
+            are rejected with 429 (backpressure, not unbounded memory).
+        job_retention: Finished jobs kept for ``GET /v1/jobs/<id>``;
+            oldest finished jobs are evicted past this count.
+        window_s: Coalescing window — how long the queue holds the first
+            pending submission open for companions before dispatching the
+            wave.  Latency-vs-amortisation knob.
+        max_wave: A wave dispatches immediately once this many
+            submissions are pending, window notwithstanding.
+        max_inflight_waves: Concurrent ``solve_many`` waves; further
+            waves queue behind a semaphore while collection continues.
+        backends: Backend fleet (registry names).  One name solves every
+            wave on that backend; several enable an
+            :class:`~repro.engine.scheduler.AdaptiveScheduler` that
+            routes each request's structure by scoreboard telemetry.
+        backend_opts: Per-backend factory options keyed by registry name.
+        executor: Engine executor for wave dispatch (``threads`` default;
+            any :func:`~repro.engine.executors.list_executors` entry).
+        cache: ``True`` (service-owned in-memory cache), ``False``, or a
+            directory path for the disk tier.
+        store: Durable :class:`~repro.engine.store.EngineStore` path.
+            ``None`` consults ``REPRO_STORE`` (the engine convention);
+            ``""`` forces the store off.
+        epsilon / scheduler_seed / scheduler_deadline_s: Adaptive-routing
+            knobs, forwarded to the scheduler (fleet mode only).
+        refine / top_k: Solve-kernel options shared by every request —
+            they are part of the cache key, so the service pins them
+            fleet-wide rather than letting requests fragment the cache.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8735
+    max_queue_depth: int = 1024
+    job_retention: int = 4096
+    window_s: float = 0.05
+    max_wave: int = 64
+    max_inflight_waves: int = 1
+    backends: tuple = ("sa",)
+    backend_opts: dict = field(default_factory=dict)
+    executor: str = "threads"
+    refine: bool = True
+    top_k: int = 8
+    cache: Any = True
+    store: "str | None" = None
+    epsilon: float = 0.1
+    scheduler_seed: int = 0
+    scheduler_deadline_s: "float | None" = None
+
+    def validate(self) -> "ServiceConfig":
+        if not 0 <= self.port <= 65535:
+            raise ReproError(f"service port must be in [0, 65535], got {self.port}")
+        if self.max_queue_depth < 1:
+            raise ReproError("max_queue_depth must be >= 1")
+        if self.job_retention < 1:
+            raise ReproError("job_retention must be >= 1")
+        if self.window_s < 0:
+            raise ReproError("coalesce window_s must be >= 0")
+        if self.max_wave < 1:
+            raise ReproError("max_wave must be >= 1")
+        if self.max_inflight_waves < 1:
+            raise ReproError("max_inflight_waves must be >= 1")
+        if not self.backends:
+            raise ReproError("the backend fleet needs at least one registry name")
+        unknown = set(self.backend_opts) - set(self.backends)
+        if unknown:
+            raise ReproError(
+                f"backend_opts for {sorted(unknown)} match no fleet backend"
+            )
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ReproError("epsilon must be in [0, 1]")
+        if self.top_k < 1:
+            raise ReproError("top_k must be >= 1")
+        return self
+
+    @property
+    def scheduled(self) -> bool:
+        """Whether the fleet is large enough to need adaptive routing."""
+        return len(self.backends) > 1
+
+
+def _take(table: Mapping, known: dict, where: str) -> dict:
+    """Map TOML keys to config fields, rejecting anything unknown."""
+    out = {}
+    for key, value in table.items():
+        if key not in known:
+            raise ReproError(
+                f"unknown key {key!r} in [{where}] (known: {sorted(known)})"
+            )
+        out[known[key]] = value
+    return out
+
+
+def load_config(
+    path: "str | os.PathLike | None" = None,
+    env: "Mapping[str, str] | None" = None,
+    **overrides,
+) -> ServiceConfig:
+    """Build a :class:`ServiceConfig`: defaults <- TOML <- env <- kwargs.
+
+    Args:
+        path: Optional TOML file (see the module docstring for the layout).
+        env: Environment mapping (defaults to ``os.environ``) consulted
+            for ``REPRO_SERVICE_*`` overrides.
+        **overrides: Final programmatic overrides (e.g. ``port=0`` from
+            the CLI) applied after everything else.
+    """
+    env = os.environ if env is None else env
+    fields: dict = {}
+
+    if path is not None:
+        if tomllib is None:
+            raise ReproError(
+                "TOML config files need Python 3.11+ (stdlib tomllib); use "
+                "REPRO_SERVICE_* environment variables or kwargs instead"
+            )
+        with open(path, "rb") as fh:
+            data = tomllib.load(fh)
+        unknown = set(data) - {"service", "coalesce", "engine"}
+        if unknown:
+            raise ReproError(
+                f"unknown table(s) {sorted(unknown)} in {path} "
+                "(known: service, coalesce, engine)"
+            )
+        fields.update(_take(data.get("service", {}), {
+            "host": "host", "port": "port",
+            "max_queue_depth": "max_queue_depth", "job_retention": "job_retention",
+        }, "service"))
+        fields.update(_take(data.get("coalesce", {}), {
+            "window_s": "window_s", "max_wave": "max_wave",
+            "max_inflight_waves": "max_inflight_waves",
+        }, "coalesce"))
+        engine = dict(data.get("engine", {}))
+        opts = engine.pop("backend_opts", {})
+        if not isinstance(opts, dict) or not all(isinstance(v, dict) for v in opts.values()):
+            raise ReproError("[engine.backend_opts.<name>] tables must map option -> value")
+        fields.update(_take(engine, {
+            "backends": "backends", "executor": "executor", "refine": "refine",
+            "top_k": "top_k", "cache": "cache", "store": "store",
+            "epsilon": "epsilon", "scheduler_seed": "scheduler_seed",
+            "deadline_s": "scheduler_deadline_s",
+        }, "engine"))
+        if opts:
+            fields["backend_opts"] = {name: dict(v) for name, v in opts.items()}
+        if "backends" in fields:
+            backends = fields["backends"]
+            if isinstance(backends, str):
+                backends = [backends]
+            fields["backends"] = tuple(str(b) for b in backends)
+
+    for variable, (target, parse) in _ENV_OVERRIDES.items():
+        raw = env.get(variable)
+        if raw is not None and raw != "":
+            try:
+                fields[target] = parse(raw)
+            except ValueError as exc:
+                raise ReproError(f"bad {variable}={raw!r}: {exc}") from exc
+
+    config = replace(ServiceConfig(), **fields)
+    if overrides:
+        config = replace(config, **overrides)
+    return config.validate()

@@ -1,0 +1,128 @@
+"""Job bookkeeping: submissions, lifecycle states, bounded retention.
+
+A job is one ``POST /v1/solve`` submission.  Lifecycle::
+
+    pending ──(wave dispatched)──> running ──> done
+                                      └──────> error
+
+Jobs carry an :class:`asyncio.Future` resolved at completion so a
+``wait=true`` submission can block on the result without polling, and the
+:class:`JobBook` keeps a bounded history — finished jobs beyond the
+retention cap are evicted oldest-first so a long-lived service cannot leak
+memory through its own status endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.exceptions import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only
+    from repro.api.problem import Problem
+    from repro.api.result import SolveResult
+
+#: Lifecycle states (also the ``state`` label of the jobs gauge).
+STATES = ("pending", "running", "done", "error")
+
+
+@dataclass
+class Job:
+    """One submitted solve request and everything learned about it."""
+
+    id: str
+    problem: "Problem"
+    seed: int
+    spec: dict
+    status: str = "pending"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: "float | None" = None
+    finished_at: "float | None" = None
+    wave: "int | None" = None
+    result: "SolveResult | None" = None
+    error: "str | None" = None
+    future: "asyncio.Future | None" = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "error")
+
+    @property
+    def latency_s(self) -> "float | None":
+        """Submit-to-finish seconds (the request latency histogram feed)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def as_json_dict(self) -> dict:
+        """The ``GET /v1/jobs/<id>`` response body."""
+        return {
+            "job_id": self.id,
+            "status": self.status,
+            "seed": self.seed,
+            "problem": self.spec,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wave": self.wave,
+            "result": self.result.to_json_dict() if self.result is not None else None,
+            "error": self.error,
+        }
+
+
+class JobBook:
+    """Id -> :class:`Job` registry with bounded finished-job retention.
+
+    Single-event-loop discipline: every mutation happens on the service's
+    loop (wave completion marshals back before touching jobs), so no lock
+    is needed.  Ids are monotonic (``job-000001``) — diagnosable in logs
+    and unguessable ids are not a service goal.
+    """
+
+    def __init__(self, retention: int = 4096):
+        if retention < 1:
+            raise ReproError("job retention must be >= 1")
+        self.retention = retention
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._counter = itertools.count(1)
+
+    def create(self, problem: "Problem", seed: int, spec: dict) -> Job:
+        job = Job(
+            id=f"job-{next(self._counter):06d}",
+            problem=problem,
+            seed=seed,
+            spec=dict(spec),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._jobs[job.id] = job
+        self._evict()
+        return job
+
+    def get(self, job_id: str) -> "Job | None":
+        return self._jobs.get(job_id)
+
+    def counts(self) -> dict:
+        """``{state: count}`` over retained jobs (the jobs gauge feed)."""
+        counts = dict.fromkeys(STATES, 0)
+        for job in self._jobs.values():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def _evict(self) -> None:
+        # Never evict live work: an id must stay resolvable at least until
+        # its solve finishes, whatever the retention cap says.
+        if len(self._jobs) <= self.retention:
+            return
+        for job_id, job in list(self._jobs.items()):
+            if len(self._jobs) <= self.retention:
+                break
+            if job.finished:
+                del self._jobs[job_id]

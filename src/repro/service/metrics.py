@@ -1,0 +1,241 @@
+"""Prometheus text-format metrics, stdlib only.
+
+A deliberately small subset of the client-library surface — counters,
+gauges, and cumulative histograms with fixed buckets — rendered in the
+text exposition format (version 0.0.4) that Prometheus, VictoriaMetrics,
+and every scraper in between ingest.  The service derives most values at
+scrape time from telemetry the engine already keeps (scoreboard capacity
+snapshots, cache hit counters), so this module stays a renderer, not a
+second bookkeeping system.
+
+Thread-safety: a single lock per metric family.  Waves complete on worker
+threads while ``/metrics`` renders on the event loop, so increments and
+render snapshots must not interleave mid-update.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import ReproError
+
+#: Default latency buckets (seconds): interactive solves through slow waves.
+LATENCY_BUCKETS = (0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Default wave-size buckets: powers of two up to a wide wave.
+WAVE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared machinery: one value (or histogram state) per label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._values: dict = {}
+
+    def _key(self, labels: Mapping[str, str]) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ReproError(
+                f"metric {self.name} expects labels {self.labelnames}, got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _label_map(self, key: tuple) -> dict:
+        return dict(zip(self.labelnames, key))
+
+    def header(self) -> list[str]:
+        return [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+
+
+class Counter(_Metric):
+    """Monotonically increasing total (optionally labelled)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ReproError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self.header()
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_format_labels(self._label_map(key))} {_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that can go anywhere (queue depth, capacity stats)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def clear(self) -> None:
+        """Drop every label set (scrape-time derived gauges re-populate)."""
+        with self._lock:
+            self._values.clear()
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self.header()
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_format_labels(self._label_map(key))} {_format_value(value)}"
+            )
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (wave sizes, request latencies)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float],
+        labelnames: Sequence[str] = (),
+    ):
+        super().__init__(name, help_text, labelnames)
+        if not buckets or sorted(buckets) != list(buckets):
+            raise ReproError("histogram buckets must be a sorted non-empty sequence")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+                self._values[key] = state
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state["counts"][i] += 1
+            state["sum"] += float(value)
+            state["count"] += 1
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            state = self._values.get(self._key(labels))
+            return state["count"] if state else 0
+
+    def render(self) -> list[str]:
+        with self._lock:
+            items = sorted(
+                (key, {"counts": list(s["counts"]), "sum": s["sum"], "count": s["count"]})
+                for key, s in self._values.items()
+            )
+        lines = self.header()
+        if not items and not self.labelnames:
+            items = [((), {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0})]
+        for key, state in items:
+            base = self._label_map(key)
+            for bound, cumulative in zip(self.buckets, state["counts"]):
+                labels = dict(base, le=_format_value(bound))
+                lines.append(
+                    f"{self.name}_bucket{_format_labels(labels)} {cumulative}"
+                )
+            labels = dict(base, le="+Inf")
+            lines.append(f"{self.name}_bucket{_format_labels(labels)} {state['count']}")
+            lines.append(
+                f"{self.name}_sum{_format_labels(base)} {_format_value(state['sum'])}"
+            )
+            lines.append(f"{self.name}_count{_format_labels(base)} {state['count']}")
+        return lines
+
+    def _key(self, labels: Mapping[str, str]) -> tuple:  # le is reserved
+        if "le" in labels:
+            raise ReproError("'le' is a reserved histogram label")
+        return super()._key(labels)
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics with one text-exposition renderer."""
+
+    def __init__(self):
+        self._metrics: "dict[str, _Metric]" = {}
+
+    def register(self, metric: _Metric) -> _Metric:
+        if metric.name in self._metrics:
+            raise ReproError(f"metric {metric.name!r} is already registered")
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Counter:
+        return self.register(Counter(name, help_text, labelnames))
+
+    def gauge(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Gauge:
+        return self.register(Gauge(name, help_text, labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float],
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        return self.register(Histogram(name, help_text, buckets, labelnames))
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for metric in self._metrics.values():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def __iter__(self) -> Iterable[_Metric]:  # pragma: no cover - convenience
+        return iter(self._metrics.values())

@@ -1,0 +1,164 @@
+"""Wire-format problem specs -> :class:`~repro.api.problem.Problem` adapters.
+
+A service request cannot ship a live python object, so ``POST /v1/solve``
+carries a small JSON spec and this module rebuilds the problem behind it.
+Three kinds cover the service's traffic:
+
+* ``{"kind": "mqo", "num_queries": 4, "plans_per_query": 3,
+  "sharing_density": 0.4, "instance_seed": 7}`` — a generated multiple-
+  query-optimization instance.  ``instance_seed`` pins the generator RNG,
+  so the same spec names the same instance on every node: specs are
+  *content-addressable*, which is what lets the engine's fingerprint cache
+  collapse identical requests.
+* ``{"kind": "joinorder", "topology": "chain"|"star"|"cycle",
+  "num_relations": 5, "instance_seed": 7, "encoding": "leftdeep"|"bushy"}``
+  — a generated join-ordering instance.
+* ``{"kind": "qubo", "linear": {"x0": -1.0}, "quadratic":
+  [["x0", "x1", 2.0]], "offset": 0.0}`` — a raw QUBO, for callers that
+  formulate themselves.
+
+Specs are validated with explicit bounds (a public endpoint must not let
+one request formulate an exponential instance), and every error is a
+:class:`~repro.exceptions.ReproError` the HTTP layer maps to 400.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.api.problem import Problem
+from repro.exceptions import ReproError
+from repro.qubo.model import QuboModel
+
+#: Instance-size ceilings: large enough for every benchmark shape the repo
+#: generates, small enough that formulation stays interactive.
+MAX_QUERIES = 32
+MAX_PLANS = 32
+MAX_RELATIONS = 12
+MAX_QUBO_VARIABLES = 1024
+
+
+class RawQuboProblem(Problem):
+    """A caller-formulated QUBO behind the uniform Problem contract.
+
+    Solutions are ``{label: bit}`` assignments; the exact objective *is*
+    the QUBO energy (there is no hidden domain cost to re-evaluate), so
+    ``energy`` and ``objective`` agree on this adapter.
+    """
+
+    name = "qubo"
+
+    def __init__(self, model: QuboModel):
+        self.model = model
+
+    def build_qubo(self) -> QuboModel:
+        return self.model
+
+    def decode(self, bits) -> dict:
+        return self.to_qubo().decode(bits)
+
+    def evaluate(self, solution: Mapping) -> float:
+        return self.to_qubo().energy(solution)
+
+
+def _require_int(spec: Mapping, key: str, lo: int, hi: int, default=None) -> int:
+    value = spec.get(key, default)
+    if value is None:
+        raise ReproError(f"problem spec is missing required field {key!r}")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ReproError(f"problem spec field {key!r} must be an integer")
+    if not lo <= value <= hi:
+        raise ReproError(f"problem spec field {key!r} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def _mqo_from_spec(spec: Mapping) -> Problem:
+    from repro.api.adapters import MQOAdapter
+    from repro.mqo.generator import generate_mqo_problem
+
+    density = spec.get("sharing_density", 0.3)
+    if not isinstance(density, (int, float)) or not 0.0 <= float(density) <= 1.0:
+        raise ReproError("sharing_density must be a number in [0, 1]")
+    return MQOAdapter(
+        generate_mqo_problem(
+            _require_int(spec, "num_queries", 1, MAX_QUERIES),
+            _require_int(spec, "plans_per_query", 1, MAX_PLANS),
+            sharing_density=float(density),
+            rng=_require_int(spec, "instance_seed", 0, 2**31 - 1, default=0),
+        )
+    )
+
+
+def _joinorder_from_spec(spec: Mapping) -> Problem:
+    from repro.api.adapters import BushyJoinAdapter, LeftDeepJoinAdapter
+    from repro.db.generator import chain_query, cycle_query, star_query
+
+    topologies = {"chain": chain_query, "star": star_query, "cycle": cycle_query}
+    topology = spec.get("topology", "chain")
+    if topology not in topologies:
+        raise ReproError(f"joinorder topology must be one of {sorted(topologies)}")
+    graph = topologies[topology](
+        _require_int(spec, "num_relations", 2 if topology != "cycle" else 3, MAX_RELATIONS),
+        rng=_require_int(spec, "instance_seed", 0, 2**31 - 1, default=0),
+    )
+    encoding = spec.get("encoding", "leftdeep")
+    if encoding == "leftdeep":
+        return LeftDeepJoinAdapter(graph)
+    if encoding == "bushy":
+        return BushyJoinAdapter(graph)
+    raise ReproError("joinorder encoding must be 'leftdeep' or 'bushy'")
+
+
+def _qubo_from_spec(spec: Mapping) -> Problem:
+    linear = spec.get("linear", {})
+    quadratic = spec.get("quadratic", [])
+    if not isinstance(linear, Mapping):
+        raise ReproError("qubo 'linear' must map variable label -> coefficient")
+    if not isinstance(quadratic, (list, tuple)):
+        raise ReproError("qubo 'quadratic' must be a list of [u, v, coefficient] triples")
+    if not linear and not quadratic:
+        raise ReproError("a qubo spec needs at least one linear or quadratic term")
+    model = QuboModel()
+    try:
+        for label, coeff in linear.items():
+            model.add_linear(str(label), float(coeff))
+        for entry in quadratic:
+            u, v, coeff = entry
+            model.add_quadratic(str(u), str(v), float(coeff))
+        model.add_offset(float(spec.get("offset", 0.0)))
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"malformed qubo term: {exc}") from exc
+    if model.num_variables > MAX_QUBO_VARIABLES:
+        raise ReproError(
+            f"qubo spec has {model.num_variables} variables "
+            f"(limit {MAX_QUBO_VARIABLES})"
+        )
+    return RawQuboProblem(model)
+
+
+_KINDS = {
+    "mqo": _mqo_from_spec,
+    "joinorder": _joinorder_from_spec,
+    "qubo": _qubo_from_spec,
+}
+
+
+def problem_from_spec(spec: Any) -> Problem:
+    """Rebuild the :class:`Problem` a JSON problem spec names.
+
+    Raises :class:`~repro.exceptions.ReproError` (HTTP 400 at the edge)
+    for an unknown kind, a missing/ill-typed field, or an instance beyond
+    the size ceilings.
+    """
+    if not isinstance(spec, Mapping):
+        raise ReproError("problem spec must be a JSON object with a 'kind' field")
+    kind = spec.get("kind")
+    builder = _KINDS.get(kind)
+    if builder is None:
+        raise ReproError(f"unknown problem kind {kind!r} (known: {sorted(_KINDS)})")
+    return builder(spec)
+
+
+def list_kinds() -> list[str]:
+    """Spec kinds the service accepts (diagnostics / docs)."""
+    return sorted(_KINDS)

@@ -1,0 +1,99 @@
+"""SolveResult JSON round-trip: NaN-energy convention, numpy leakage.
+
+``to_json_dict`` must produce strict-JSON output (``json.dumps`` with
+``allow_nan=False`` clean) for the service tier, and ``from_json_dict``
+must restore the NaN-energy convention so ``used_qubo`` survives the wire.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api.result import SolveResult
+from repro.mqo import generate_mqo_problem
+
+
+def strict_dumps(payload) -> str:
+    return json.dumps(payload, allow_nan=False)
+
+
+def test_nan_energy_round_trips_as_null():
+    result = SolveResult(
+        problem="mqo", method="classical", solution={"q0": 1},
+        objective=12.5, energy=math.nan, wall_time=0.01, num_variables=9,
+    )
+    payload = result.to_json_dict()
+    assert payload["energy"] is None
+    strict_dumps(payload)  # would raise on a bare NaN
+
+    back = SolveResult.from_json_dict(json.loads(strict_dumps(payload)))
+    assert math.isnan(back.energy)
+    assert back.used_qubo is False
+    assert back.objective == 12.5
+    assert back.solution == {"q0": 1}
+
+
+def test_numpy_scalars_and_arrays_become_plain_python():
+    result = SolveResult(
+        problem="qubo",
+        method="sa",
+        solution={"x0": np.int64(1), "x1": np.int64(0)},
+        objective=np.float64(-3.25),
+        energy=np.float64(-3.25),
+        wall_time=np.float64(0.002),
+        num_variables=np.int64(2),
+        info={
+            "reads": np.int32(8),
+            "bits": np.array([1, 0, 1]),
+            "nested": {"scale": np.float32(0.5)},
+            "labels": ("x0", "x1"),
+            "flags": {np.int64(3), np.int64(1)},
+            np.int64(7): "non-string key",
+        },
+    )
+    payload = result.to_json_dict()
+    text = strict_dumps(payload)  # nothing numpy/NaN may survive
+    decoded = json.loads(text)
+    assert decoded["solution"] == {"x0": 1, "x1": 0}
+    assert decoded["objective"] == -3.25
+    assert decoded["info"]["bits"] == [1, 0, 1]
+    assert decoded["info"]["labels"] == ["x0", "x1"]
+    assert decoded["info"]["flags"] == [1, 3]
+    assert decoded["info"]["7"] == "non-string key"
+    assert all(isinstance(k, str) for k in decoded["info"])
+
+    back = SolveResult.from_json_dict(decoded)
+    assert back.objective == result.objective
+    assert back.num_variables == 2
+
+
+def test_non_finite_info_values_become_null():
+    result = SolveResult(
+        problem="p", method="m", solution=[], objective=0.0,
+        info={"deadline": math.inf, "quality": math.nan, "ok": 1.0},
+    )
+    payload = result.to_json_dict()
+    assert payload["info"]["deadline"] is None
+    assert payload["info"]["quality"] is None
+    assert payload["info"]["ok"] == 1.0
+    strict_dumps(payload)
+
+
+def test_real_solve_result_round_trips():
+    problem = generate_mqo_problem(3, 3, sharing_density=0.4, rng=7)
+    result = repro.solve(problem, backend="sa", seed=11, num_reads=4)
+    payload = result.to_json_dict()
+    strict_dumps(payload)
+
+    back = SolveResult.from_json_dict(payload)
+    assert back.problem == result.problem
+    assert back.method == result.method
+    assert back.objective == result.objective
+    assert back.solution == result.solution
+    assert (back.energy == result.energy) or (
+        math.isnan(back.energy) and math.isnan(result.energy)
+    )
+    assert back.used_qubo is result.used_qubo

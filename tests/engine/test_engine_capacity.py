@@ -1,0 +1,125 @@
+"""Scoreboard capacity snapshots and explicit batch seeds.
+
+Two seams the service tier stands on:
+
+* :meth:`BackendScoreboard.capacity_snapshot` — the per-backend read model
+  behind ``/metrics`` and ``/readyz`` (and the seam a future admission
+  controller will consume);
+* ``seeds=`` on :func:`compile_plan` / the batch entry points — explicit
+  per-item child seeds, which with single-item shards make a batch item
+  bit-identical to a standalone solve of the same (problem, seed).
+"""
+
+import math
+
+import pytest
+
+from repro.api.facade import solve, solve_many
+from repro.api.result import SolveResult
+from repro.engine import BackendScoreboard, compile_plan
+from repro.exceptions import ReproError
+from repro.mqo import generate_mqo_problem
+
+
+def problems(n=3):
+    return [generate_mqo_problem(3, 3, sharing_density=0.4, rng=i) for i in range(n)]
+
+
+# -- capacity_snapshot -------------------------------------------------------
+
+
+def test_capacity_snapshot_empty_board():
+    assert BackendScoreboard().capacity_snapshot() == {}
+
+
+def test_capacity_snapshot_aggregates_per_backend():
+    board = BackendScoreboard()
+    board.observe("sa", "sig-a", objective=10.0, wall_time=0.5)
+    board.observe("sa", "sig-b", objective=20.0, wall_time=1.5)
+    board.observe("sa", "sig-a", objective=10.0, wall_time=0.5, cache_hit=True)
+    # Timeouts arrive via portfolio breakdowns (deadline-exceeded contenders).
+    raced = SolveResult(
+        problem="p", method="tabu", solution=None, objective=5.0,
+        info={
+            "portfolio": [
+                {"method": "tabu", "status": "completed",
+                 "objective": 5.0, "wall_time": 0.1},
+                {"method": "tabu", "status": "deadline_exceeded"},
+            ],
+            "portfolio_meta": {"deadline_s": 2.0},
+        },
+    )
+    board.observe_portfolio(raced, signature="sig-a")
+
+    snapshot = board.capacity_snapshot()
+    assert set(snapshot) == {"sa", "tabu"}
+
+    sa = snapshot["sa"]
+    assert sa["count"] == 3
+    assert sa["structures"] == 2
+    assert sa["cache_hit_rate"] == pytest.approx(1 / 3)
+    assert sa["timeouts"] == 0 and sa["timeout_rate"] == 0.0
+    assert sa["errors"] == 0 and sa["error_rate"] == 0.0
+    assert sa["best_objective"] == 10.0
+    assert math.isfinite(sa["latency"]) and sa["latency"] > 0
+
+    tabu = snapshot["tabu"]
+    assert tabu["count"] == 2  # the timeout is an observation too
+    assert tabu["timeouts"] == 1
+    assert tabu["timeout_rate"] == pytest.approx(0.5)
+    assert tabu["structures"] == 1
+
+
+def test_capacity_snapshot_tracks_real_batch():
+    board = BackendScoreboard()
+    results = solve_many(problems(3), backend="sa", seed=0, num_reads=4)
+    for result in results:
+        board.observe_result(result)
+    snapshot = board.capacity_snapshot()
+    assert snapshot["sa"]["count"] == 3
+    assert snapshot["sa"]["structures"] >= 1
+    assert math.isfinite(snapshot["sa"]["quality"])
+
+
+# -- explicit seeds= ---------------------------------------------------------
+
+
+def test_compile_plan_explicit_seeds_are_used_verbatim():
+    plan = compile_plan(problems(3), backend="sa", seeds=[11, 22, 33])
+    assert sorted((item.index, item.seed) for item in plan.items) == [
+        (0, 11), (1, 22), (2, 33),
+    ]
+
+
+def test_compile_plan_seed_validation():
+    batch = problems(2)
+    with pytest.raises(ReproError):
+        compile_plan(batch, backend="sa", seeds=[1])  # wrong length
+    with pytest.raises(ReproError):
+        compile_plan(batch, backend="sa", seeds=[1, -5])  # out of range
+    with pytest.raises(ReproError):
+        compile_plan(batch, backend="sa", seeds=[1, 2**63])  # out of range
+
+
+def test_explicit_seeds_with_unit_shards_match_standalone_solves():
+    batch = problems(3)
+    seeds = [101, 101, 7]  # duplicates across different problems are fine
+    batched = solve_many(
+        batch, backend="sa", seeds=seeds, max_shard_size=1, num_reads=4
+    )
+    for problem, seed, from_batch in zip(batch, seeds, batched):
+        direct = solve(problem, backend="sa", seed=seed, num_reads=4)
+        assert direct.objective == from_batch.objective
+        assert direct.solution == from_batch.solution
+    # The explicit seed is stamped into the engine telemetry.
+    assert [r.info["engine"]["seed"] for r in batched] == seeds
+
+
+def test_explicit_seeds_are_deterministic_across_executors():
+    batch = problems(3)
+    seeds = [5, 6, 7]
+    serial = solve_many(batch, backend="sa", seeds=seeds, executor="serial",
+                        max_shard_size=1, num_reads=4)
+    threaded = solve_many(batch, backend="sa", seeds=seeds, executor="threads",
+                          max_shard_size=1, num_reads=4)
+    assert [r.objective for r in serial] == [r.objective for r in threaded]

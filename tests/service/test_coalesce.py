@@ -1,0 +1,110 @@
+"""CoalescingQueue unit behaviour: triggers, backpressure, drain protocol.
+
+Every timing-sensitive claim is pinned by the *size* trigger (a wave
+dispatches the moment ``max_wave`` items are pending) or by generous
+windows, never by racing the scheduler against a short real-time window.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.service.coalesce import CoalescingQueue, QueueClosed, QueueFull
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_size_trigger_dispatches_full_wave_immediately():
+    async def scenario():
+        queue = CoalescingQueue(window_s=30.0, max_wave=4)
+        for item in range(4):
+            queue.put(item)
+        # The window is half a minute; only the size trigger can fire now.
+        wave = await asyncio.wait_for(queue.collect_wave(), timeout=5.0)
+        return wave
+
+    assert run(scenario()) == [0, 1, 2, 3]
+
+
+def test_window_trigger_collects_late_companions():
+    async def scenario():
+        queue = CoalescingQueue(window_s=0.5, max_wave=64)
+        collector = asyncio.create_task(queue.collect_wave())
+        queue.put("first")
+        await asyncio.sleep(0.02)  # well inside the window
+        queue.put("second")
+        return await asyncio.wait_for(collector, timeout=5.0)
+
+    assert run(scenario()) == ["first", "second"]
+
+
+def test_zero_window_still_coalesces_already_pending_items():
+    async def scenario():
+        queue = CoalescingQueue(window_s=0.0, max_wave=64)
+        for item in ("a", "b", "c"):
+            queue.put(item)
+        return await queue.collect_wave()
+
+    assert run(scenario()) == ["a", "b", "c"]
+
+
+def test_oversized_backlog_splits_into_max_wave_chunks():
+    async def scenario():
+        queue = CoalescingQueue(window_s=0.0, max_wave=3)
+        for item in range(7):
+            queue.put(item)
+        waves = [await queue.collect_wave() for _ in range(3)]
+        return waves
+
+    assert run(scenario()) == [[0, 1, 2], [3, 4, 5], [6]]
+
+
+def test_backpressure_raises_queue_full():
+    async def scenario():
+        queue = CoalescingQueue(window_s=1.0, max_wave=64, max_depth=2)
+        queue.put(1)
+        queue.put(2)
+        with pytest.raises(QueueFull):
+            queue.put(3)
+        assert queue.depth == 2
+
+    run(scenario())
+
+
+def test_close_rejects_new_work_but_drains_pending():
+    async def scenario():
+        queue = CoalescingQueue(window_s=30.0, max_wave=64)
+        queue.put("accepted")
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("rejected")
+        # Pending items are released without waiting out the window...
+        wave = await asyncio.wait_for(queue.collect_wave(), timeout=5.0)
+        assert wave == ["accepted"]
+        # ...and the empty wave is the dispatcher's exit signal.
+        assert await queue.collect_wave() == []
+
+    run(scenario())
+
+
+def test_close_wakes_a_blocked_collector():
+    async def scenario():
+        queue = CoalescingQueue(window_s=0.05, max_wave=64)
+        collector = asyncio.create_task(queue.collect_wave())
+        await asyncio.sleep(0.05)  # collector is parked on arrival
+        queue.close()
+        return await asyncio.wait_for(collector, timeout=5.0)
+
+    assert run(scenario()) == []
+
+
+def test_constructor_validation():
+    with pytest.raises(ReproError):
+        CoalescingQueue(window_s=-0.1)
+    with pytest.raises(ReproError):
+        CoalescingQueue(max_wave=0)
+    with pytest.raises(ReproError):
+        CoalescingQueue(max_depth=0)

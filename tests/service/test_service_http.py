@@ -1,0 +1,147 @@
+"""End-to-end HTTP smoke: real server subprocess, real sockets, real signals.
+
+Boots ``python -m repro.service --port 0`` once per module, parses the
+bound port from the startup line, and drives it with stdlib ``urllib``
+from worker threads — the same way the CI ``service-smoke`` job and any
+external client would.  SIGTERM at the end asserts the graceful-shutdown
+contract: drain, then exit 0.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SPEC = {"kind": "mqo", "num_queries": 3, "plans_per_query": 3, "instance_seed": 5}
+
+
+@pytest.fixture(scope="module")
+def server():
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO / "src"),
+        REPRO_SERVICE_WINDOW_S="0.25",
+        REPRO_SERVICE_MAX_WAVE="16",
+        REPRO_STORE="",  # keep the smoke hermetic even if the env sets one
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "--port", "0"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        assert match, f"unexpected startup line: {line!r}"
+        yield proc, f"http://127.0.0.1:{match.group(1)}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+def _get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=30) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+def _post(base, path, body):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(body).encode(), method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+
+
+def test_health_and_readiness(server):
+    _, base = server
+    status, body = _get(base, "/healthz")
+    assert status == 200 and json.loads(body)["ok"] is True
+    status, body = _get(base, "/readyz")
+    ready = json.loads(body)
+    assert status == 200 and ready["ready"] is True
+    assert ready["backends"] == ["sa"]
+
+
+def test_submit_poll_and_wait(server):
+    _, base = server
+    status, body = _post(base, "/v1/solve", {"problem": SPEC, "seed": 3})
+    assert status == 202
+    job_id = json.loads(body)["job_id"]
+
+    status, body = _post(base, "/v1/solve", {"problem": SPEC, "seed": 4, "wait": True})
+    assert status == 200
+    waited = json.loads(body)
+    assert waited["status"] == "done"
+    assert isinstance(waited["result"]["objective"], (int, float))
+
+    status, body = _get(base, f"/v1/jobs/{job_id}")
+    assert status == 200
+    assert json.loads(body)["status"] == "done"
+
+
+def test_error_mapping(server):
+    _, base = server
+    assert _get(base, "/v1/jobs/job-999999")[0] == 404
+    assert _get(base, "/no/such/route")[0] == 404
+    assert _get(base, "/v1/solve")[0] == 405
+    assert _post(base, "/v1/solve", {"problem": {"kind": "nope"}})[0] == 400
+    assert _post(base, "/v1/solve", "not an object")[0] == 400
+    assert _post(base, "/v1/solve", {"problem": SPEC, "seed": -2})[0] == 400
+
+
+def test_concurrent_submissions_coalesce_on_the_wire(server):
+    _, base = server
+    results = [None] * 8
+
+    def submit(i):
+        results[i] = _post(
+            base, "/v1/solve", {"problem": SPEC, "seed": i % 2, "wait": True}
+        )
+
+    threads = [threading.Thread(target=submit, args=(i,)) for i in range(len(results))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert all(status == 200 for status, _ in results)
+    bodies = [json.loads(body) for _, body in results]
+    assert all(body["status"] == "done" for body in bodies)
+    # Same seed over the wire -> identical objective, whatever wave it rode.
+    by_seed = {}
+    for body in bodies:
+        by_seed.setdefault(body["seed"], set()).add(body["result"]["objective"])
+    assert all(len(objectives) == 1 for objectives in by_seed.values())
+
+    status, text = _get(base, "/metrics")
+    assert status == 200
+    # At least one wave carried more than one request: the le="1" bucket
+    # counts strictly fewer waves than the total.
+    waves = {
+        key: float(value)
+        for key, value in re.findall(r"^(repro_service_wave_size\S*) (\S+)$", text, re.M)
+    }
+    assert waves['repro_service_wave_size_bucket{le="1"}'] < waves["repro_service_wave_size_count"]
+
+
+def test_sigterm_drains_and_exits_zero(server):
+    proc, base = server
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 0
+    tail = proc.stdout.read()
+    assert "draining" in tail and "stopped" in tail
