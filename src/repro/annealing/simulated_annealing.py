@@ -70,8 +70,12 @@ class SimulatedAnnealingSolver:
         coeff_sched = geometric_beta_schedule(lo_c, hi_c, self.num_sweeps)
         first = self._solve_single(model, rng, blocks, coeff_sched, self.num_reads - half)
         second = self._solve_single(model, rng, blocks, field_sched, half)
-        merged = SampleSet(list(first) + list(second), info=dict(first.info))
-        return merged
+        info = {**first.info, **second.info}
+        info["schedule_portfolio"] = {
+            "coeff_reads": self.num_reads - half,
+            "field_reads": half,
+        }
+        return SampleSet(list(first) + list(second), info=info)
 
     def _solve_single(self, model: QuboModel, rng, blocks, beta_schedule, num_reads) -> SampleSet:
         n = model.num_variables

@@ -16,6 +16,7 @@ from typing import Any
 from repro.api.adapters.integration import SchemaMatchingAdapter
 from repro.api.adapters.joinorder import BushyJoinAdapter, LeftDeepJoinAdapter
 from repro.api.adapters.mqo import MQOAdapter
+from repro.api.adapters.qubo import RawQuboProblem
 from repro.api.adapters.txn import TxnScheduleAdapter
 from repro.api.problem import Problem
 from repro.exceptions import ReproError
@@ -26,6 +27,7 @@ __all__ = [
     "BushyJoinAdapter",
     "SchemaMatchingAdapter",
     "TxnScheduleAdapter",
+    "RawQuboProblem",
     "as_problem",
     "as_problems",
 ]
@@ -49,7 +51,10 @@ def as_problem(obj: Any, **kwargs) -> Problem:
     from repro.db.transactions import Transaction
     from repro.integration.schema import Schema
     from repro.mqo.problem import MQOProblem
+    from repro.qubo.model import QuboModel
 
+    if isinstance(obj, QuboModel):
+        return RawQuboProblem(obj, **kwargs)
     if isinstance(obj, MQOProblem):
         return MQOAdapter(obj, **kwargs)
     if isinstance(obj, JoinGraph):

@@ -43,6 +43,13 @@ class Backend(abc.ABC):
     #: each in-flight shard.
     supports_async: bool = False
 
+    #: Largest QUBO (variable count) this engine can take in one call, or
+    #: ``None`` for no inherent limit.  The facade's ``decompose=True`` auto
+    #: threshold and the qbsolv-style splitter in
+    #: :mod:`repro.engine.decompose` consult this before dispatch; hardware
+    #: clients should set it to their device's usable qubit count.
+    capacity: "int | None" = None
+
     @abc.abstractmethod
     def run(self, model: QuboModel, rng=None, **opts) -> SampleSet:
         """Sample low-energy assignments of ``model``."""
@@ -110,6 +117,7 @@ class BruteForceBackend(Backend):
 
         self._solver = BruteForceSolver(max_variables=max_variables)
         self._keep = keep
+        self.capacity = max_variables
 
     def run(self, model: QuboModel, rng=None, **opts) -> SampleSet:
         return self._solver.solve(model, keep=self._keep)
@@ -190,6 +198,9 @@ class AnnealerBackend(Backend):
         self.use_embedding = use_embedding
         self.cache_embeddings = cache_embeddings
         self._embedding_cache: dict = {}
+        # A logical problem can never use more variables than the device has
+        # physical qubits (chains only shrink the usable count further).
+        self.capacity = self.device.num_qubits if use_embedding else None
 
     def run(self, model: QuboModel, rng=None, **opts) -> SampleSet:
         rng = ensure_rng(rng)

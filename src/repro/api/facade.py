@@ -59,6 +59,7 @@ def solve(
     top_k: int = DEFAULT_TOP_K,
     cache: "Any | None" = None,
     store: "Any | None" = None,
+    decompose: "bool | int | None" = None,
     **backend_opts,
 ) -> SolveResult:
     """Solve one problem end to end on one backend.
@@ -91,13 +92,42 @@ def solve(
             layer under ``cache`` (enabling caching if it was off) and
             records the solve's outcome into the durable scoreboard so
             routing knowledge survives restarts.
+        decompose: Large-instance handling (``docs/engine.md``,
+            "Decomposition").  ``None``/``False``: off.  ``True``: if the
+            problem's QUBO exceeds the backend's declared
+            :attr:`~repro.api.backends.Backend.capacity`, split it with the
+            qbsolv-style decomposer in :mod:`repro.engine.decompose`, solve
+            the blocks as one engine batch, and stitch (a backend without a
+            capacity is assumed unbounded — no decomposition).  An ``int``
+            sets the capacity threshold explicitly, regardless of the
+            backend's own.  Inactive when the instance already fits; the
+            stitched path reports provenance in ``info["decompose"]``.
         **backend_opts: Forwarded to the backend factory (e.g.
             ``num_reads=32`` for ``"sa"``, ``num_layers=3`` for ``"qaoa"``).
     """
     backend_name = backend if isinstance(backend, str) else None
+    coerced = as_problem(problem)
+    resolved = _as_backend(backend, **backend_opts)
+    if decompose:
+        capacity = resolved.capacity if decompose is True else int(decompose)
+        if capacity is not None and coerced.to_qubo().num_variables > capacity:
+            from repro.engine.decompose import solve_decomposed
+
+            return solve_decomposed(
+                coerced,
+                resolved,
+                capacity,
+                backend_name=backend_name,
+                backend_opts=backend_opts,
+                seed=seed,
+                refine=refine,
+                top_k=top_k,
+                cache=cache,
+                store=store,
+            )
     return solve_single(
-        as_problem(problem),
-        _as_backend(backend, **backend_opts),
+        coerced,
+        resolved,
         backend_name,
         backend_opts,
         seed,

@@ -28,6 +28,11 @@ The design invariants, relied on throughout:
 """
 
 from repro.engine.cache import ResultCache, default_cache, make_cache_key, resolve_cache
+from repro.engine.decompose import (
+    clamp_subqubo,
+    partition_variables,
+    solve_decomposed,
+)
 from repro.engine.executors import (
     AsyncExecutor,
     Executor,
@@ -69,6 +74,9 @@ __all__ = [
     "default_cache",
     "make_cache_key",
     "resolve_cache",
+    "clamp_subqubo",
+    "partition_variables",
+    "solve_decomposed",
     "Executor",
     "SerialExecutor",
     "ThreadExecutor",

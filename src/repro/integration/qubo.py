@@ -13,6 +13,10 @@ never profitable), matching the paper's candidate filtering.
 
 from __future__ import annotations
 
+from collections import defaultdict
+
+import numpy as np
+
 from repro.integration.schema import Schema
 from repro.integration.similarity import combined_similarity
 from repro.qubo.model import QuboModel
@@ -43,17 +47,24 @@ def matching_to_qubo(
     if weight is None:
         weight = max(sims.values(), default=1.0) + 1.0
     model = QuboModel()
-    for key, s in sims.items():
-        model.variable(key)
-        model.add_linear(key, -s)
+    idx = model.variables_from(sims)
+    model.add_linear_from(idx, -np.array(list(sims.values()), dtype=np.float64))
+    # One pass groups every variable index by source and target attribute
+    # (insertion order within each group matches the sims iteration order
+    # the historical per-attribute scans produced).
+    by_source: dict[str, list[int]] = defaultdict(list)
+    by_target: dict[str, list[int]] = defaultdict(list)
+    for (a, b), i in zip(sims, idx.tolist()):
+        by_source[a].append(i)
+        by_target[b].append(i)
     for a in source.attribute_names:
-        group = [key for key in sims if key[0] == a]
+        group = by_source.get(a, ())
         if len(group) > 1:
-            add_at_most_one(model, group, weight)
+            add_at_most_one(model, np.array(group, dtype=np.int64), weight)
     for b in target.attribute_names:
-        group = [key for key in sims if key[1] == b]
+        group = by_target.get(b, ())
         if len(group) > 1:
-            add_at_most_one(model, group, weight)
+            add_at_most_one(model, np.array(group, dtype=np.int64), weight)
     return model, sims
 
 

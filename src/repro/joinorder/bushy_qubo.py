@@ -27,7 +27,7 @@ from repro.db.plans import JoinTree, tree_from_edge_sequence
 from repro.db.query import JoinGraph
 from repro.exceptions import InfeasibleError
 from repro.qubo.model import QuboModel
-from repro.qubo.penalty import add_at_most_one, add_exactly_one
+from repro.qubo.penalty import add_at_most_one_groups, add_exactly_one_groups
 
 
 class BushyJoinQubo:
@@ -48,23 +48,31 @@ class BushyJoinQubo:
         return math.log10(self.graph.selectivity(a, b))
 
     def build(self) -> QuboModel:
+        # Variables are created e-major (index = e_pos * num_steps + s); the
+        # coefficient groups below are bulk chunks over index arithmetic.
+        steps = self.num_steps
         model = QuboModel()
-        for e in self.edges:
-            for s in range(self.num_steps):
-                model.variable((e, s))
+        model.variables_from((e, s) for e in self.edges for s in range(steps))
 
         # Base cost of contracting edge e at any step: local log size.
-        for a, b in self.edges:
-            base = self._log_card(a) + self._log_card(b) + self._log_sel(a, b)
-            for s in range(self.num_steps):
-                model.add_linear(((a, b), s), base)
+        bases = np.array(
+            [
+                self._log_card(a) + self._log_card(b) + self._log_sel(a, b)
+                for a, b in self.edges
+            ]
+        )
+        model.add_linear_from(
+            np.arange(len(self.edges) * steps), np.repeat(bases, steps)
+        )
 
         # Growth interaction: if f = (c, d) shares a relation with e and is
         # contracted strictly earlier, e's intermediate also contains f's far
-        # relation (and f's predicate applies).
-        for e in self.edges:
+        # relation (and f's predicate applies).  tril_indices walks (s_e, s_f)
+        # pairs with s_f < s_e in the same order the nested step loops did.
+        s_e, s_f = np.tril_indices(steps, k=-1)
+        for ie, e in enumerate(self.edges):
             ea, eb = e
-            for f in self.edges:
+            for jf, f in enumerate(self.edges):
                 if f == e:
                     continue
                 fa, fb = f
@@ -73,19 +81,22 @@ class BushyJoinQubo:
                     continue
                 far = fa if fb in shared else fb
                 growth = self._log_card(far) + self._log_sel(fa, fb)
-                for s_e in range(self.num_steps):
-                    for s_f in range(s_e):
-                        model.add_quadratic((e, s_e), (f, s_f), growth)
+                model.add_quadratic_from(ie * steps + s_e, jf * steps + s_f, growth)
 
         weight = self.penalty if self.penalty is not None else self._default_penalty()
-        for s in range(self.num_steps):
-            add_exactly_one(model, [(e, s) for e in self.edges], weight)
-        for e in self.edges:
-            if len(self.edges) == self.num_steps:
-                add_exactly_one(model, [(e, s) for s in range(self.num_steps)], weight)
+        num_edges = len(self.edges)
+        if steps:
+            add_exactly_one_groups(
+                model,
+                np.arange(steps)[:, np.newaxis] + np.arange(num_edges) * steps,
+                weight,
+            )
+            edge_groups = np.arange(num_edges * steps).reshape(num_edges, steps)
+            if num_edges == steps:
+                add_exactly_one_groups(model, edge_groups, weight)
             else:
                 # Cyclic graphs have more edges than steps: each edge at most once.
-                add_at_most_one(model, [(e, s) for s in range(self.num_steps)], weight)
+                add_at_most_one_groups(model, edge_groups, weight)
         return model
 
     def _default_penalty(self) -> float:

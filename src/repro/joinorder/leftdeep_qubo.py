@@ -27,7 +27,7 @@ from repro.db.plans import leftdeep_tree_from_order
 from repro.db.query import JoinGraph
 from repro.exceptions import InfeasibleError
 from repro.qubo.model import QuboModel
-from repro.qubo.penalty import add_exactly_one
+from repro.qubo.penalty import add_exactly_one_groups
 
 
 class LeftDeepJoinQubo:
@@ -42,39 +42,45 @@ class LeftDeepJoinQubo:
     # -- building -------------------------------------------------------------
 
     def build(self) -> QuboModel:
-        """The QUBO over ``n^2`` position variables."""
+        """The QUBO over ``n^2`` position variables.
+
+        Variables are created r-major (index = r_pos * n + pos), so every
+        coefficient group below is pure index arithmetic over bulk chunks.
+        """
         n = self.n
         model = QuboModel()
-        for r in self.relations:
-            for pos in range(n):
-                model.variable((r, pos))
+        model.variables_from((r, pos) for r in self.relations for pos in range(n))
 
         # Objective: sum over prefix lengths s=2..n of log10 |prefix_s|.
         # A variable x[r, pos] contributes log10(card_r) to every prefix with
         # s >= max(pos+1, 2); there are n - max(pos+1, 2) + 1 such prefixes.
-        for r in self.relations:
-            lc = math.log10(self.graph.cardinality(r))
-            for pos in range(n):
-                count = n - max(pos + 1, 2) + 1
-                if count > 0:
-                    model.add_linear((r, pos), lc * count)
+        pos = np.arange(n)
+        counts = n - np.maximum(pos + 1, 2) + 1
+        live = counts > 0
+        log_cards = np.array(
+            [math.log10(self.graph.cardinality(r)) for r in self.relations]
+        )
+        model.add_linear_from(
+            (np.arange(n)[:, np.newaxis] * n + pos[live]).ravel(),
+            (log_cards[:, np.newaxis] * counts[live].astype(np.float64)).ravel(),
+        )
         # A predicate (a, b) contributes log10(sel) to every prefix
         # containing both; the pair (x[a,p], x[b,q]) is inside prefixes with
         # s >= max(p, q) + 1 (and s >= 2, implied since p != q).
+        rel_pos = {r: i for i, r in enumerate(self.relations)}
+        P, Q = np.meshgrid(pos, pos, indexing="ij")
+        offdiag = (P != Q).ravel()
+        p, q = P.ravel()[offdiag], Q.ravel()[offdiag]
+        pair_counts = (n - np.maximum(p, q)).astype(np.float64)
         for a, b in self.graph.edges:
             ls = math.log10(self.graph.selectivity(a, b))
-            for p in range(n):
-                for q in range(n):
-                    if p == q:
-                        continue
-                    count = n - max(p, q)
-                    model.add_quadratic((a, p), (b, q), ls * count)
+            model.add_quadratic_from(
+                rel_pos[a] * n + p, rel_pos[b] * n + q, ls * pair_counts
+            )
 
         weight = self.penalty if self.penalty is not None else self._default_penalty()
-        for r in self.relations:
-            add_exactly_one(model, [(r, pos) for pos in range(n)], weight)
-        for pos in range(n):
-            add_exactly_one(model, [(r, pos) for r in self.relations], weight)
+        add_exactly_one_groups(model, pos[:, np.newaxis] * n + pos, weight)
+        add_exactly_one_groups(model, pos[np.newaxis, :] * n + pos[:, np.newaxis], weight)
         return model
 
     def _default_penalty(self) -> float:

@@ -13,12 +13,15 @@ the "physical level" — embedding onto the annealer topology — is handled by
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Mapping
+
+import numpy as np
 
 from repro.exceptions import InfeasibleError
 from repro.mqo.problem import MQOProblem, PlanKey
 from repro.qubo.model import QuboModel
-from repro.qubo.penalty import add_exactly_one
+from repro.qubo.penalty import add_exactly_one, add_exactly_one_groups
 
 
 def penalty_weight(problem: MQOProblem, query: "str | None" = None) -> float:
@@ -31,29 +34,80 @@ def penalty_weight(problem: MQOProblem, query: "str | None" = None) -> float:
     Without ``query``, returns the maximum over all queries.
     """
     queries = [query] if query is not None else problem.queries
-    weights = []
-    for q in queries:
-        max_cost = max(p.cost for p in problem.plans_of(q))
-        touching = sum(
-            amount
-            for (a, b), amount in problem.savings.items()
-            if a[0] == q or b[0] == q
-        )
-        weights.append(max_cost + touching + 1.0)
-    return max(weights)
+    weights = _penalty_weights(problem)
+    return max(weights[q] for q in queries)
+
+
+def _penalty_weights(problem: MQOProblem) -> dict[str, float]:
+    """Per-query penalty weights, in one pass over the savings map.
+
+    Each saving touches the queries of both endpoints, so a single sweep
+    accumulates every query's "touching" sum in savings order — the same
+    left-to-right float accumulation the per-query filtered scans performed,
+    without the O(queries x savings) rescans.
+    """
+    touching = {q: 0.0 for q in problem.queries}
+    for (a, b), amount in problem.savings.items():
+        touching[a[0]] += amount
+        if b[0] != a[0]:
+            touching[b[0]] += amount
+    return {
+        q: max(p.cost for p in problem.plans_of(q)) + touching[q] + 1.0
+        for q in problem.queries
+    }
 
 
 def mqo_to_qubo(problem: MQOProblem, weight: "float | None" = None) -> QuboModel:
-    """Build the logical QUBO; variable labels are ``(query, plan)`` keys."""
+    """Build the logical QUBO; variable labels are ``(query, plan)`` keys.
+
+    Coefficients are emitted through the bulk array API in three chunks —
+    plan costs, shared-savings couplings, per-query exactly-one penalties —
+    in the same phase order the historical per-term build used.
+    """
     model = QuboModel()
-    for plan in problem.all_plans:
-        model.variable(plan.key)
-        model.add_linear(plan.key, plan.cost)
-    for (a, b), amount in problem.savings.items():
-        model.add_quadratic(a, b, -amount)
-    for q in problem.queries:
-        w = penalty_weight(problem, q) if weight is None else weight
-        add_exactly_one(model, [p.key for p in problem.plans_of(q)], w)
+    plans = problem.all_plans
+    idx = model.variables_from(plan.key for plan in plans)
+    costs = np.array([plan.cost for plan in plans], dtype=np.float64)
+    model.add_linear_from(idx, costs)
+
+    savings = problem.savings
+    rows = cols = amounts = None
+    if savings:
+        flat = model.indices_of(chain.from_iterable(savings))
+        rows, cols = flat[0::2], flat[1::2]
+        amounts = np.array(list(savings.values()), dtype=np.float64)
+        model.add_quadratic_from(rows, cols, -amounts)
+
+    # all_plans groups plans contiguously by (sorted) query, so each query's
+    # variables are the slice [starts[k], starts[k] + counts[k]).
+    queries = problem.queries
+    counts = np.array([len(problem.plans_of(q)) for q in queries], dtype=np.int64)
+    starts = np.zeros(len(queries), dtype=np.int64)
+    if len(queries):
+        starts[1:] = np.cumsum(counts)[:-1]
+    weights = None
+    if weight is None:
+        # penalty_weight, batched: a saving always touches two *different*
+        # queries, so interleaving both endpoints' contributions per saving
+        # reproduces each query's savings-order sum exactly (np.add.at
+        # accumulates strictly in element order).
+        touching = np.zeros(len(queries))
+        if savings:
+            query_of_plan = np.repeat(np.arange(len(queries)), counts)
+            np.add.at(
+                touching,
+                np.column_stack([query_of_plan[rows], query_of_plan[cols]]).ravel(),
+                np.repeat(amounts, 2),
+            )
+        max_costs = np.maximum.reduceat(costs, starts) if len(queries) else touching
+        weights = (max_costs + touching) + 1.0
+    if len(queries) and counts.min() == counts.max():
+        group_w = weights if weights is not None else np.full(len(queries), float(weight))
+        add_exactly_one_groups(model, idx.reshape(len(queries), -1), group_w)
+    else:
+        for k in range(len(queries)):
+            w = float(weights[k]) if weights is not None else weight
+            add_exactly_one(model, idx[starts[k] : starts[k] + counts[k]], w)
     return model
 
 

@@ -12,8 +12,10 @@ from repro.qubo.ising import ising_to_qubo, qubo_to_ising
 from repro.qubo.model import QuboModel
 from repro.qubo.penalty import (
     add_at_most_one,
+    add_at_most_one_groups,
     add_equality,
     add_exactly_one,
+    add_exactly_one_groups,
     add_implication,
     suggest_penalty_weight,
 )
@@ -29,7 +31,9 @@ __all__ = [
     "qubo_to_ising",
     "ising_to_qubo",
     "add_exactly_one",
+    "add_exactly_one_groups",
     "add_at_most_one",
+    "add_at_most_one_groups",
     "add_equality",
     "add_implication",
     "suggest_penalty_weight",

@@ -4,13 +4,33 @@ These are the building blocks every Table I mapping uses: Trummer & Koch's
 "exactly one plan per query", Fritsch & Scherzinger's one-to-one matching
 constraints, and Bittner & Groppe's slot-assignment constraints are all
 instances of :func:`add_exactly_one` / :func:`add_at_most_one`.
+
+Each group constraint expands to O(k^2) pair couplings; they are emitted
+through the bulk :meth:`~repro.qubo.model.QuboModel.add_quadratic_from` API
+(pairs enumerated by ``np.triu_indices``, which walks the same
+``i < j`` row-major order the historical nested loops did, keeping duplicate
+accumulation — and therefore fingerprints — bit-identical).
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Sequence
 
+import numpy as np
+
 from repro.qubo.model import QuboModel
+
+
+_PAIR_TEMPLATES: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _pairs(idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All index pairs ``(idx[i], idx[j])`` with ``i < j``, row-major."""
+    template = _PAIR_TEMPLATES.get(idx.size)
+    if template is None:
+        template = _PAIR_TEMPLATES[idx.size] = np.triu_indices(idx.size, k=1)
+    a, b = template
+    return idx[a], idx[b]
 
 
 def add_exactly_one(model: QuboModel, variables: Sequence[Hashable], weight: float) -> QuboModel:
@@ -19,36 +39,74 @@ def add_exactly_one(model: QuboModel, variables: Sequence[Hashable], weight: flo
     Expansion (using ``x^2 = x``): offset ``+w``, linear ``-w`` each,
     quadratic ``+2w`` per pair.
     """
-    if not variables:
+    if not len(variables):
         raise ValueError("exactly-one constraint over no variables is unsatisfiable")
+    idx = model.resolve_indices(variables)
     model.add_offset(weight)
-    vs = list(variables)
-    for v in vs:
-        model.add_linear(v, -weight)
-    for i in range(len(vs)):
-        for j in range(i + 1, len(vs)):
-            model.add_quadratic(vs[i], vs[j], 2.0 * weight)
+    model.add_linear_from(idx, -float(weight))
+    rows, cols = _pairs(idx)
+    model.add_quadratic_from(rows, cols, 2.0 * float(weight))
     return model
 
 
 def add_at_most_one(model: QuboModel, variables: Sequence[Hashable], weight: float) -> QuboModel:
     """Add ``weight * sum_{i<j} x_i x_j``: zero iff at most one is set."""
-    vs = list(variables)
-    for i in range(len(vs)):
-        for j in range(i + 1, len(vs)):
-            model.add_quadratic(vs[i], vs[j], weight)
+    idx = model.resolve_indices(variables)
+    rows, cols = _pairs(idx)
+    model.add_quadratic_from(rows, cols, float(weight))
+    return model
+
+
+def add_exactly_one_groups(model: QuboModel, groups, weight) -> QuboModel:
+    """Batched :func:`add_exactly_one` over a ``(G, k)`` index matrix.
+
+    Row ``g`` of ``groups`` is one exactly-one constraint over ``k`` variable
+    indices; ``weight`` is a scalar or a length-``G`` array.  Emits one
+    linear chunk and one quadratic chunk for all ``G`` constraints (the
+    per-key accumulation matches ``G`` sequential :func:`add_exactly_one`
+    calls: groups partition or cross-partition variables, never repeat a
+    pair, and the offset still accumulates one addition per group).
+    """
+    groups = np.asarray(groups, dtype=np.int64)
+    num_groups, size = groups.shape
+    if size == 0:
+        raise ValueError("exactly-one constraint over no variables is unsatisfiable")
+    w = np.broadcast_to(np.asarray(weight, dtype=np.float64), (num_groups,))
+    for g in range(num_groups):
+        model.add_offset(w[g])
+    model.add_linear_from(groups.ravel(), -np.repeat(w, size))
+    if size not in _PAIR_TEMPLATES:
+        _pairs(np.arange(size))
+    a, b = _PAIR_TEMPLATES[size]
+    model.add_quadratic_from(
+        groups[:, a].ravel(), groups[:, b].ravel(), 2.0 * np.repeat(w, a.size)
+    )
+    return model
+
+
+def add_at_most_one_groups(model: QuboModel, groups, weight) -> QuboModel:
+    """Batched :func:`add_at_most_one` over a ``(G, k)`` index matrix."""
+    groups = np.asarray(groups, dtype=np.int64)
+    num_groups, size = groups.shape
+    if size < 2:
+        return model
+    w = np.broadcast_to(np.asarray(weight, dtype=np.float64), (num_groups,))
+    if size not in _PAIR_TEMPLATES:
+        _pairs(np.arange(size))
+    a, b = _PAIR_TEMPLATES[size]
+    model.add_quadratic_from(
+        groups[:, a].ravel(), groups[:, b].ravel(), np.repeat(w, a.size)
+    )
     return model
 
 
 def add_equality(model: QuboModel, variables: Sequence[Hashable], target: int, weight: float) -> QuboModel:
     """Add ``weight * (target - sum x_i)^2``."""
-    vs = list(variables)
+    idx = model.resolve_indices(variables)
     model.add_offset(weight * target * target)
-    for v in vs:
-        model.add_linear(v, weight * (1.0 - 2.0 * target))
-    for i in range(len(vs)):
-        for j in range(i + 1, len(vs)):
-            model.add_quadratic(vs[i], vs[j], 2.0 * weight)
+    model.add_linear_from(idx, weight * (1.0 - 2.0 * target))
+    rows, cols = _pairs(idx)
+    model.add_quadratic_from(rows, cols, 2.0 * float(weight))
     return model
 
 
@@ -72,7 +130,7 @@ def suggest_penalty_weight(model: QuboModel, margin: float = 1.0) -> float:
     objective swing; the sum of absolute coefficients is a (loose but safe)
     upper bound on that swing.
     """
-    swing = sum(abs(v) for v in model.linear.values())
-    swing += sum(abs(v) for v in model.quadratic.values())
+    _, lin_val, _, _, quad_val = model.coo_terms()
+    swing = float(np.abs(lin_val).sum()) + float(np.abs(quad_val).sum())
     swing += abs(model.offset)
     return swing + margin

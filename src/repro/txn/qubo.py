@@ -15,10 +15,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.db.transactions import Transaction
 from repro.exceptions import InfeasibleError, ReproError
 from repro.qubo.model import QuboModel
-from repro.qubo.penalty import add_exactly_one
+from repro.qubo.penalty import add_exactly_one_groups
 
 
 def schedule_to_qubo(
@@ -38,17 +40,30 @@ def schedule_to_qubo(
     assign_w = assignment_weight if assignment_weight is not None else 2.0 * conflict_w
 
     model = QuboModel()
-    for t in txns:
-        for s in range(num_slots):
-            model.variable((t.txn_id, s))
-            model.add_linear((t.txn_id, s), makespan_coefficient * s * t.duration())
-    for i, a in enumerate(txns):
-        for b in txns[i + 1 :]:
-            if a.conflicts_with(b):
-                for s in range(num_slots):
-                    model.add_quadratic((a.txn_id, s), (b.txn_id, s), conflict_w)
-    for t in txns:
-        add_exactly_one(model, [(t.txn_id, s) for s in range(num_slots)], assign_w)
+    # Variables are created t-major (index = t_pos * num_slots + s), so the
+    # bulk coefficient chunks below address them with pure index arithmetic.
+    model.variables_from((t.txn_id, s) for t in txns for s in range(num_slots))
+    slots = np.arange(num_slots, dtype=np.float64)
+    durations = np.repeat([t.duration() for t in txns], num_slots)
+    model.add_linear_from(
+        np.arange(len(txns) * num_slots),
+        (makespan_coefficient * np.tile(slots, len(txns))) * durations,
+    )
+    conflict_pairs = [
+        (i, k)
+        for i, a in enumerate(txns)
+        for k, b in enumerate(txns[i + 1 :], start=i + 1)
+        if a.conflicts_with(b)
+    ]
+    if conflict_pairs:
+        base = np.array(conflict_pairs, dtype=np.int64) * num_slots
+        s = np.arange(num_slots, dtype=np.int64)
+        model.add_quadratic_from(
+            (base[:, 0:1] + s).ravel(), (base[:, 1:2] + s).ravel(), conflict_w
+        )
+    add_exactly_one_groups(
+        model, np.arange(len(txns) * num_slots).reshape(len(txns), num_slots), assign_w
+    )
     return model
 
 

@@ -84,6 +84,15 @@ class TestSimulatedAnnealing:
         assert ss.info["solver"] == "simulated_annealing"
         assert ss.info["reads"] == 4
 
+    def test_portfolio_merge_keeps_both_schedules_info(self):
+        # The default (no explicit schedule, >= 2 reads) portfolio path must
+        # surface both halves in the merged info, not drop the second's.
+        ss = SimulatedAnnealingSolver(num_reads=5, num_sweeps=10).solve(_random_model(1, n=4), rng=0)
+        assert ss.info["solver"] == "simulated_annealing"
+        split = ss.info["schedule_portfolio"]
+        assert split == {"coeff_reads": 3, "field_reads": 2}
+        assert split["coeff_reads"] + split["field_reads"] == 5
+
 
 class TestSQA:
     @pytest.mark.parametrize("seed", range(3))

@@ -1,0 +1,203 @@
+"""The qbsolv-style decomposer: partition -> clamp -> batch-solve -> stitch.
+
+Small instances and small capacities throughout — the decomposer's
+correctness properties (coverage, clamp algebra, monotone energy, facade
+auto-trigger) don't need large problems, and brute-force sub-solves grow as
+``2^capacity``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.adapters import RawQuboProblem, as_problem
+from repro.api.backends import BruteForceBackend
+from repro.api.facade import solve
+from repro.engine import clamp_subqubo, partition_variables, solve_decomposed
+from repro.exceptions import ReproError
+from repro.qubo.model import QuboModel
+
+
+def _clustered_model(n=24, k=8, seed=0):
+    """Strong intra-cluster couplings, sparse weak inter-cluster ones."""
+    rng = np.random.default_rng(seed)
+    m = QuboModel(num_variables=n)
+    for c in range(n // k):
+        base = c * k
+        ii, jj = np.triu_indices(k, k=1)
+        mask = rng.random(ii.size) < 0.5
+        m.add_quadratic_from(
+            base + ii[mask], base + jj[mask], rng.normal(0, 2.0, int(mask.sum()))
+        )
+    m.add_linear_from(np.arange(n), rng.normal(0, 1.0, n))
+    edges = rng.integers(0, n, size=(12, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    m.add_quadratic_from(edges[:, 0], edges[:, 1], rng.normal(0, 0.2, len(edges)))
+    return m
+
+
+class TestPartition:
+    def test_covers_every_variable_exactly_once(self):
+        model = _clustered_model()
+        blocks = partition_variables(model, capacity=8)
+        flat = np.concatenate(blocks)
+        assert sorted(flat.tolist()) == list(range(model.num_variables))
+        assert all(len(b) <= 8 for b in blocks)
+
+    def test_keeps_clusters_together(self):
+        # With capacity == cluster size and negligible inter-cluster edges,
+        # BFS from each cluster's lowest index should recover the clusters.
+        model = QuboModel(num_variables=12)
+        for base in (0, 4, 8):
+            ii, jj = np.triu_indices(4, k=1)
+            model.add_quadratic_from(base + ii, base + jj, 1.0)
+        blocks = partition_variables(model, capacity=4)
+        assert [b.tolist() for b in blocks] == [
+            [0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11],
+        ]
+
+    def test_deterministic(self):
+        model = _clustered_model(seed=3)
+        first = partition_variables(model, capacity=7)
+        second = partition_variables(model, capacity=7)
+        assert [b.tolist() for b in first] == [b.tolist() for b in second]
+
+    def test_overlap_extends_without_breaking_coverage(self):
+        model = _clustered_model()
+        blocks = partition_variables(model, capacity=8, overlap=2)
+        assert all(len(b) <= 8 for b in blocks)
+        # Every variable still appears; later blocks may repeat earlier vars.
+        assert set(np.concatenate(blocks).tolist()) == set(range(24))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ReproError):
+            partition_variables(_clustered_model(), capacity=0)
+        with pytest.raises(ReproError):
+            solve_decomposed(
+                as_problem(_clustered_model()), BruteForceBackend(), capacity=0
+            )
+
+
+class TestClamp:
+    def test_clamp_energy_algebra(self):
+        # For fixed outside bits, the sub-QUBO's energy must track the global
+        # energy up to a constant: E_global(x with block bits = y) differs
+        # from E_sub(y) by the same constant for every y.
+        model = _clustered_model(n=12, k=4, seed=1)
+        block = np.array([2, 5, 7, 10], dtype=np.int64)
+        rng = np.random.default_rng(9)
+        x = rng.integers(0, 2, size=12).astype(float)
+        sub = clamp_subqubo(model, block, x)
+        offsets = set()
+        for bits in range(16):
+            y = np.array([(bits >> k) & 1 for k in range(4)], dtype=float)
+            full = x.copy()
+            full[block] = y
+            e_global = model.energies(full[np.newaxis, :])[0]
+            e_sub = sub.energies(y[np.newaxis, :])[0]
+            offsets.add(round(float(e_global - e_sub), 9))
+        assert len(offsets) == 1
+
+    def test_precomputed_couplings_match(self):
+        model = _clustered_model(n=10, k=5, seed=2)
+        block = np.arange(5, dtype=np.int64)
+        x = np.ones(10)
+        a, S = model.symmetric_couplings()
+        direct = clamp_subqubo(model, block, x)
+        shared = clamp_subqubo(model, block, x, a=a, S=S)
+        assert direct.fingerprint() == shared.fingerprint()
+
+
+class TestSolveDecomposed:
+    def test_matches_direct_solve_on_block_diagonal_instance(self):
+        # With no inter-cluster couplings and capacity == cluster size, the
+        # partition recovers the clusters and brute-forcing each block is
+        # globally exact — the decomposer must match or beat any direct solve.
+        rng = np.random.default_rng(4)
+        model = QuboModel(num_variables=24)
+        for base in range(0, 24, 8):
+            ii, jj = np.triu_indices(8, k=1)
+            model.add_quadratic_from(base + ii, base + jj, rng.normal(0, 2.0, ii.size))
+        model.add_linear_from(np.arange(24), rng.normal(0, 1.0, 24))
+        decomposed = solve_decomposed(
+            as_problem(model.copy()), BruteForceBackend(max_variables=8),
+            capacity=8, seed=7,
+        )
+        direct = solve(as_problem(model.copy()), backend="tabu", seed=7)
+        assert decomposed.objective <= direct.objective + 1e-9
+
+    def test_energy_trajectory_is_monotone_and_consistent(self):
+        model = _clustered_model(seed=5)
+        result = solve_decomposed(
+            as_problem(model.copy()), BruteForceBackend(max_variables=8),
+            capacity=8, seed=1,
+        )
+        info = result.info["decompose"]
+        trajectory = info["energy_trajectory"]
+        assert trajectory == sorted(trajectory, reverse=True)
+        # Final reported energy is the true model energy of the solution.
+        bits = np.array(result.solution, dtype=float)
+        assert result.energy == pytest.approx(
+            float(model.energies(bits[np.newaxis, :])[0])
+        )
+        assert info["capacity"] == 8
+        assert info["num_blocks"] == len(info["block_sizes"])
+        assert info["rounds"][-1]["accepted_blocks"] == 0
+
+    def test_deterministic_for_fixed_seed(self):
+        model = _clustered_model(seed=6)
+        runs = [
+            solve_decomposed(
+                as_problem(model.copy()), BruteForceBackend(max_variables=6),
+                capacity=6, seed=42,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].solution == runs[1].solution
+        assert runs[0].objective == runs[1].objective
+
+
+class TestFacadeWiring:
+    def test_auto_trigger_uses_backend_capacity(self):
+        model = _clustered_model(n=18, k=6, seed=7)
+        result = solve(
+            as_problem(model), backend=BruteForceBackend(max_variables=6),
+            seed=3, decompose=True,
+        )
+        info = result.info["decompose"]
+        assert info["capacity"] == 6
+        assert all(size <= 6 for size in info["block_sizes"])
+
+    def test_explicit_integer_capacity(self):
+        model = _clustered_model(n=18, k=6, seed=8)
+        result = solve(as_problem(model), backend="tabu", seed=3, decompose=6)
+        assert result.info["decompose"]["capacity"] == 6
+
+    def test_inactive_when_backend_is_unbounded(self):
+        model = _clustered_model(n=12, k=4, seed=9)
+        result = solve(as_problem(model), backend="tabu", seed=3, decompose=True)
+        assert "decompose" not in result.info
+
+    def test_inactive_when_problem_fits(self):
+        model = _clustered_model(n=12, k=4, seed=10)
+        result = solve(as_problem(model), backend="tabu", seed=3, decompose=64)
+        assert "decompose" not in result.info
+
+    def test_oversized_bruteforce_without_decompose_still_errors(self):
+        model = _clustered_model(n=18, k=6, seed=11)
+        with pytest.raises(ReproError):
+            solve(as_problem(model), backend=BruteForceBackend(max_variables=6), seed=3)
+
+
+class TestRawQuboProblem:
+    def test_round_trip_and_energy(self):
+        model = _clustered_model(n=8, k=4, seed=12)
+        problem = RawQuboProblem(model)
+        assert problem.to_qubo() is model
+        bits = (0, 1) * 4
+        assert problem.evaluate(bits) == pytest.approx(
+            model.energy(np.array(bits, dtype=float))
+        )
+
+    def test_as_problem_accepts_bare_model(self):
+        problem = as_problem(QuboModel(3))
+        assert isinstance(problem, RawQuboProblem)

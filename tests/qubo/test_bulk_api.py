@@ -1,0 +1,175 @@
+"""The vectorized bulk-add API: ``add_linear_from`` / ``add_quadratic_from``.
+
+The invariant throughout: a bulk call is *semantically identical* to the
+equivalent loop of scalar ``add_linear`` / ``add_quadratic`` calls — same
+dict views, same fingerprint, same energies — it just skips the per-term
+Python overhead.  These tests pin that equivalence plus the edge behaviour
+(broadcasting, diagonal routing, bounds checks, interleaving with scalar
+adds) the formulators now rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.qubo.model import QuboModel
+
+
+def _scalar_model(n, lin, quads, offset=0.0):
+    m = QuboModel(n)
+    for i, c in lin:
+        m.add_linear(i, c)
+    for i, j, c in quads:
+        m.add_quadratic(i, j, c)
+    m.add_offset(offset)
+    return m
+
+
+class TestBulkScalarEquivalence:
+    def test_linear_bulk_matches_scalar_loop(self):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 8, size=40)
+        vals = rng.normal(size=40)
+        bulk = QuboModel(8).add_linear_from(idx, vals)
+        scalar = _scalar_model(8, zip(idx.tolist(), vals.tolist()), [])
+        assert bulk.linear == scalar.linear
+        assert bulk.fingerprint() == scalar.fingerprint()
+
+    def test_quadratic_bulk_matches_scalar_loop(self):
+        rng = np.random.default_rng(1)
+        rows = rng.integers(0, 10, size=60)
+        cols = rng.integers(0, 10, size=60)
+        vals = rng.normal(size=60)
+        bulk = QuboModel(10).add_quadratic_from(rows, cols, vals)
+        scalar = _scalar_model(
+            10, [], zip(rows.tolist(), cols.tolist(), vals.tolist())
+        )
+        assert bulk.quadratic == scalar.quadratic
+        assert bulk.linear == scalar.linear  # diagonal entries routed the same
+        assert bulk.fingerprint() == scalar.fingerprint()
+
+    def test_duplicate_terms_accumulate_float_exactly(self):
+        # Accumulation of duplicates must match sequential scalar addition
+        # bit-for-bit, not just approximately — fingerprints depend on it.
+        vals = [0.1, 0.2, 0.3, 0.1, -0.7, 1e-17, 0.1]
+        bulk = QuboModel(2).add_linear_from(np.zeros(len(vals), dtype=int), vals)
+        scalar = _scalar_model(2, [(0, v) for v in vals], [])
+        assert bulk.linear[0] == scalar.linear[0]
+
+    def test_interleaved_scalar_and_bulk_adds(self):
+        m = QuboModel(4)
+        m.add_linear(1, 0.5)
+        m.add_linear_from([1, 2], [0.25, 1.0])
+        m.add_linear(2, -0.5)
+        m.add_quadratic(0, 3, 2.0)
+        m.add_quadratic_from([3, 0], [0, 3], [1.0, 1.0])
+        ref = _scalar_model(
+            4,
+            [(1, 0.5), (1, 0.25), (2, 1.0), (2, -0.5)],
+            [(0, 3, 2.0), (3, 0, 1.0), (0, 3, 1.0)],
+        )
+        assert m.linear == ref.linear
+        assert m.quadratic == ref.quadratic
+        assert m.fingerprint() == ref.fingerprint()
+
+
+class TestBulkSemantics:
+    def test_scalar_coefficient_broadcasts(self):
+        m = QuboModel(5).add_linear_from([0, 2, 4], -1.5)
+        assert m.linear == {0: -1.5, 2: -1.5, 4: -1.5}
+        q = QuboModel(5).add_quadratic_from([0, 1], [2, 3], 3.0)
+        assert q.quadratic == {(0, 2): 3.0, (1, 3): 3.0}
+
+    def test_quadratic_canonicalises_and_routes_diagonal(self):
+        m = QuboModel(4).add_quadratic_from([3, 2], [1, 2], [1.0, 5.0])
+        assert m.quadratic == {(1, 3): 1.0}  # (3,1) stored as (1,3)
+        assert m.linear == {2: 5.0}  # x_i^2 == x_i for binary variables
+
+    def test_multidimensional_inputs_are_ravelled(self):
+        groups = np.arange(6).reshape(2, 3)
+        m = QuboModel(6).add_linear_from(groups, np.ones((2, 3)))
+        assert m.linear == {i: 1.0 for i in range(6)}
+
+    def test_empty_bulk_add_is_a_noop(self):
+        m = QuboModel(3).add_linear_from([], [])
+        m.add_quadratic_from([], [], [])
+        assert m.linear == {} and m.quadratic == {}
+
+    def test_returns_self_for_chaining(self):
+        m = QuboModel(3)
+        assert m.add_linear_from([0], [1.0]) is m
+        assert m.add_quadratic_from([0], [1], [1.0]) is m
+
+    def test_energies_match_scalar_path(self):
+        rng = np.random.default_rng(2)
+        rows = rng.integers(0, 7, size=30)
+        cols = rng.integers(0, 7, size=30)
+        vals = rng.normal(size=30)
+        bulk = QuboModel(7).add_quadratic_from(rows, cols, vals)
+        bulk.add_linear_from(np.arange(7), rng.normal(size=7))
+        X = rng.integers(0, 2, size=(16, 7)).astype(float)
+        expected = np.array([bulk.energy(x) for x in X])
+        np.testing.assert_allclose(bulk.energies(X), expected)
+
+
+class TestBulkValidation:
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ReproError):
+            QuboModel(3).add_linear_from([0, 3], [1.0, 1.0])
+        with pytest.raises(ReproError):
+            QuboModel(3).add_linear_from([-1], [1.0])
+        with pytest.raises(ReproError):
+            QuboModel(3).add_quadratic_from([0], [5], [1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            QuboModel(3).add_linear_from([0, 1], [1.0, 2.0, 3.0])
+        with pytest.raises(ReproError):
+            QuboModel(3).add_quadratic_from([0, 1], [1], [1.0])
+
+    def test_labelled_variables_resolve_in_bulk(self):
+        m = QuboModel()
+        idx = m.variables_from([("q", p) for p in range(4)])
+        m.add_linear_from(idx, np.arange(4, dtype=float))
+        assert m.linear == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+
+    def test_int_label_aliasing_disables_index_fast_path(self):
+        # A model whose *labels* are ints that differ from their indices must
+        # still resolve int arrays through the label table, not treat them as
+        # raw positional indices.
+        m = QuboModel()
+        m.variable(10)
+        m.variable(20)
+        assert m.resolve_indices(np.array([20, 10])).tolist() == [1, 0]
+        # Identity labels keep the zero-copy fast path.
+        plain = QuboModel(4)
+        arr = np.array([3, 1], dtype=np.int64)
+        assert plain.resolve_indices(arr) is arr
+
+
+class TestStructuralOps:
+    def test_scale_applies_to_all_terms(self):
+        m = QuboModel(3).add_linear_from([0, 1], [1.0, 2.0])
+        m.add_quadratic_from([0], [2], [4.0])
+        m.add_offset(3.0)
+        m.scale(0.5)
+        assert m.linear == {0: 0.5, 1: 1.0}
+        assert m.quadratic == {(0, 2): 2.0}
+        assert m.offset == 1.5
+
+    def test_copy_is_independent(self):
+        m = QuboModel(3).add_linear_from([0], [1.0])
+        c = m.copy()
+        c.add_linear_from([1], [5.0])
+        c.add_quadratic_from([0], [2], [1.0])
+        assert m.linear == {0: 1.0} and m.quadratic == {}
+        assert c.linear == {0: 1.0, 1: 5.0}
+
+    def test_coo_terms_round_trip(self):
+        m = QuboModel(4).add_linear_from([2, 0], [1.0, 2.0])
+        m.add_quadratic_from([1, 0], [3, 1], [4.0, 5.0])
+        li, lv, qi, qj, qv = m.coo_terms()
+        rebuilt = QuboModel(4).add_linear_from(li, lv)
+        rebuilt.add_quadratic_from(qi, qj, qv)
+        assert rebuilt.linear == m.linear
+        assert rebuilt.quadratic == m.quadratic

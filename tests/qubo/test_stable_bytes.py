@@ -1,0 +1,187 @@
+"""Byte-stability of the array-backed canonical serialization.
+
+``QuboModel.to_stable_bytes`` moved from per-term ``struct.pack`` over dicts
+to structured-array ``tobytes()`` over the internal COO store.  The output
+must be *byte-identical* to the original encoding — every ``ResultCache``
+entry and golden fingerprint is keyed on it.  The reference implementation
+below is a frozen copy of the seed encoder (dict accumulation + per-term
+``struct.pack``); the tests replay identical operations through both and
+compare raw bytes on the five canonical Table I instances plus the edge
+cases most likely to diverge (numpy-scalar coefficients, duplicate-term
+accumulation, zero dropping, label framing).
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BushyJoinAdapter,
+    LeftDeepJoinAdapter,
+    MQOAdapter,
+    SchemaMatchingAdapter,
+    TxnScheduleAdapter,
+)
+from repro.db.generator import chain_query
+from repro.integration.generator import generate_schema_pair
+from repro.mqo import generate_mqo_problem
+from repro.qubo.model import QuboModel
+from repro.txn.generator import generate_transactions
+
+
+class SeedEncoder:
+    """The seed's dict-based model and encoder, frozen for comparison."""
+
+    def __init__(self, num_variables=0):
+        self._labels = list(range(num_variables))
+        self.linear = {}
+        self.quadratic = {}
+        self.offset = 0.0
+
+    def add_linear(self, i, c):
+        self.linear[i] = self.linear.get(i, 0.0) + float(c)
+
+    def add_quadratic(self, i, j, c):
+        if i == j:
+            return self.add_linear(i, c)
+        if j < i:
+            i, j = j, i
+        self.quadratic[(i, j)] = self.quadratic.get((i, j), 0.0) + float(c)
+
+    def add_offset(self, v):
+        self.offset += float(v)
+
+    def to_stable_bytes(self, include_labels=True):
+        parts = [b"QUBO-v1", struct.pack("<q", len(self._labels))]
+        linear = sorted((i, c) for i, c in self.linear.items() if c != 0.0)
+        parts.append(struct.pack("<q", len(linear)))
+        for i, c in linear:
+            parts.append(struct.pack("<qd", i, c))
+        quadratic = sorted(
+            (i, j, c) for (i, j), c in self.quadratic.items() if c != 0.0
+        )
+        parts.append(struct.pack("<q", len(quadratic)))
+        for i, j, c in quadratic:
+            parts.append(struct.pack("<qqd", i, j, c))
+        parts.append(struct.pack("<d", self.offset))
+        if include_labels:
+            for label in self._labels:
+                encoded = repr(label).encode("utf-8", errors="backslashreplace")
+                parts.append(struct.pack("<q", len(encoded)))
+                parts.append(encoded)
+        return b"".join(parts)
+
+
+def _reencode(model: QuboModel) -> SeedEncoder:
+    """Pour a model's logical content through the frozen seed encoder."""
+    ref = SeedEncoder()
+    ref._labels = list(model.labels)
+    ref.linear = dict(model.linear)
+    ref.quadratic = dict(model.quadratic)
+    ref.offset = model.offset
+    return ref
+
+
+def _canonical_models():
+    source, target, _ = generate_schema_pair(5, rng=7)
+    return {
+        "mqo": MQOAdapter(generate_mqo_problem(3, 2, sharing_density=0.4, rng=7)),
+        "joinorder_leftdeep": LeftDeepJoinAdapter(chain_query(4, rng=7)),
+        "joinorder_bushy": BushyJoinAdapter(chain_query(4, rng=7)),
+        "schema_matching": SchemaMatchingAdapter(source, target),
+        "txn_schedule": TxnScheduleAdapter(generate_transactions(4, rng=7)),
+    }
+
+
+@pytest.mark.parametrize("domain", sorted(_canonical_models()))
+@pytest.mark.parametrize("include_labels", [True, False])
+def test_golden_instances_byte_identical_to_seed_encoding(domain, include_labels):
+    model = _canonical_models()[domain].to_qubo()
+    ref = _reencode(model)
+    assert model.to_stable_bytes(include_labels=include_labels) == ref.to_stable_bytes(
+        include_labels=include_labels
+    ), f"{domain}: array-backed serialization drifted from the seed encoding"
+
+
+def test_replayed_operations_byte_identical():
+    """Same operation stream through both models -> same bytes.
+
+    Unlike the re-encoding test above this also exercises the *accumulation*
+    path: duplicates must sum in arrival order, since float addition is not
+    associative and the encoded doubles must not drift by a single ULP.
+    """
+    rng = np.random.default_rng(11)
+    model, ref = QuboModel(9), SeedEncoder(9)
+    for _ in range(200):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            i, c = int(rng.integers(0, 9)), float(rng.normal())
+            model.add_linear(i, c)
+            ref.add_linear(i, c)
+        elif kind == 1:
+            i, j = (int(v) for v in rng.integers(0, 9, size=2))
+            c = float(rng.normal())
+            model.add_quadratic(i, j, c)
+            ref.add_quadratic(i, j, c)
+        else:
+            c = float(rng.normal())
+            model.add_offset(c)
+            ref.add_offset(c)
+    assert model.to_stable_bytes() == ref.to_stable_bytes()
+
+
+def test_bulk_adds_byte_identical_to_sequential_reference():
+    rng = np.random.default_rng(5)
+    idx = rng.integers(0, 6, size=50)
+    lv = rng.normal(size=50)
+    rows, cols = rng.integers(0, 6, size=(2, 80))
+    qv = rng.normal(size=80)
+
+    model = QuboModel(6).add_linear_from(idx, lv).add_quadratic_from(rows, cols, qv)
+    ref = SeedEncoder(6)
+    for i, c in zip(idx.tolist(), lv.tolist()):
+        ref.add_linear(i, c)
+    for i, j, c in zip(rows.tolist(), cols.tolist(), qv.tolist()):
+        ref.add_quadratic(i, j, c)
+    assert model.to_stable_bytes() == ref.to_stable_bytes()
+
+
+def test_numpy_scalar_coefficients_encode_like_floats():
+    model = QuboModel(3)
+    model.add_linear(np.int64(0), np.float64(0.25))
+    model.add_linear(1, np.float32(0.5))
+    model.add_quadratic(np.int64(0), np.int64(2), np.float64(-1.75))
+    model.add_offset(np.float64(3.5))
+    ref = SeedEncoder(3)
+    ref.add_linear(0, 0.25)
+    ref.add_linear(1, float(np.float32(0.5)))
+    ref.add_quadratic(0, 2, -1.75)
+    ref.add_offset(3.5)
+    assert model.to_stable_bytes() == ref.to_stable_bytes()
+
+
+def test_zero_coefficients_dropped_from_serialization_only():
+    model = QuboModel(4)
+    model.add_linear(0, 1.0)
+    model.add_linear(0, -1.0)  # cancels to exact 0.0 -> dropped from bytes
+    model.add_quadratic(1, 2, 0.0)  # explicit zero -> dropped from bytes
+    model.add_linear(3, 2.0)
+    ref = SeedEncoder(4)
+    ref.add_linear(3, 2.0)
+    assert model.to_stable_bytes() == ref.to_stable_bytes()
+    # ...but the logical views still carry the keys (structure signatures
+    # shard on them).
+    assert 0 in model.linear and (1, 2) in model.quadratic
+
+
+def test_label_framing_matches_seed():
+    model = QuboModel()
+    for label in [("q0", "p1"), "edge", 7, None, ("nested", (1, 2))]:
+        model.variable(label)
+    model.add_linear(("q0", "p1"), 1.0)
+    ref = _reencode(model)
+    assert model.to_stable_bytes() == ref.to_stable_bytes()
+    assert model.to_stable_bytes(include_labels=False) == ref.to_stable_bytes(
+        include_labels=False
+    )
