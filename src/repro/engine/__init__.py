@@ -57,6 +57,7 @@ from repro.engine.scheduler import (
     BackendScoreboard,
     BackendStats,
     RoutingDecision,
+    expected_service_time,
     run_portfolio_scheduled,
     solve_batch_scheduled,
 )
@@ -99,6 +100,7 @@ __all__ = [
     "BackendScoreboard",
     "BackendStats",
     "RoutingDecision",
+    "expected_service_time",
     "solve_batch_scheduled",
     "run_portfolio_scheduled",
     "EngineStore",

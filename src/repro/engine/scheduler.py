@@ -40,6 +40,35 @@ if TYPE_CHECKING:  # pragma: no cover - type-only; runtime imports are lazy
     from repro.api.result import SolveResult
 
 
+def expected_service_time(
+    snapshot: "dict[str, dict]",
+    backends: "Sequence[str] | None" = None,
+    default: float = 0.25,
+) -> float:
+    """Expected wall seconds for one real solve, from a capacity snapshot.
+
+    The admission-control read of :meth:`BackendScoreboard.
+    capacity_snapshot`: averages the finite EWMA ``latency`` rows of the
+    named ``backends`` (every backend in the snapshot when ``None``),
+    falling back to ``default`` while the scoreboard is cold or the named
+    backends have never completed a real solve.  This is the signal a
+    ``Retry-After`` or a queue-drain estimate needs — cache hits never
+    update EWMA latency, so the figure stays an honest per-solve cost.
+    """
+    names = snapshot.keys() if backends is None else backends
+    latencies = []
+    for name in names:
+        row = snapshot.get(name)
+        if row is None:
+            continue
+        latency = row.get("latency")
+        if isinstance(latency, (int, float)) and math.isfinite(latency) and latency >= 0:
+            latencies.append(float(latency))
+    if not latencies:
+        return float(default)
+    return sum(latencies) / len(latencies)
+
+
 @dataclass
 class BackendStats:
     """Online statistics for one ``(backend, structure)`` pair.

@@ -18,6 +18,14 @@ Programmatic entry points::
 or ``python -m repro.service [--config service.toml] [--host H] [--port P]``.
 """
 
+from repro.service.admission import (
+    DEFAULT_LANE_WEIGHTS,
+    PRIORITIES,
+    AdmissionDecision,
+    AdmissionPolicy,
+    AdmissionShed,
+    TenantBudget,
+)
 from repro.service.app import SolverService
 from repro.service.coalesce import CoalescingQueue, QueueClosed, QueueFull
 from repro.service.config import ServiceConfig, load_config
@@ -28,6 +36,12 @@ from repro.service.problems import list_kinds, problem_from_spec
 
 __all__ = [
     "SolverService",
+    "AdmissionPolicy",
+    "AdmissionDecision",
+    "AdmissionShed",
+    "TenantBudget",
+    "PRIORITIES",
+    "DEFAULT_LANE_WEIGHTS",
     "ServiceServer",
     "ServiceConfig",
     "load_config",

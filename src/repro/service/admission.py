@@ -1,0 +1,362 @@
+"""Admission control: decide *before* the queue whether a request runs at all.
+
+NISQ-era backends are a shared, scarce resource with hard capacity limits
+and wildly varying service times, so the service edge cannot be a pure
+FIFO: a flood of cheap best-effort work must not starve interactive
+traffic, and a tenant that has burned its budget must not keep burning
+everyone else's.  :class:`AdmissionPolicy` sits between
+``SolverService.submit()`` and the :class:`~repro.service.coalesce.
+CoalescingQueue`` and makes one of three decisions per request:
+
+* **admit** — the request enters the per-priority lane of the queue
+  (``interactive`` | ``batch`` | ``best_effort``); lanes drain in weighted
+  order so a batch flood cannot starve interactive traffic;
+* **degrade** — the request still runs, but its backend fleet is rewritten
+  to the cheap classical tier (``degrade_backends``, tabu/sa by default).
+  The rewrite is recorded in the decision, stamped into the job JSON and
+  the result's ``info["admission"]``; the determinism contract is
+  untouched — a degraded solve is bit-identical to a direct
+  ``solve(problem, backend=<degraded>, seed=...)`` call;
+* **shed** — rejected with HTTP 429 *before a Job is ever created* (no
+  job-book churn, no future, no retention pressure), carrying a
+  ``Retry-After`` derived from the scoreboard's EWMA service time via
+  :func:`~repro.engine.scheduler.expected_service_time`.
+
+Budgets are per-tenant (:class:`TenantBudget`): max in-flight jobs,
+backend-seconds per rolling window, and a share of the queue depth.
+Accounting is loop-side only — ``submit`` and wave completion both run on
+the service's event loop — so the ledger needs no lock.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.engine.scheduler import expected_service_time
+from repro.exceptions import ReproError
+
+#: Priority classes, highest first — also the queue's lane names.
+PRIORITIES = ("interactive", "batch", "best_effort")
+
+#: Default weighted drain order: per 7 wave slots, 4 interactive,
+#: 2 batch, 1 best_effort (a flood can slow the lower lanes, never
+#: starve the higher ones — and vice versa).
+DEFAULT_LANE_WEIGHTS = {"interactive": 4, "batch": 2, "best_effort": 1}
+
+#: Tenant requests carry when the client names none.
+DEFAULT_TENANT = "default"
+
+#: Expected seconds per solve before the scoreboard has seen anything.
+COLD_SERVICE_TIME_S = 0.25
+
+#: Retry-After ceiling: past this the client should re-plan, not sleep.
+MAX_RETRY_AFTER_S = 60
+
+
+class AdmissionShed(ReproError):
+    """A shed decision as an exception (HTTP 429 + ``Retry-After``)."""
+
+    def __init__(self, message: str, retry_after_s: int, reason: str):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class TenantBudget:
+    """Per-tenant resource envelope (``None`` = unlimited).
+
+    Attributes:
+        max_inflight: Jobs a tenant may have pending or running at once.
+        backend_seconds: Backend wall-seconds the tenant may consume per
+            rolling ``window_s``; past it requests *degrade* to the cheap
+            classical tier instead of being shed — the tenant keeps
+            getting answers, just not on the scarce fleet.
+        window_s: Length of the rolling backend-seconds window.
+        queue_share: Fraction of ``max_queue_depth`` this tenant may
+            occupy with undispatched requests; past it requests shed.
+    """
+
+    max_inflight: "int | None" = None
+    backend_seconds: "float | None" = None
+    window_s: float = 60.0
+    queue_share: "float | None" = None
+
+    _FIELDS = ("max_inflight", "backend_seconds", "window_s", "queue_share")
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping, where: str = "tenant budget") -> "TenantBudget":
+        unknown = set(mapping) - set(cls._FIELDS)
+        if unknown:
+            raise ReproError(
+                f"unknown key(s) {sorted(unknown)} in {where} "
+                f"(known: {sorted(cls._FIELDS)})"
+            )
+        budget = cls(**{k: mapping[k] for k in cls._FIELDS if k in mapping})
+        return budget.validate(where)
+
+    def validate(self, where: str = "tenant budget") -> "TenantBudget":
+        if self.max_inflight is not None and (
+            isinstance(self.max_inflight, bool)
+            or not isinstance(self.max_inflight, int)
+            or self.max_inflight < 1
+        ):
+            raise ReproError(f"{where}: max_inflight must be an integer >= 1 or omitted")
+        if self.backend_seconds is not None and (
+            not isinstance(self.backend_seconds, (int, float))
+            or self.backend_seconds < 0
+        ):
+            raise ReproError(f"{where}: backend_seconds must be a number >= 0 or omitted")
+        if not isinstance(self.window_s, (int, float)) or self.window_s <= 0:
+            raise ReproError(f"{where}: window_s must be a number > 0")
+        if self.queue_share is not None and not (
+            isinstance(self.queue_share, (int, float)) and 0.0 < self.queue_share <= 1.0
+        ):
+            raise ReproError(f"{where}: queue_share must be in (0, 1] or omitted")
+        return self
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One policy verdict, attachable to jobs and result telemetry."""
+
+    action: str                      #: "admit" | "degrade" | "shed"
+    tenant: str
+    priority: str
+    reason: str                      #: e.g. "ok", "backend_seconds", "queue_full"
+    backends: "tuple | None" = None  #: rewritten fleet (degrade only)
+    retry_after_s: "int | None" = None  #: shed only
+
+    def as_record(self) -> dict:
+        """The ``admission`` entry of the job JSON / ``info["admission"]``."""
+        record = {
+            "action": self.action,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "reason": self.reason,
+        }
+        if self.backends is not None:
+            record["backends"] = list(self.backends)
+        if self.retry_after_s is not None:
+            record["retry_after_s"] = self.retry_after_s
+        return record
+
+
+@dataclass
+class _Ledger:
+    """Loop-side accounting for one tenant."""
+
+    queued: int = 0     #: admitted, not yet dispatched into a wave
+    inflight: int = 0   #: admitted, not yet finished (queued + running)
+    admitted: int = 0
+    degraded: int = 0
+    shed: int = 0
+    finished: int = 0
+    #: (monotonic finish time, backend wall seconds) per finished job,
+    #: pruned to the budget window on read.
+    usage: "deque[tuple[float, float]]" = field(default_factory=deque)
+
+    def spend(self, now: float, seconds: float) -> None:
+        self.usage.append((now, seconds))
+
+    def spent(self, now: float, window_s: float) -> float:
+        while self.usage and self.usage[0][0] < now - window_s:
+            self.usage.popleft()
+        return sum(seconds for _, seconds in self.usage)
+
+
+class AdmissionPolicy:
+    """Budget- and capacity-aware admit/degrade/shed decisions.
+
+    Consumes the scoreboard's :meth:`~repro.engine.scheduler.
+    BackendScoreboard.capacity_snapshot` (EWMA latency feeds
+    ``Retry-After``) plus live queue depth, and keeps the per-tenant
+    ledger the decisions read.  The owning service reports lifecycle
+    transitions through :meth:`on_admit` / :meth:`on_dispatch` /
+    :meth:`on_finish`; everything runs on the service's event loop, so
+    no locking.
+
+    Decision order (first match wins):
+
+    1. tenant at ``max_inflight``                       → **shed**
+    2. queue at ``max_depth``                           → **shed**
+    3. tenant at ``queue_share`` of the depth           → **shed**
+    4. tenant over ``backend_seconds`` in its window    → **degrade**
+    5. ``best_effort`` while queue ≥ ``degrade_ratio``  → **degrade**
+    6. otherwise                                        → **admit**
+    """
+
+    def __init__(
+        self,
+        queue,
+        scoreboard,
+        backends: tuple,
+        tenants: "Mapping[str, Any] | None" = None,
+        default_budget: "TenantBudget | Mapping | None" = None,
+        degrade_backends: tuple = ("tabu",),
+        degrade_ratio: float = 0.75,
+        clock=time.monotonic,
+    ):
+        self._queue = queue
+        self._scoreboard = scoreboard
+        self._backends = tuple(backends)
+        self._budgets = {
+            name: budget if isinstance(budget, TenantBudget)
+            else TenantBudget.from_mapping(budget, where=f"tenant {name!r} budget")
+            for name, budget in dict(tenants or {}).items()
+        }
+        if default_budget is None:
+            self._default_budget = TenantBudget()
+        elif isinstance(default_budget, TenantBudget):
+            self._default_budget = default_budget.validate("default budget")
+        else:
+            self._default_budget = TenantBudget.from_mapping(
+                default_budget, where="default budget"
+            )
+        if not degrade_backends:
+            raise ReproError("degrade_backends needs at least one registry name")
+        self.degrade_backends = tuple(degrade_backends)
+        if not 0.0 <= degrade_ratio <= 1.0:
+            raise ReproError("degrade_ratio must be in [0, 1]")
+        self.degrade_ratio = degrade_ratio
+        self._clock = clock
+        self._ledgers: "dict[str, _Ledger]" = {}
+
+    # -- deciding --------------------------------------------------------------
+
+    def budget_for(self, tenant: str) -> TenantBudget:
+        return self._budgets.get(tenant, self._default_budget)
+
+    def decide(self, tenant: str, priority: str) -> AdmissionDecision:
+        """One verdict for one request; updates the shed counter only.
+
+        The admit/degrade side effects (queue occupancy, in-flight count)
+        are applied by :meth:`on_admit` once the service has actually
+        enqueued the job — a decision alone reserves nothing.
+        """
+        if priority not in PRIORITIES:
+            raise ReproError(
+                f"priority must be one of {list(PRIORITIES)}, got {priority!r}"
+            )
+        budget = self.budget_for(tenant)
+        ledger = self._ledgers.setdefault(tenant, _Ledger())
+        depth, max_depth = self._queue.depth, self._queue.max_depth
+
+        if budget.max_inflight is not None and ledger.inflight >= budget.max_inflight:
+            return self._shed(tenant, priority, ledger, "max_inflight")
+        if depth >= max_depth:
+            return self._shed(tenant, priority, ledger, "queue_full")
+        if budget.queue_share is not None:
+            allowed = max(1, math.floor(budget.queue_share * max_depth))
+            if ledger.queued >= allowed:
+                return self._shed(tenant, priority, ledger, "queue_share")
+
+        if (
+            budget.backend_seconds is not None
+            and ledger.spent(self._clock(), budget.window_s) >= budget.backend_seconds
+        ):
+            return self._degrade(tenant, priority, "backend_seconds")
+        if priority == "best_effort" and depth >= self.degrade_ratio * max_depth:
+            return self._degrade(tenant, priority, "queue_pressure")
+
+        return AdmissionDecision(
+            action="admit", tenant=tenant, priority=priority, reason="ok"
+        )
+
+    def _degrade(self, tenant: str, priority: str, reason: str) -> AdmissionDecision:
+        return AdmissionDecision(
+            action="degrade",
+            tenant=tenant,
+            priority=priority,
+            reason=reason,
+            backends=self.degrade_backends,
+        )
+
+    def _shed(self, tenant, priority, ledger: _Ledger, reason: str) -> AdmissionDecision:
+        ledger.shed += 1
+        return AdmissionDecision(
+            action="shed",
+            tenant=tenant,
+            priority=priority,
+            reason=reason,
+            retry_after_s=self.retry_after_s(),
+        )
+
+    def retry_after_s(self) -> int:
+        """Whole seconds a shed client should back off before retrying.
+
+        Derived from the scoreboard's EWMA per-solve latency (cold default
+        when nothing has been observed yet) scaled by how many max-wave
+        dispatches the current backlog represents, clamped to
+        ``[1, MAX_RETRY_AFTER_S]``.
+        """
+        per_solve = expected_service_time(
+            self._scoreboard.capacity_snapshot(),
+            self._backends,
+            default=COLD_SERVICE_TIME_S,
+        )
+        waves_ahead = max(1, math.ceil((self._queue.depth + 1) / self._queue.max_wave))
+        return int(min(MAX_RETRY_AFTER_S, max(1, math.ceil(per_solve * waves_ahead))))
+
+    # -- accounting ------------------------------------------------------------
+
+    def on_admit(self, job) -> None:
+        """An admitted (or degraded) job entered the queue."""
+        ledger = self._ledgers.setdefault(job.tenant, _Ledger())
+        ledger.queued += 1
+        ledger.inflight += 1
+        ledger.admitted += 1
+        if getattr(job, "backends", None) is not None:
+            ledger.degraded += 1
+
+    def on_dispatch(self, job) -> None:
+        """An admitted job left the queue for a wave."""
+        ledger = self._ledgers.setdefault(job.tenant, _Ledger())
+        ledger.queued = max(0, ledger.queued - 1)
+
+    def on_finish(self, job) -> None:
+        """A job reached a terminal state; release and bill its tenant."""
+        ledger = self._ledgers.setdefault(job.tenant, _Ledger())
+        ledger.inflight = max(0, ledger.inflight - 1)
+        ledger.finished += 1
+        seconds = _backend_seconds(job)
+        if seconds > 0:
+            ledger.spend(self._clock(), seconds)
+
+    # -- reading ---------------------------------------------------------------
+
+    def snapshot(self) -> "dict[str, dict]":
+        """Per-tenant ledger view for ``/readyz`` and the metrics scrape."""
+        now = self._clock()
+        rows = {}
+        for tenant, ledger in self._ledgers.items():
+            budget = self.budget_for(tenant)
+            rows[tenant] = {
+                "queued": ledger.queued,
+                "inflight": ledger.inflight,
+                "admitted": ledger.admitted,
+                "degraded": ledger.degraded,
+                "shed": ledger.shed,
+                "finished": ledger.finished,
+                "backend_seconds_used": round(
+                    ledger.spent(now, budget.window_s), 6
+                ),
+            }
+        return rows
+
+
+def _backend_seconds(job) -> float:
+    """Backend wall seconds one finished job consumed (best available)."""
+    result = getattr(job, "result", None)
+    wall = getattr(result, "wall_time", None)
+    if isinstance(wall, (int, float)) and math.isfinite(wall) and wall >= 0:
+        return float(wall)
+    started = getattr(job, "started_at", None)
+    finished = getattr(job, "finished_at", None)
+    if started is not None and finished is not None:
+        return max(0.0, finished - started)
+    return 0.0

@@ -35,7 +35,14 @@ from repro.engine.cache import ResultCache
 from repro.engine.scheduler import AdaptiveScheduler, BackendScoreboard
 from repro.engine.store import record_best_effort, resolve_store
 from repro.exceptions import ReproError
-from repro.service.coalesce import CoalescingQueue, QueueFull
+from repro.service.admission import (
+    DEFAULT_TENANT,
+    PRIORITIES,
+    AdmissionPolicy,
+    AdmissionShed,
+    TenantBudget,
+)
+from repro.service.coalesce import CoalescingQueue
 from repro.service.config import ServiceConfig
 from repro.service.jobs import STATES, Job, JobBook
 from repro.service.metrics import (
@@ -60,6 +67,7 @@ class SolverService:
             window_s=self.config.window_s,
             max_wave=self.config.max_wave,
             max_depth=self.config.max_queue_depth,
+            lane_weights=self.config.resolved_lane_weights(),
         )
 
         # -- long-lived engine state ----------------------------------------
@@ -83,6 +91,30 @@ class SolverService:
                 seed=self.config.scheduler_seed,
                 deadline_s=self.config.scheduler_deadline_s,
             )
+        # Degraded requests run on the classical tier; a multi-name tier
+        # gets its own scheduler so routing stays inside the scheduled
+        # determinism contract (same scoreboard, same seed discipline).
+        self._degrade_scheduler: "AdaptiveScheduler | None" = None
+        if len(self.config.degrade_backends) > 1:
+            self._degrade_scheduler = AdaptiveScheduler(
+                scoreboard=self.scoreboard,
+                epsilon=self.config.epsilon,
+                seed=self.config.scheduler_seed,
+                deadline_s=self.config.scheduler_deadline_s,
+            )
+
+        # -- admission -------------------------------------------------------
+        self.admission = AdmissionPolicy(
+            queue=self.queue,
+            scoreboard=self.scoreboard,
+            backends=self.config.backends,
+            tenants=self.config.tenants,
+            default_budget=TenantBudget.from_mapping(
+                self.config.default_budget, where="default budget"
+            ),
+            degrade_backends=self.config.degrade_backends,
+            degrade_ratio=self.config.degrade_ratio,
+        )
 
         # -- lifecycle -------------------------------------------------------
         self._accepting = False
@@ -135,8 +167,34 @@ class SolverService:
             "Submit-to-finish request latency.",
             buckets=LATENCY_BUCKETS,
         )
+        m["admission"] = reg.counter(
+            "repro_service_admission_total",
+            "Admission decisions by action and priority.",
+            labelnames=("decision", "priority"),
+        )
+        m["tenant_requests"] = reg.counter(
+            "repro_service_tenant_requests_total",
+            "Admission decisions per tenant.",
+            labelnames=("tenant", "decision"),
+        )
+        m["tenant_latency"] = reg.histogram(
+            "repro_service_tenant_latency_seconds",
+            "Submit-to-finish latency per tenant.",
+            buckets=LATENCY_BUCKETS,
+            labelnames=("tenant",),
+        )
+        m["tenant_jobs"] = reg.gauge(
+            "repro_service_tenant_jobs",
+            "Retained jobs by tenant and state.",
+            labelnames=("tenant", "state"),
+        )
         m["queue_depth"] = reg.gauge(
             "repro_service_queue_depth", "Undispatched submissions."
+        )
+        m["lane_depth"] = reg.gauge(
+            "repro_service_lane_depth",
+            "Undispatched submissions per priority lane.",
+            labelnames=("lane",),
         )
         m["jobs"] = reg.gauge(
             "repro_service_jobs", "Retained jobs by state.", labelnames=("state",)
@@ -159,7 +217,13 @@ class SolverService:
         )
 
     def render_metrics(self) -> str:
-        """Refresh scrape-time gauges and render the exposition text."""
+        """Refresh scrape-time gauges and render the exposition text.
+
+        Every scrape-derived labelled gauge family is **cleared before it
+        is re-populated** — a label set whose source disappeared (an
+        evicted tenant, a swapped cache, a reset scoreboard) must vanish
+        from the exposition, not keep reporting its last value forever.
+        """
         m = self._m
         m["queue_depth"].set(self.queue.depth)
         m["uptime"].set(time.time() - self._started_at)
@@ -167,6 +231,13 @@ class SolverService:
         counts = self.jobs.counts()
         for state in STATES:
             m["jobs"].set(counts.get(state, 0), state=state)
+        m["lane_depth"].clear()
+        for lane, depth in self.queue.lane_depths().items():
+            m["lane_depth"].set(depth, lane=lane)
+        m["tenant_jobs"].clear()
+        for (tenant, state), count in self.jobs.tenant_counts().items():
+            m["tenant_jobs"].set(count, tenant=tenant, state=state)
+        m["cache"].clear()
         if self.cache is not None:
             for event, value in self.cache.stats.items():
                 m["cache"].set(value, event=event)
@@ -175,6 +246,7 @@ class SolverService:
             for stat, value in row.items():
                 if isinstance(value, (int, float)):
                     m["backend"].set(float(value), backend=backend, stat=stat)
+        m["store"].clear()
         if self.store is not None:
             for stat, value in self.store.stats().items():
                 m["store"].set(value, stat=stat)
@@ -232,20 +304,34 @@ class SolverService:
             "ready": self.ready,
             "draining": self._draining,
             "queue_depth": self.queue.depth,
+            "lane_depths": self.queue.lane_depths(),
             "max_queue_depth": self.config.max_queue_depth,
             "backends": list(self.config.backends),
+            "degrade_backends": list(self.config.degrade_backends),
             "capacity": _scrub(self.scoreboard.capacity_snapshot()),
+            "tenants": _scrub(self.admission.snapshot()),
         }
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, spec: Any, seed: int = 0) -> Job:
-        """Validate one request, register its job, and enqueue it.
+    def submit(
+        self,
+        spec: Any,
+        seed: int = 0,
+        tenant: str = DEFAULT_TENANT,
+        priority: str = "interactive",
+    ) -> Job:
+        """Validate, run admission, and only then register + enqueue the job.
 
         Raises :class:`~repro.exceptions.ReproError` subclasses the HTTP
-        layer maps to 400 (bad spec/seed), 429 (queue full), or 503
-        (draining).  On success the job is pending and its ``future``
-        resolves when the wave carrying it completes.
+        layer maps to 400 (bad spec/seed/tenant/priority), 429 with
+        ``Retry-After`` (:class:`~repro.service.admission.AdmissionShed`),
+        or 503 (draining).  Rejections of every kind happen **before a Job
+        exists** — a sustained 429 flood must not churn the job book's
+        retention and evict real history.  On success the job is pending
+        (possibly with a degraded backend fleet, recorded on
+        ``job.admission``) and its ``future`` resolves when the wave
+        carrying it completes.
         """
         if not self._accepting:
             self._m["rejected"].inc(reason="draining")
@@ -253,24 +339,50 @@ class SolverService:
         if isinstance(seed, bool) or not isinstance(seed, int) or not 0 <= seed < MAX_SEED:
             self._m["rejected"].inc(reason="bad_seed")
             raise ReproError(f"seed must be an integer in [0, {MAX_SEED}), got {seed!r}")
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 128:
+            self._m["rejected"].inc(reason="bad_tenant")
+            raise ReproError("tenant must be a non-empty string (at most 128 chars)")
+        if priority not in PRIORITIES:
+            self._m["rejected"].inc(reason="bad_priority")
+            raise ReproError(
+                f"priority must be one of {list(PRIORITIES)}, got {priority!r}"
+            )
         try:
             problem = problem_from_spec(spec)
         except ReproError:
             self._m["rejected"].inc(reason="bad_spec")
             raise
-        job = self.jobs.create(problem, seed, dict(spec))
-        try:
-            self.queue.put(job)
-        except ReproError as exc:
-            job.status = "error"
-            job.error = str(exc)
-            job.finished_at = time.time()
-            if not job.future.done():
-                job.future.set_result(job)
-            self._m["rejected"].inc(
-                reason="queue_full" if isinstance(exc, QueueFull) else "draining"
+
+        decision = self.admission.decide(tenant, priority)
+        self._m["admission"].inc(decision=decision.action, priority=priority)
+        self._m["tenant_requests"].inc(tenant=tenant, decision=decision.action)
+        if decision.action == "shed":
+            self._m["rejected"].inc(reason=decision.reason)
+            raise AdmissionShed(
+                f"request shed ({decision.reason}); retry after "
+                f"{decision.retry_after_s}s",
+                retry_after_s=decision.retry_after_s,
+                reason=decision.reason,
             )
+
+        job = self.jobs.create(
+            problem, seed, dict(spec), tenant=tenant, priority=priority
+        )
+        job.admission = decision.as_record()
+        if decision.action == "degrade":
+            job.backends = decision.backends
+        try:
+            self.queue.put(job, lane=priority)
+        except ReproError:
+            # Admission said yes but the queue disagreed (its own depth
+            # backstop, or a close racing in): the job never ran, so it
+            # must not linger in the book as history.
+            self.jobs.discard(job.id)
+            if not job.future.done():
+                job.future.cancel()
+            self._m["rejected"].inc(reason="queue_refused")
             raise
+        self.admission.on_admit(job)
         self._m["requests"].inc()
         return job
 
@@ -302,40 +414,107 @@ class SolverService:
             job.status = "running"
             job.started_at = now
             job.wave = wave_id
+            self.admission.on_dispatch(job)
         self._m["waves"].inc()
         self._m["wave_size"].observe(len(jobs))
 
+        # Every job in the wave must reach a terminal state and resolve
+        # its future, whatever throws: an exception after the engine call
+        # (short results, a poisoned metrics observer, a bookkeeping bug)
+        # must not strand `wait=true` clients on forever-"running" jobs.
+        failure: "str | None" = None
+        results: "list | None" = None
         try:
             results = await asyncio.to_thread(self._solve_wave, jobs)
+            if len(results) != len(jobs):
+                raise ReproError(
+                    f"wave returned {len(results)} results for {len(jobs)} jobs"
+                )
         except Exception as exc:  # an engine failure fails the wave, not the service
-            message = f"{type(exc).__name__}: {exc}"
+            failure = f"{type(exc).__name__}: {exc}"
+        try:
+            if failure is None:
+                for job, result in zip(jobs, results):
+                    self._finish(job, status="done", result=result)
+            else:
+                for job in jobs:
+                    self._finish(job, status="error", error=failure)
+        except Exception as exc:  # a finish-loop bug still terminalises the rest
+            failure = f"{type(exc).__name__}: {exc}"
+        finally:
             for job in jobs:
-                self._finish(job, status="error", error=message)
-            return
-        for job, result in zip(jobs, results):
-            self._finish(job, status="done", result=result)
+                if not job.finished or (job.future is not None and not job.future.done()):
+                    self._settle(job, failure or "wave finish loop failed")
 
     def _finish(self, job: Job, status: str, result=None, error=None) -> None:
         job.status = status
         job.result = result
         job.error = error
         job.finished_at = time.time()
+        self.admission.on_finish(job)
         self._m["responses"].inc(status=status)
         latency = job.latency_s
         if latency is not None:
             self._m["latency"].observe(latency)
+            self._m["tenant_latency"].observe(latency, tenant=job.tenant)
+        if job.future is not None and not job.future.done():
+            job.future.set_result(job)
+
+    def _settle(self, job: Job, message: str) -> None:
+        """Last-resort terminal state: never raises, always resolves."""
+        try:
+            if not job.finished:
+                job.status = "error"
+                job.error = job.error or message
+                job.finished_at = job.finished_at or time.time()
+                self.admission.on_finish(job)
+                self._m["responses"].inc(status="error")
+        except Exception:  # pragma: no cover - bookkeeping must not re-raise
+            pass
         if job.future is not None and not job.future.done():
             job.future.set_result(job)
 
     def _solve_wave(self, jobs: "list[Job]") -> list:
         """One coalesced engine dispatch (worker thread; no job mutation).
 
-        Single-flight dedup first: requests naming the same
-        ``(QUBO fingerprint, seed)`` are literally the same solve under the
-        service's determinism contract, so only the first is dispatched
-        and the rest share its result object (results are treated as
-        immutable once returned).  The survivors go through ``solve_many``
-        with explicit seeds and single-item shards.
+        A wave may mix admission outcomes: admitted jobs run on the
+        configured fleet, degraded jobs on their rewritten classical tier.
+        Jobs are grouped by effective fleet and each group dispatches as
+        its own ``solve_many`` batch — still one worker-thread hop per
+        wave, and each request remains its own shard leader with an
+        explicit seed, so the determinism contract survives degradation.
+        Degraded groups stamp the fleet rewrite into every result's
+        ``info["admission"]``.
+        """
+        groups: "dict[tuple | None, list[int]]" = {}
+        for index, job in enumerate(jobs):
+            groups.setdefault(job.backends, []).append(index)
+        results: list = [None] * len(jobs)
+        for fleet, indices in groups.items():
+            group_results = self._solve_group(fleet, [jobs[i] for i in indices])
+            if fleet is not None:
+                for result in group_results:
+                    result.info.setdefault(
+                        "admission",
+                        {
+                            "action": "degrade",
+                            "backends": list(fleet),
+                            "fleet": list(self.config.backends),
+                        },
+                    )
+            for index, result in zip(indices, group_results):
+                results[index] = result
+        return results
+
+    def _solve_group(self, fleet: "tuple | None", jobs: "list[Job]") -> list:
+        """One fleet's share of a wave, single-flight deduped.
+
+        Requests naming the same ``(QUBO fingerprint, seed)`` are
+        literally the same solve under the service's determinism contract,
+        so only the first is dispatched and the rest share its result
+        object (results are treated as immutable once returned).  The
+        survivors go through ``solve_many`` with explicit seeds and
+        single-item shards.
         """
         config = self.config
         order: "dict[tuple[str, int], int]" = {}
@@ -356,11 +535,13 @@ class SolverService:
 
         from repro.api.facade import solve_many
 
-        if self.scheduler is not None:
+        backends = tuple(config.backends) if fleet is None else tuple(fleet)
+        scheduler = self.scheduler if fleet is None else self._degrade_scheduler
+        if len(backends) > 1 and scheduler is not None:
             results = solve_many(
                 problems,
-                backend=tuple(config.backends),
-                scheduler=self.scheduler,
+                backend=backends,
+                scheduler=scheduler,
                 seeds=seeds,
                 refine=config.refine,
                 top_k=config.top_k,
@@ -368,10 +549,14 @@ class SolverService:
                 cache=self.cache,
                 max_shard_size=1,
                 store=self.store if self.store is not None else False,
-                **{name: dict(opts) for name, opts in config.backend_opts.items()},
+                **{
+                    name: dict(opts)
+                    for name, opts in config.backend_opts.items()
+                    if name in backends
+                },
             )
         else:
-            backend = config.backends[0]
+            backend = backends[0]
             results = solve_many(
                 problems,
                 backend=backend,

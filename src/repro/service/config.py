@@ -31,6 +31,20 @@ TOML layout (every table and key optional)::
 
     [engine.backend_opts.sa]
     num_reads = 16
+
+    [admission]
+    degrade_backends = ["tabu"]         # the cheap classical tier
+    degrade_ratio = 0.75                # queue fill ratio that degrades best_effort
+    lane_weights = {interactive = 4, batch = 2, best_effort = 1}
+
+    [admission.default_budget]          # tenants without a named budget
+    max_inflight = 256
+
+    [admission.tenants.crawler]         # per-tenant budget overrides
+    max_inflight = 8
+    backend_seconds = 30.0
+    window_s = 60.0
+    queue_share = 0.25
 """
 
 from __future__ import annotations
@@ -45,6 +59,33 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 from repro.exceptions import ReproError
+from repro.service.admission import DEFAULT_LANE_WEIGHTS, PRIORITIES, TenantBudget
+
+
+def _parse_tenant_budgets(raw: str) -> dict:
+    """``"crawler:max_inflight=8:backend_seconds=30;lab:queue_share=0.5"``
+    -> ``{"crawler": {...}, "lab": {...}}`` (the env spelling of
+    ``[admission.tenants.<name>]``)."""
+    tenants: dict = {}
+    for chunk in raw.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, *settings = chunk.split(":")
+        name = name.strip()
+        if not name:
+            raise ValueError(f"tenant budget chunk {chunk!r} is missing a tenant name")
+        budget: dict = {}
+        for setting in settings:
+            key, sep, value = setting.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise ValueError(f"tenant budget setting {setting!r} is not key=value")
+            number = float(value.strip())
+            budget[key] = int(number) if key == "max_inflight" else number
+        tenants[name] = budget
+    return tenants
+
 
 #: Environment overrides: variable -> (config field, parser).
 _ENV_OVERRIDES = {
@@ -59,6 +100,11 @@ _ENV_OVERRIDES = {
         lambda raw: tuple(name.strip() for name in raw.split(",") if name.strip()),
     ),
     "REPRO_SERVICE_STORE": ("store", str),
+    "REPRO_SERVICE_DEGRADE_BACKENDS": (
+        "degrade_backends",
+        lambda raw: tuple(name.strip() for name in raw.split(",") if name.strip()),
+    ),
+    "REPRO_SERVICE_TENANTS": ("tenants", _parse_tenant_budgets),
 }
 
 
@@ -97,6 +143,18 @@ class ServiceConfig:
         refine / top_k: Solve-kernel options shared by every request —
             they are part of the cache key, so the service pins them
             fleet-wide rather than letting requests fragment the cache.
+        tenants: Per-tenant budget tables (``{name: {max_inflight,
+            backend_seconds, window_s, queue_share}}``, every key
+            optional — see :class:`~repro.service.admission.TenantBudget`).
+        default_budget: Budget applied to tenants without a named entry
+            (empty = unlimited).
+        lane_weights: Per-priority wave-drain weights overlaying
+            :data:`~repro.service.admission.DEFAULT_LANE_WEIGHTS`.
+        degrade_backends: The cheap classical tier degraded requests are
+            rewritten to (``("tabu",)`` default; >1 name routes the
+            degraded group through its own adaptive scheduler).
+        degrade_ratio: Queue fill fraction at which ``best_effort``
+            requests degrade pre-emptively (1.0 disables).
     """
 
     host: str = "127.0.0.1"
@@ -116,6 +174,11 @@ class ServiceConfig:
     epsilon: float = 0.1
     scheduler_seed: int = 0
     scheduler_deadline_s: "float | None" = None
+    tenants: dict = field(default_factory=dict)
+    default_budget: dict = field(default_factory=dict)
+    lane_weights: dict = field(default_factory=dict)
+    degrade_backends: tuple = ("tabu",)
+    degrade_ratio: float = 0.75
 
     def validate(self) -> "ServiceConfig":
         if not 0 <= self.port <= 65535:
@@ -141,12 +204,36 @@ class ServiceConfig:
             raise ReproError("epsilon must be in [0, 1]")
         if self.top_k < 1:
             raise ReproError("top_k must be >= 1")
+        if not isinstance(self.tenants, Mapping):
+            raise ReproError("tenants must map tenant name -> budget table")
+        for name, budget in self.tenants.items():
+            TenantBudget.from_mapping(budget, where=f"tenant {name!r} budget")
+        TenantBudget.from_mapping(self.default_budget, where="default budget")
+        unknown = set(self.lane_weights) - set(PRIORITIES)
+        if unknown:
+            raise ReproError(
+                f"lane_weights for {sorted(unknown)} match no priority "
+                f"(known: {list(PRIORITIES)})"
+            )
+        for lane, weight in self.lane_weights.items():
+            if isinstance(weight, bool) or not isinstance(weight, int) or weight < 1:
+                raise ReproError(f"lane {lane!r} weight must be an integer >= 1")
+        if not self.degrade_backends:
+            raise ReproError("degrade_backends needs at least one registry name")
+        if not 0.0 <= self.degrade_ratio <= 1.0:
+            raise ReproError("degrade_ratio must be in [0, 1]")
         return self
 
     @property
     def scheduled(self) -> bool:
         """Whether the fleet is large enough to need adaptive routing."""
         return len(self.backends) > 1
+
+    def resolved_lane_weights(self) -> dict:
+        """Defaults overlaid with this config's ``lane_weights``."""
+        weights = dict(DEFAULT_LANE_WEIGHTS)
+        weights.update(self.lane_weights)
+        return weights
 
 
 def _take(table: Mapping, known: dict, where: str) -> dict:
@@ -186,11 +273,11 @@ def load_config(
             )
         with open(path, "rb") as fh:
             data = tomllib.load(fh)
-        unknown = set(data) - {"service", "coalesce", "engine"}
+        unknown = set(data) - {"service", "coalesce", "engine", "admission"}
         if unknown:
             raise ReproError(
                 f"unknown table(s) {sorted(unknown)} in {path} "
-                "(known: service, coalesce, engine)"
+                "(known: service, coalesce, engine, admission)"
             )
         fields.update(_take(data.get("service", {}), {
             "host": "host", "port": "port",
@@ -217,6 +304,34 @@ def load_config(
             if isinstance(backends, str):
                 backends = [backends]
             fields["backends"] = tuple(str(b) for b in backends)
+        admission = dict(data.get("admission", {}))
+        tenants = admission.pop("tenants", {})
+        if not isinstance(tenants, dict) or not all(
+            isinstance(v, dict) for v in tenants.values()
+        ):
+            raise ReproError(
+                "[admission.tenants.<name>] tables must map budget key -> value"
+            )
+        default_budget = admission.pop("default_budget", {})
+        if not isinstance(default_budget, dict):
+            raise ReproError("[admission.default_budget] must be a table")
+        lane_weights = admission.pop("lane_weights", {})
+        if not isinstance(lane_weights, dict):
+            raise ReproError("admission lane_weights must map priority -> weight")
+        fields.update(_take(admission, {
+            "degrade_backends": "degrade_backends", "degrade_ratio": "degrade_ratio",
+        }, "admission"))
+        if "degrade_backends" in fields:
+            degraded = fields["degrade_backends"]
+            if isinstance(degraded, str):
+                degraded = [degraded]
+            fields["degrade_backends"] = tuple(str(b) for b in degraded)
+        if tenants:
+            fields["tenants"] = {name: dict(v) for name, v in tenants.items()}
+        if default_budget:
+            fields["default_budget"] = dict(default_budget)
+        if lane_weights:
+            fields["lane_weights"] = dict(lane_weights)
 
     for variable, (target, parse) in _ENV_OVERRIDES.items():
         raw = env.get(variable)

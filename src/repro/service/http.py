@@ -7,7 +7,8 @@ no-new-runtime-deps rule is worth more than a framework:
 ====== ==================== =============================================
 Method Path                 Purpose
 ====== ==================== =============================================
-POST   ``/v1/solve``        Submit ``{"problem": spec, "seed": n}``;
+POST   ``/v1/solve``        Submit ``{"problem": spec, "seed": n}``
+                            (optional ``"tenant"``, ``"priority"``);
                             ``"wait": true`` blocks for the result.
 GET    ``/v1/jobs/<id>``    Job status/result (404 for unknown ids).
 GET    ``/healthz``         Liveness (200 while the process serves).
@@ -15,8 +16,11 @@ GET    ``/readyz``          Readiness + capacity snapshot (503 draining).
 GET    ``/metrics``         Prometheus text exposition (version 0.0.4).
 ====== ==================== =============================================
 
-Error mapping: malformed requests and bad specs are 400, unknown routes
-404, queue backpressure 429, draining 503.  Every response carries
+Error mapping: malformed requests (bad JSON, bad spec/seed/tenant/
+priority, a negative Content-Length, a truncated body) are 400, unknown
+routes 404, oversized bodies 413, queue backpressure and admission sheds
+429 (sheds carry ``Retry-After`` seconds derived from the scoreboard's
+EWMA service time), draining 503.  Every response carries
 ``Connection: close`` — one request per connection keeps the parser to a
 page of code, and the client for this service is a scraper or an SDK
 retry loop, not a browser holding keep-alives.
@@ -27,6 +31,7 @@ from __future__ import annotations
 import asyncio
 import json
 
+from repro.service.admission import AdmissionShed
 from repro.service.app import SolverService
 from repro.service.coalesce import QueueClosed, QueueFull
 from repro.exceptions import ReproError
@@ -43,12 +48,13 @@ _REASONS = {
 
 
 class HttpError(Exception):
-    """Carries a status + JSON-able body up to the connection handler."""
+    """Carries a status + JSON-able body (+ extra headers) up to the handler."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, headers: "dict | None" = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
 
 
 class ServiceServer:
@@ -86,6 +92,7 @@ class ServiceServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         try:
+            headers: dict = {}
             try:
                 method, path, body = await _read_request(reader)
                 status, payload, content_type = await self._route(method, path, body)
@@ -93,11 +100,12 @@ class ServiceServer:
                 status, payload, content_type = (
                     exc.status, {"error": exc.message}, "application/json",
                 )
+                headers = exc.headers
             except Exception as exc:  # a handler bug must not kill the server
                 status, payload, content_type = (
                     500, {"error": f"{type(exc).__name__}: {exc}"}, "application/json",
                 )
-            await _write_response(writer, status, payload, content_type)
+            await _write_response(writer, status, payload, content_type, headers)
         finally:
             try:
                 writer.close()
@@ -147,8 +155,18 @@ class ServiceServer:
         wait = request.get("wait", False)
         if not isinstance(wait, bool):
             raise HttpError(400, '"wait" must be a boolean')
+        tenant = request.get("tenant", "default")
+        priority = request.get("priority", "interactive")
+        if not isinstance(tenant, str):
+            raise HttpError(400, '"tenant" must be a string')
+        if not isinstance(priority, str):
+            raise HttpError(400, '"priority" must be a string')
         try:
-            job = self.service.submit(spec, seed=seed)
+            job = self.service.submit(spec, seed=seed, tenant=tenant, priority=priority)
+        except AdmissionShed as exc:
+            raise HttpError(
+                429, str(exc), headers={"Retry-After": str(exc.retry_after_s)}
+            ) from exc
         except QueueFull as exc:
             raise HttpError(429, str(exc)) from exc
         except QueueClosed as exc:
@@ -185,23 +203,39 @@ async def _read_request(reader: asyncio.StreamReader):
                 content_length = int(value.strip())
             except ValueError as exc:
                 raise HttpError(400, "bad Content-Length header") from exc
+            if content_length < 0:
+                # -5 is truthy and passes a `> MAX` check; readexactly(-5)
+                # would raise ValueError and surface as a 500.  It's the
+                # client's malformed header: 400.
+                raise HttpError(400, "Content-Length must be >= 0")
     if content_length > MAX_BODY_BYTES:
         raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
-    body = await reader.readexactly(content_length) if content_length else b""
+    try:
+        body = await reader.readexactly(content_length) if content_length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise HttpError(
+            400,
+            f"request body truncated ({len(exc.partial)} of {content_length} bytes)",
+        ) from exc
     return method.upper(), path, body
 
 
 async def _write_response(writer: asyncio.StreamWriter, status: int,
-                          payload, content_type: str) -> None:
+                          payload, content_type: str,
+                          headers: "dict | None" = None) -> None:
     if isinstance(payload, str):
         body = payload.encode("utf-8")
     else:
         body = (json.dumps(payload) + "\n").encode("utf-8")
     reason = _REASONS.get(status, "Unknown")
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         "Connection: close\r\n"
         "\r\n"
     ).encode("latin-1")

@@ -39,6 +39,13 @@ class Job:
     problem: "Problem"
     seed: int
     spec: dict
+    tenant: str = "default"
+    priority: str = "interactive"
+    #: The admission decision record (see :class:`~repro.service.admission.
+    #: AdmissionDecision.as_record`); ``backends`` is the degraded fleet
+    #: override the wave honours (``None`` = the configured fleet).
+    admission: "dict | None" = None
+    backends: "tuple | None" = None
     status: str = "pending"
     submitted_at: float = field(default_factory=time.time)
     started_at: "float | None" = None
@@ -65,6 +72,9 @@ class Job:
             "job_id": self.id,
             "status": self.status,
             "seed": self.seed,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "admission": self.admission,
             "problem": self.spec,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -91,12 +101,21 @@ class JobBook:
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
         self._counter = itertools.count(1)
 
-    def create(self, problem: "Problem", seed: int, spec: dict) -> Job:
+    def create(
+        self,
+        problem: "Problem",
+        seed: int,
+        spec: dict,
+        tenant: str = "default",
+        priority: str = "interactive",
+    ) -> Job:
         job = Job(
             id=f"job-{next(self._counter):06d}",
             problem=problem,
             seed=seed,
             spec=dict(spec),
+            tenant=tenant,
+            priority=priority,
             future=asyncio.get_running_loop().create_future(),
         )
         self._jobs[job.id] = job
@@ -106,11 +125,23 @@ class JobBook:
     def get(self, job_id: str) -> "Job | None":
         return self._jobs.get(job_id)
 
+    def discard(self, job_id: str) -> None:
+        """Drop one job unconditionally (admission rollback, not eviction)."""
+        self._jobs.pop(job_id, None)
+
     def counts(self) -> dict:
         """``{state: count}`` over retained jobs (the jobs gauge feed)."""
         counts = dict.fromkeys(STATES, 0)
         for job in self._jobs.values():
             counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    def tenant_counts(self) -> "dict[tuple[str, str], int]":
+        """``{(tenant, state): count}`` (the per-tenant jobs gauge feed)."""
+        counts: "dict[tuple[str, str], int]" = {}
+        for job in self._jobs.values():
+            key = (job.tenant, job.status)
+            counts[key] = counts.get(key, 0) + 1
         return counts
 
     def __len__(self) -> int:

@@ -123,3 +123,38 @@ def test_explicit_seeds_are_deterministic_across_executors():
     threaded = solve_many(batch, backend="sa", seeds=seeds, executor="threads",
                           max_shard_size=1, num_reads=4)
     assert [r.objective for r in serial] == [r.objective for r in threaded]
+
+
+# -- expected_service_time ---------------------------------------------------
+
+
+def test_expected_service_time_cold_board_returns_default():
+    from repro.engine import expected_service_time
+
+    assert expected_service_time({}, default=0.25) == 0.25
+    assert expected_service_time({}, backends=("sa",), default=0.7) == 0.7
+
+
+def test_expected_service_time_averages_finite_latencies():
+    from repro.engine import expected_service_time
+
+    board = BackendScoreboard()
+    board.observe("sa", None, objective=1.0, wall_time=2.0)
+    board.observe("tabu", None, objective=1.0, wall_time=4.0)
+    snapshot = board.capacity_snapshot()
+    assert expected_service_time(snapshot) == pytest.approx(3.0)
+    assert expected_service_time(snapshot, backends=("sa",)) == pytest.approx(2.0)
+    # Unknown names are skipped; all-unknown falls back to the default.
+    assert expected_service_time(snapshot, backends=("sa", "nope")) == pytest.approx(2.0)
+    assert expected_service_time(snapshot, backends=("nope",), default=0.1) == 0.1
+
+
+def test_expected_service_time_ignores_nan_latency_rows():
+    from repro.engine import expected_service_time
+
+    # A backend seen only through cache hits has a NaN latency EWMA —
+    # cache hits cost no backend time and must not poison the estimate.
+    board = BackendScoreboard()
+    board.observe("sa", None, objective=1.0, wall_time=1.0, cache_hit=True)
+    assert math.isnan(board.capacity_snapshot()["sa"]["latency"])
+    assert expected_service_time(board.capacity_snapshot(), default=0.25) == 0.25

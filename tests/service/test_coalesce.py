@@ -108,3 +108,85 @@ def test_constructor_validation():
         CoalescingQueue(max_wave=0)
     with pytest.raises(ReproError):
         CoalescingQueue(max_depth=0)
+
+
+# -- priority lanes ----------------------------------------------------------
+
+
+def test_weighted_drain_order_over_mixed_lanes():
+    """Per drain cycle: 4 interactive, 2 batch, 1 best_effort (defaults)."""
+
+    async def scenario():
+        queue = CoalescingQueue(window_s=0.0, max_wave=7)
+        for item in range(6):
+            queue.put(f"i{item}", lane="interactive")
+        for item in range(4):
+            queue.put(f"b{item}", lane="batch")
+        for item in range(3):
+            queue.put(f"e{item}", lane="best_effort")
+        return [await queue.collect_wave() for _ in range(2)]
+
+    first, second = run(scenario())
+    assert first == ["i0", "i1", "i2", "i3", "b0", "b1", "e0"]
+    # Cycle 2: the 2 remaining interactive, 2 batch, 1 best_effort, then
+    # cycle 3 passes empty lanes through and drains the best_effort tail.
+    assert second == ["i4", "i5", "b2", "b3", "e1", "e2"]
+
+
+def test_empty_lane_slots_pass_to_the_next_lane():
+    async def scenario():
+        queue = CoalescingQueue(window_s=0.0, max_wave=4)
+        for item in range(6):
+            queue.put(item, lane="best_effort")
+        return await queue.collect_wave()
+
+    # No interactive/batch traffic: best_effort still fills the wave
+    # (one item per cycle, cycles repeat until the wave is full).
+    assert run(scenario()) == [0, 1, 2, 3]
+
+
+def test_default_lane_preserves_positional_fifo():
+    async def scenario():
+        queue = CoalescingQueue(window_s=0.0, max_wave=8)
+        for item in range(3):
+            queue.put(item)  # legacy positional callers -> first lane
+        assert queue.lane_depths() == {
+            "interactive": 3, "batch": 0, "best_effort": 0,
+        }
+        return await queue.collect_wave()
+
+    assert run(scenario()) == [0, 1, 2]
+
+
+def test_unknown_lane_is_an_error_and_enqueues_nothing():
+    async def scenario():
+        queue = CoalescingQueue(window_s=0.0, max_wave=8)
+        with pytest.raises(ReproError):
+            queue.put("x", lane="urgent")
+        assert queue.depth == 0
+
+    run(scenario())
+
+
+def test_lane_weight_validation():
+    with pytest.raises(ReproError):
+        CoalescingQueue(lane_weights={})
+    with pytest.raises(ReproError):
+        CoalescingQueue(lane_weights={"interactive": 0})
+    with pytest.raises(ReproError):
+        CoalescingQueue(lane_weights={"interactive": 1.5})
+
+
+def test_window_anchors_on_earliest_item_across_lanes():
+    async def scenario():
+        queue = CoalescingQueue(window_s=0.4, max_wave=64)
+        queue.put("slow", lane="best_effort")
+        await asyncio.sleep(0.05)
+        collector = asyncio.create_task(queue.collect_wave())
+        await asyncio.sleep(0.02)
+        queue.put("late", lane="interactive")
+        wave = await asyncio.wait_for(collector, timeout=5.0)
+        # Interactive drains first even though best_effort arrived first.
+        assert wave == ["late", "slow"]
+
+    run(scenario())

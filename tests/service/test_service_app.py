@@ -249,3 +249,109 @@ def test_readiness_reports_capacity_snapshot():
 
     json.dumps(during)
     assert after["ready"] is False
+
+
+# -- wave hardening: every job reaches a terminal state ----------------------
+
+
+def test_short_wave_results_terminalise_every_job():
+    """An engine returning too few results errors the wave, strands no one."""
+
+    async def scenario():
+        service = make_service(max_wave=2)
+        await service.start()
+        service._solve_wave = lambda jobs: [object()]  # one result, two jobs
+        jobs = [service.submit(MQO_SPEC, seed=s) for s in (0, 1)]
+        await asyncio.wait_for(
+            asyncio.gather(*[job.future for job in jobs]), timeout=10.0
+        )
+        await service.shutdown()
+        return service, jobs
+
+    service, jobs = asyncio.run(scenario())
+    for job in jobs:
+        assert job.status == "error"
+        assert "1 results for 2 jobs" in job.error
+        assert job.future.done()
+    assert service._m["responses"].value(status="error") == 2
+
+
+def test_poisoned_finish_loop_still_resolves_every_future():
+    """A bug thrown *after* the engine call (here: a poisoned metrics
+    observer) must not leave jobs forever-running or futures pending."""
+
+    async def scenario():
+        service = make_service(max_wave=3)
+        await service.start()
+
+        real_finish, calls = service._finish, []
+
+        def poisoned(job, status, result=None, error=None):
+            calls.append(job.id)
+            if len(calls) == 2:  # job 1 finishes cleanly, job 2 detonates
+                raise RuntimeError("observer exploded")
+            real_finish(job, status, result=result, error=error)
+
+        service._finish = poisoned
+        jobs = [service.submit(MQO_SPEC, seed=s) for s in (0, 1, 2)]
+        await asyncio.wait_for(
+            asyncio.gather(*[job.future for job in jobs]), timeout=10.0
+        )
+        # The wave task must have swept everything before resolving: no
+        # job is still running and no future is pending.
+        assert all(job.future.done() for job in jobs)
+        assert all(job.finished for job in jobs)
+        # The service is still alive: an untampered follow-up wave works.
+        service._finish = real_finish
+        after = [service.submit(MQO_SPEC, seed=s) for s in (5, 6, 7)]
+        await asyncio.gather(*[job.future for job in after])
+        await service.shutdown()
+        return jobs, after
+
+    jobs, after = asyncio.run(scenario())
+    assert jobs[0].status == "done"  # finished before the poison
+    assert jobs[1].status == "error" and "observer exploded" in jobs[1].error
+    assert jobs[2].status == "error"  # swept by the finally clause
+    assert all(job.status == "done" for job in after)
+
+
+# -- scrape-time gauge clearing ----------------------------------------------
+
+
+def test_stale_gauge_labels_vanish_when_their_source_does():
+    """Scrape-derived gauges are cleared per scrape: a label set whose
+    source disappeared must not keep reporting its last value forever."""
+
+    async def scenario():
+        service = make_service(max_wave=2, cache=True)
+        await service.start()
+        jobs = [
+            service.submit(MQO_SPEC, seed=1, tenant="ghost"),
+            service.submit(MQO_SPEC, seed=2, tenant="ghost"),
+        ]
+        await asyncio.gather(*[job.future for job in jobs])
+        await service.shutdown()
+        return service
+
+    service = asyncio.run(scenario())
+    text = service.render_metrics()
+    assert 'repro_service_tenant_jobs{state="done",tenant="ghost"} 2' in text
+    assert 'repro_engine_cache{event="misses"}' in text
+    assert 'repro_backend_capacity{backend="sa"' in text
+
+    # Swap every source out from under the gauges...
+    from repro.engine.scheduler import BackendScoreboard
+    from repro.service.jobs import JobBook
+
+    service.jobs = JobBook()
+    service.cache = None
+    service.scoreboard = BackendScoreboard()
+    text = service.render_metrics()
+    # ...and the stale gauge label sets are gone, not frozen at their last
+    # value.  (Counters and histograms are cumulative by design and keep
+    # their label sets; only scrape-derived gauges clear.)
+    assert 'repro_service_tenant_jobs{state="done",tenant="ghost"}' not in text
+    assert "repro_engine_cache{" not in text
+    assert 'repro_backend_capacity{backend="sa"' not in text
+    # Cumulative families still report the tenant's history.
+    assert 'repro_service_tenant_requests_total{decision="admit",tenant="ghost"} 2' in text

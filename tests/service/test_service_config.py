@@ -106,3 +106,85 @@ def test_toml_unknown_keys_are_errors(tmp_path):
     bad_key.write_text("[coalesce]\nwindows = 0.5\n")  # typo for window_s
     with pytest.raises(ReproError):
         load_config(bad_key, env={})
+
+
+# -- [admission] -------------------------------------------------------------
+
+
+def test_admission_defaults():
+    config = load_config(env={})
+    assert config.tenants == {}
+    assert config.default_budget == {}
+    assert config.degrade_backends == ("tabu",)
+    assert config.degrade_ratio == 0.75
+    assert config.resolved_lane_weights() == {
+        "interactive": 4, "batch": 2, "best_effort": 1,
+    }
+
+
+def test_admission_toml_table(tmp_path):
+    pytest.importorskip("tomllib")
+    path = tmp_path / "service.toml"
+    path.write_text(
+        """
+[admission]
+degrade_backends = ["tabu", "sa"]
+degrade_ratio = 0.5
+lane_weights = {interactive = 8, best_effort = 1}
+
+[admission.default_budget]
+max_inflight = 256
+
+[admission.tenants.crawler]
+max_inflight = 8
+backend_seconds = 30.0
+window_s = 120.0
+queue_share = 0.25
+"""
+    )
+    config = load_config(path, env={})
+    assert config.degrade_backends == ("tabu", "sa")
+    assert config.degrade_ratio == 0.5
+    assert config.default_budget == {"max_inflight": 256}
+    assert config.tenants == {
+        "crawler": {
+            "max_inflight": 8, "backend_seconds": 30.0,
+            "window_s": 120.0, "queue_share": 0.25,
+        },
+    }
+    # Partial lane_weights overlay the defaults rather than replacing them.
+    assert config.resolved_lane_weights() == {
+        "interactive": 8, "batch": 2, "best_effort": 1,
+    }
+
+
+def test_admission_env_overrides():
+    env = {
+        "REPRO_SERVICE_DEGRADE_BACKENDS": "sa, tabu",
+        "REPRO_SERVICE_TENANTS": (
+            "crawler:max_inflight=8:backend_seconds=30;lab:queue_share=0.5"
+        ),
+    }
+    config = load_config(env=env)
+    assert config.degrade_backends == ("sa", "tabu")
+    assert config.tenants == {
+        "crawler": {"max_inflight": 8, "backend_seconds": 30.0},
+        "lab": {"queue_share": 0.5},
+    }
+    with pytest.raises(ReproError):  # malformed budget spelling
+        load_config(env={"REPRO_SERVICE_TENANTS": "crawler:max_inflight"})
+
+
+def test_admission_validation_rejects_bad_values():
+    bad = [
+        dict(tenants={"crawler": {"wallclock": 5}}),      # unknown budget key
+        dict(tenants={"crawler": {"max_inflight": 0}}),
+        dict(default_budget={"queue_share": 2.0}),
+        dict(lane_weights={"urgent": 1}),                 # unknown priority
+        dict(lane_weights={"interactive": 0}),
+        dict(degrade_backends=()),
+        dict(degrade_ratio=1.5),
+    ]
+    for overrides in bad:
+        with pytest.raises(ReproError):
+            ServiceConfig(**overrides).validate()

@@ -7,6 +7,7 @@ external client would.  SIGTERM at the end asserts the graceful-shutdown
 contract: drain, then exit 0.
 """
 
+import asyncio
 import json
 import os
 import re
@@ -137,6 +138,158 @@ def test_concurrent_submissions_coalesce_on_the_wire(server):
         for key, value in re.findall(r"^(repro_service_wave_size\S*) (\S+)$", text, re.M)
     }
     assert waves['repro_service_wave_size_bucket{le="1"}'] < waves["repro_service_wave_size_count"]
+
+
+# -- raw-socket parser hardening ---------------------------------------------
+#
+# urllib cannot send a malformed request, so these drive an in-process
+# ServiceServer (port 0) over bare asyncio sockets: negative
+# Content-Length and truncated bodies are the *client's* fault and must
+# map to 400, never to a 500 from readexactly().
+
+
+def _run_with_server(handler, **config_overrides):
+    from repro.service import ServiceConfig, SolverService
+    from repro.service.http import ServiceServer
+
+    async def scenario():
+        config = dict(
+            window_s=0.05, max_wave=16, port=0, backends=("sa",),
+            backend_opts={"sa": {"num_reads": 2, "num_sweeps": 20}},
+            executor="threads", store="",
+        )
+        config.update(config_overrides)
+        server = ServiceServer(SolverService(ServiceConfig(**config)))
+        await server.start()
+        try:
+            return await handler(server)
+        finally:
+            await server.shutdown()
+
+    return asyncio.run(scenario())
+
+
+async def _raw_request(port, payload: bytes, eof: bool = False) -> str:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(payload)
+    await writer.drain()
+    if eof:
+        writer.write_eof()  # the body will never arrive
+    data = await asyncio.wait_for(reader.read(), timeout=30)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return data.decode("latin-1", "replace")
+
+
+def _build_post(path: str, obj) -> bytes:
+    body = json.dumps(obj).encode()
+    head = (
+        f"POST {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Type: application/json\r\nContent-Length: {len(body)}\r\n\r\n"
+    )
+    return head.encode() + body
+
+
+def _parse_response(raw: str):
+    head, _, body = raw.partition("\r\n\r\n")
+    lines = head.split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body
+
+
+def test_negative_content_length_is_a_400_not_a_500():
+    async def handler(server):
+        raw = await _raw_request(
+            server.bound_port,
+            b"POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: -5\r\n\r\n",
+        )
+        status, _, body = _parse_response(raw)
+        assert status == 400
+        assert "Content-Length" in body
+
+    _run_with_server(handler)
+
+
+def test_unparsable_content_length_is_a_400():
+    async def handler(server):
+        raw = await _raw_request(
+            server.bound_port,
+            b"POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: ten\r\n\r\n",
+        )
+        status, _, _ = _parse_response(raw)
+        assert status == 400
+
+    _run_with_server(handler)
+
+
+def test_truncated_body_is_a_400_not_a_hang_or_500():
+    async def handler(server):
+        raw = await _raw_request(
+            server.bound_port,
+            b"POST /v1/solve HTTP/1.1\r\nHost: t\r\nContent-Length: 50\r\n\r\n"
+            b'{"problem"',
+            eof=True,
+        )
+        status, _, body = _parse_response(raw)
+        assert status == 400
+        assert "truncated" in body
+        assert "10 of 50" in body
+
+    _run_with_server(handler)
+
+
+def test_shed_responses_carry_retry_after():
+    """429s from admission come with a Retry-After the client can obey."""
+
+    async def handler(server):
+        # Window is huge and the queue holds one job: the first submit
+        # parks, the second sheds.
+        first = await _raw_request(
+            server.bound_port, _build_post("/v1/solve", {"problem": SPEC, "seed": 0})
+        )
+        assert _parse_response(first)[0] == 202
+        second = await _raw_request(
+            server.bound_port, _build_post("/v1/solve", {"problem": SPEC, "seed": 1})
+        )
+        status, headers, body = _parse_response(second)
+        assert status == 429
+        assert int(headers["retry-after"]) >= 1
+        assert "shed" in body and "queue_full" in body
+
+    _run_with_server(handler, window_s=30.0, max_queue_depth=1)
+
+
+def test_tenant_and_priority_round_trip_over_the_wire():
+    async def handler(server):
+        raw = await _raw_request(
+            server.bound_port,
+            _build_post("/v1/solve", {
+                "problem": SPEC, "seed": 2, "wait": True,
+                "tenant": "alice", "priority": "batch",
+            }),
+        )
+        status, _, body = _parse_response(raw)
+        assert status == 200
+        job = json.loads(body)
+        assert job["tenant"] == "alice"
+        assert job["priority"] == "batch"
+        assert job["admission"]["action"] == "admit"
+        # Wrong types are the client's problem: 400, not a crash.
+        for bad in ({"tenant": 7}, {"priority": ["interactive"]}):
+            raw = await _raw_request(
+                server.bound_port,
+                _build_post("/v1/solve", {"problem": SPEC, "seed": 2, **bad}),
+            )
+            assert _parse_response(raw)[0] == 400
+
+    _run_with_server(handler)
 
 
 def test_sigterm_drains_and_exits_zero(server):
