@@ -40,6 +40,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro import (
     AdaptiveScheduler,
     EngineStore,
@@ -377,6 +378,57 @@ def test_store_restart_warm_routing_beats_cold(benchmark, tmp_path):
     )
     assert warm_s <= cold_s, (
         f"warm-store restart ({warm_s:.2f}s) should beat the cold run ({cold_s:.2f}s)"
+    )
+
+
+# -- observability: the zero-overhead-when-disabled gate ---------------------
+
+
+def test_tracing_noop_overhead_within_2_percent(benchmark):
+    """With no tracer installed every ``obs.span`` call site must cost a
+    contextvar read and a shared no-op scope — nothing else.  The gate is
+    measured structurally rather than as a flaky A/B wall-time diff: (no-op
+    cost per call site) x (call sites a traced batch actually hits) must
+    stay under 2% of the untraced batch's wall time.
+    """
+    problems = _wide_batch()
+
+    def kernel():
+        t0 = time.perf_counter()
+        untraced = solve_many(problems, backend="sa", seed=11, **SA_OPTS)
+        untraced_s = time.perf_counter() - t0
+
+        collector = obs.SpanCollector()
+        with obs.activate(collector):
+            traced = solve_many(problems, backend="sa", seed=11, **SA_OPTS)
+        span_count = len(collector.drain())
+
+        # Per-call disabled cost, amortised over enough calls to resolve.
+        iterations = 100_000
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            with obs.span("bench.noop", shard=0):
+                pass
+        noop_per_call_s = (time.perf_counter() - t0) / iterations
+        return untraced, untraced_s, traced, span_count, noop_per_call_s
+
+    untraced, untraced_s, traced, span_count, noop_per_call_s = benchmark.pedantic(
+        kernel, rounds=1, iterations=1
+    )
+    # Tracing must not perturb results either way (the invariance contract).
+    assert _objectives(traced) == _objectives(untraced)
+    disabled_overhead_s = noop_per_call_s * span_count
+    budget_s = 0.02 * untraced_s
+    print(
+        f"\nuntraced batch: {untraced_s:.3f}s  traced span count: {span_count}  "
+        f"no-op cost/call: {noop_per_call_s * 1e9:.0f}ns  "
+        f"disabled overhead: {disabled_overhead_s * 1e6:.1f}us "
+        f"({100 * disabled_overhead_s / untraced_s:.4f}% of batch, budget 2%)"
+    )
+    assert span_count >= len(problems)  # the hot path is actually instrumented
+    assert disabled_overhead_s <= budget_s, (
+        f"disabled tracing costs {disabled_overhead_s * 1e3:.3f}ms across "
+        f"{span_count} call sites — over the 2% budget ({budget_s * 1e3:.3f}ms)"
     )
 
 

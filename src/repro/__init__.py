@@ -23,10 +23,13 @@ From Theory to Opportunities* (ICDE 2024).  The library ships:
 * :mod:`repro.api` — the unified solver facade tying the Table I layers
   together: ``repro.solve(problem, backend=...)`` runs any workload's
   Problem -> QUBO -> Backend -> Result pipeline on any registered engine.
+* :mod:`repro.obs` — stdlib-only end-to-end tracing, the flight recorder
+  behind the service's ``/v1/traces``, and structured logging.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
+from repro import obs
 from repro.api import (
     AdaptiveScheduler,
     BackendScoreboard,
@@ -78,4 +81,5 @@ __all__ = [
     "AdaptiveScheduler",
     "BackendScoreboard",
     "EngineStore",
+    "obs",
 ]

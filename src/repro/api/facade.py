@@ -35,6 +35,7 @@ from repro.engine.scheduler import (
     solve_batch_scheduled,
 )
 from repro.exceptions import ReproError
+from repro.obs import trace as obs
 
 #: How many of the lowest-energy samples are decoded (and refined) per
 #: solve.  Post-processing several reads — not just the single best — is
@@ -108,34 +109,35 @@ def solve(
     backend_name = backend if isinstance(backend, str) else None
     coerced = as_problem(problem)
     resolved = _as_backend(backend, **backend_opts)
-    if decompose:
-        capacity = resolved.capacity if decompose is True else int(decompose)
-        if capacity is not None and coerced.to_qubo().num_variables > capacity:
-            from repro.engine.decompose import solve_decomposed
+    with obs.span("facade.solve", backend=resolved.name, problem=coerced.name):
+        if decompose:
+            capacity = resolved.capacity if decompose is True else int(decompose)
+            if capacity is not None and coerced.to_qubo().num_variables > capacity:
+                from repro.engine.decompose import solve_decomposed
 
-            return solve_decomposed(
-                coerced,
-                resolved,
-                capacity,
-                backend_name=backend_name,
-                backend_opts=backend_opts,
-                seed=seed,
-                refine=refine,
-                top_k=top_k,
-                cache=cache,
-                store=store,
-            )
-    return solve_single(
-        coerced,
-        resolved,
-        backend_name,
-        backend_opts,
-        seed,
-        refine,
-        top_k,
-        cache=cache,
-        store=store,
-    )
+                return solve_decomposed(
+                    coerced,
+                    resolved,
+                    capacity,
+                    backend_name=backend_name,
+                    backend_opts=backend_opts,
+                    seed=seed,
+                    refine=refine,
+                    top_k=top_k,
+                    cache=cache,
+                    store=store,
+                )
+        return solve_single(
+            coerced,
+            resolved,
+            backend_name,
+            backend_opts,
+            seed,
+            refine,
+            top_k,
+            cache=cache,
+            store=store,
+        )
 
 
 def solve_portfolio(
@@ -179,11 +181,27 @@ def solve_portfolio(
             with a scheduler, its scoreboard is additionally hydrated from
             the store so ranking starts warm.
     """
-    if scheduler is not None:
-        return run_portfolio_scheduled(
+    backends = list(backends)
+    with obs.span(
+        "facade.solve_portfolio",
+        contenders=len(backends),
+        scheduled=scheduler is not None,
+    ):
+        if scheduler is not None:
+            return run_portfolio_scheduled(
+                as_problem(problem),
+                backends,
+                scheduler,
+                seed=seed,
+                refine=refine,
+                top_k=top_k,
+                backend_opts=backend_opts,
+                deadline_s=deadline_s,
+                store=store,
+            )
+        return run_portfolio(
             as_problem(problem),
             backends,
-            scheduler,
             seed=seed,
             refine=refine,
             top_k=top_k,
@@ -191,16 +209,6 @@ def solve_portfolio(
             deadline_s=deadline_s,
             store=store,
         )
-    return run_portfolio(
-        as_problem(problem),
-        backends,
-        seed=seed,
-        refine=refine,
-        top_k=top_k,
-        backend_opts=backend_opts,
-        deadline_s=deadline_s,
-        store=store,
-    )
 
 
 def solve_many(
@@ -279,12 +287,34 @@ def solve_many(
             (unscheduled mode), or per-backend option dicts keyed by
             registry name (scheduled mode).
     """
-    if scheduler is not None:
-        candidates = [backend] if isinstance(backend, (str, Backend)) else list(backend)
-        return solve_batch_scheduled(
-            as_problems(problems),
-            candidates,
-            scheduler,
+    executor_label = executor if isinstance(executor, str) else getattr(executor, "name", "custom")
+    with obs.span(
+        "facade.solve_many", executor=executor_label, scheduled=scheduler is not None
+    ):
+        if scheduler is not None:
+            candidates = [backend] if isinstance(backend, (str, Backend)) else list(backend)
+            return solve_batch_scheduled(
+                as_problems(problems),
+                candidates,
+                scheduler,
+                seed=seed,
+                refine=refine,
+                top_k=top_k,
+                executor=executor,
+                cache=cache,
+                max_shard_size=max_shard_size,
+                backend_opts=backend_opts,
+                store=store,
+                seeds=seeds,
+            )
+        if not isinstance(backend, (str, Backend)):
+            raise ReproError(
+                "a sequence of candidate backends requires scheduler=; pass an "
+                "AdaptiveScheduler or select one backend"
+            )
+        return solve_batch(
+            problems,
+            backend,
             seed=seed,
             refine=refine,
             top_k=top_k,
@@ -295,21 +325,3 @@ def solve_many(
             store=store,
             seeds=seeds,
         )
-    if not isinstance(backend, (str, Backend)):
-        raise ReproError(
-            "a sequence of candidate backends requires scheduler=; pass an "
-            "AdaptiveScheduler or select one backend"
-        )
-    return solve_batch(
-        problems,
-        backend,
-        seed=seed,
-        refine=refine,
-        top_k=top_k,
-        executor=executor,
-        cache=cache,
-        max_shard_size=max_shard_size,
-        backend_opts=backend_opts,
-        store=store,
-        seeds=seeds,
-    )

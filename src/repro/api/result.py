@@ -66,7 +66,14 @@ class SolveResult:
             results add ``info["engine"]``: shard id/position/size, the
             shard's 16-hex structure ``signature`` (the adaptive
             scheduler's scoreboard key), executor name, the item's child
-            seed, a truncated QUBO fingerprint, and ``cache_hit``.
+            seed, a truncated QUBO fingerprint, ``cache_hit``, and the
+            ``wall_time`` split — ``formulate_time`` (QUBO formulation),
+            ``solve_time`` (backend sampling / direct solve), and
+            ``cache_time`` (cache-probe seconds paid by this dispatch).
+            Every kernel result also carries the raw split in
+            ``info["timings"]``, and when tracing is active
+            ``info["trace"]`` holds the ``{"trace_id", "span_id"}`` of the
+            span that produced the result (the flight-recorder join key).
             Scheduler-routed results additionally carry
             ``info["engine"]["scheduler"]`` (chosen backend, routing mode
             ``cold``/``explore``/``exploit``, candidate list), and a
@@ -97,6 +104,23 @@ class SolveResult:
     def engine(self) -> dict:
         """The ``info["engine"]`` telemetry block (empty dict off-engine)."""
         return self.info.get("engine", {})
+
+    @property
+    def timings(self) -> dict:
+        """The ``wall_time`` split: formulate / solve (and cache seconds).
+
+        Prefers the engine block (which adds ``cache_time``) and falls
+        back to the kernel's raw ``info["timings"]``; empty off-engine
+        for results deserialised from pre-split payloads.
+        """
+        engine = self.info.get("engine", {})
+        if "solve_time" in engine:
+            return {
+                "formulate_time": engine.get("formulate_time", 0.0),
+                "solve_time": engine.get("solve_time", 0.0),
+                "cache_time": engine.get("cache_time", 0.0),
+            }
+        return dict(self.info.get("timings") or {})
 
     @property
     def scheduled_backend(self) -> "str | None":

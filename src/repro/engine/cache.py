@@ -37,6 +37,7 @@ from collections import OrderedDict
 from pathlib import Path
 
 from repro.exceptions import ReproError
+from repro.obs import trace as obs
 
 
 def make_cache_key(fingerprint: str, backend_key: str, opts_key: str, seed: int) -> str:
@@ -93,7 +94,15 @@ class ResultCache:
     # -- core protocol ---------------------------------------------------------
 
     def get(self, key: str):
-        """Return a fresh copy of the cached result, or ``None`` on a miss.
+        """Return a fresh copy of the cached result, or ``None`` on a miss."""
+        return self.lookup(key)[0]
+
+    def lookup(self, key: str) -> "tuple[object | None, str | None]":
+        """Like :meth:`get`, but also report which tier served the hit.
+
+        Returns ``(value, tier)`` with ``tier`` one of ``"memory"``,
+        ``"disk"``, ``"store"``, or ``None`` on a miss — the feed for
+        ``cache.lookup`` trace spans and tiered cache telemetry.
 
         A lower-tier entry that fails to unpickle (torn by a crash
         mid-write of a pre-atomic cache version, truncated by a full disk,
@@ -101,39 +110,42 @@ class ResultCache:
         every tier — a damaged entry must never surface as a result, and
         dropping it lets the next ``put`` heal the cache.
         """
-        promote = False
-        from_store = False
+        tier = None
         with self._lock:
             blob = self._entries.get(key)
             if blob is not None:
                 self._entries.move_to_end(key)
+                tier = "memory"
         if blob is None and self.directory is not None:
             path = self._path(key)
             try:
                 blob = path.read_bytes()
             except OSError:
                 blob = None
-            promote = blob is not None
+            if blob is not None:
+                tier = "disk"
         if blob is None and self.store is not None:
             blob = self.store.get(key)
-            promote = from_store = blob is not None
+            if blob is not None:
+                tier = "store"
         if blob is not None:
             try:
                 value = pickle.loads(blob)
             except Exception:
                 self._evict_corrupt(key)
                 blob = None
-        if blob is not None and promote:
+                tier = None
+        if blob is not None and tier in ("disk", "store"):
             with self._lock:
                 self._store_memory(key, blob)
         with self._lock:
             if blob is None:
                 self.misses += 1
-                return None
+                return None, None
             self.hits += 1
-            if from_store:
+            if tier == "store":
                 self.store_hits += 1
-        return value
+        return value, tier
 
     def put(self, key: str, result, signature: "str | None" = None) -> None:
         """Store ``result`` under ``key`` (overwrites an existing entry).
@@ -189,10 +201,12 @@ class ResultCache:
         """
         if self.store is None or signature is None:
             return 0
-        entries = self.store.entries_for(signature)
-        with self._lock:
-            for key, blob in entries:
-                self._store_memory(key, blob)
+        with obs.span("store.prefetch", signature=signature) as prefetch_span:
+            entries = self.store.entries_for(signature)
+            with self._lock:
+                for key, blob in entries:
+                    self._store_memory(key, blob)
+            prefetch_span.set(warmed=len(entries))
         return len(entries)
 
     def __contains__(self, key: str) -> bool:

@@ -33,6 +33,7 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import ReproError
+from repro.obs import trace as obs
 from repro.qubo.model import QuboModel
 
 #: Child-seed bound, matching the engine planner's.
@@ -168,37 +169,45 @@ def solve_decomposed(
 
     rng = np.random.default_rng(seed)
     rounds_meta: list[dict] = []
-    for round_no in range(max_rounds):
-        sub_problems = [
-            RawQuboProblem(clamp_subqubo(model, block, x, a=a, S=S))
-            for block in blocks
-        ]
-        round_seeds = [int(s) for s in rng.integers(0, _SEED_RANGE, size=len(blocks))]
-        sub_results = solve_many(
-            sub_problems,
-            backend=backend if backend_name is None else backend_name,
-            seeds=round_seeds,
-            refine=False,
-            top_k=top_k,
-            executor=executor,
-            cache=cache,
-            scheduler=scheduler,
-            store=store,
-            **(backend_opts or {}),
-        )
-        accepted = 0
-        for block, sub_result in zip(blocks, sub_results):
-            candidate = x.copy()
-            candidate[block] = np.asarray(sub_result.solution, dtype=float)
-            cand_energy = float(model.energies(candidate[np.newaxis, :])[0])
-            if cand_energy < energy:
-                x, energy = candidate, cand_energy
-                accepted += 1
-        rounds_meta.append(
-            {"round": round_no, "accepted_blocks": accepted, "energy": energy}
-        )
-        if accepted == 0:
-            break
+    with obs.span(
+        "engine.decompose", capacity=int(capacity), blocks=len(blocks)
+    ) as decompose_span:
+        for round_no in range(max_rounds):
+            with obs.span("decompose.round", round=round_no) as round_span:
+                sub_problems = [
+                    RawQuboProblem(clamp_subqubo(model, block, x, a=a, S=S))
+                    for block in blocks
+                ]
+                round_seeds = [
+                    int(s) for s in rng.integers(0, _SEED_RANGE, size=len(blocks))
+                ]
+                sub_results = solve_many(
+                    sub_problems,
+                    backend=backend if backend_name is None else backend_name,
+                    seeds=round_seeds,
+                    refine=False,
+                    top_k=top_k,
+                    executor=executor,
+                    cache=cache,
+                    scheduler=scheduler,
+                    store=store,
+                    **(backend_opts or {}),
+                )
+                accepted = 0
+                for block, sub_result in zip(blocks, sub_results):
+                    candidate = x.copy()
+                    candidate[block] = np.asarray(sub_result.solution, dtype=float)
+                    cand_energy = float(model.energies(candidate[np.newaxis, :])[0])
+                    if cand_energy < energy:
+                        x, energy = candidate, cand_energy
+                        accepted += 1
+                rounds_meta.append(
+                    {"round": round_no, "accepted_blocks": accepted, "energy": energy}
+                )
+                round_span.set(accepted_blocks=accepted, energy=energy)
+            if accepted == 0:
+                break
+        decompose_span.set(rounds=len(rounds_meta), energy=energy)
 
     bits = tuple(int(b) for b in x)
     solution = problem.decode(bits)

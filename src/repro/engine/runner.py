@@ -33,6 +33,7 @@ from repro.engine.cache import ResultCache, resolve_cache
 from repro.engine.executors import get_executor
 from repro.engine.plan import ExecutionPlan, compile_plan, single_solve_cache_key
 from repro.exceptions import ReproError
+from repro.obs import trace as obs
 from repro.utils.rngtools import ensure_rng, spawn
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; runtime imports are lazy
@@ -41,11 +42,14 @@ if TYPE_CHECKING:  # pragma: no cover - type-only; runtime imports are lazy
     from repro.api.result import SolveResult
 
 
-def _direct_result(problem, backend, rng, refine: bool, start: float, model) -> SolveResult:
+def _direct_result(problem, backend, rng, refine: bool, start: float, model,
+                   formulate_s: float = 0.0) -> SolveResult:
     """Finish a direct-solve (no QUBO sampling) run; energy is NaN by convention."""
     from repro.api.result import SolveResult
 
+    solve_t0 = time.perf_counter()
     solution = backend.solve_problem(problem, rng=rng)
+    solve_s = time.perf_counter() - solve_t0
     if refine:
         solution = problem.refine(solution)
     return SolveResult(
@@ -56,11 +60,15 @@ def _direct_result(problem, backend, rng, refine: bool, start: float, model) -> 
         energy=math.nan,
         wall_time=time.perf_counter() - start,
         num_variables=model.num_variables,
-        info={"solver": backend.name},
+        info={
+            "solver": backend.name,
+            "timings": {"formulate_time": formulate_s, "solve_time": solve_s},
+        },
     )
 
 
-def _sampled_result(problem, backend, samples, refine: bool, top_k: int, start: float, model) -> SolveResult:
+def _sampled_result(problem, backend, samples, refine: bool, top_k: int, start: float, model,
+                    formulate_s: float = 0.0, solve_s: float = 0.0) -> SolveResult:
     """Decode/refine the ``top_k`` lowest-energy samples, keep the best."""
     from repro.api.result import SolveResult
 
@@ -74,6 +82,8 @@ def _sampled_result(problem, backend, samples, refine: bool, top_k: int, start: 
         if objective < best_objective:
             best_objective = objective
             best_solution = solution
+    info = dict(samples.info)
+    info["timings"] = {"formulate_time": formulate_s, "solve_time": solve_s}
     return SolveResult(
         problem=problem.name,
         method=backend.name,
@@ -82,7 +92,7 @@ def _sampled_result(problem, backend, samples, refine: bool, top_k: int, start: 
         energy=samples.best.energy,
         wall_time=time.perf_counter() - start,
         num_variables=model.num_variables,
-        info=dict(samples.info),
+        info=info,
     )
 
 
@@ -93,13 +103,24 @@ def solve_one(problem: Problem, backend: Backend, rng, refine: bool, top_k: int)
     report ``num_variables`` from the problem's cached formulation, so
     result rows stay comparable across backends; their ``energy`` is NaN by
     convention (see :class:`~repro.api.result.SolveResult`).
+
+    Every result carries ``info["timings"]`` — ``formulate_time`` (the
+    ``to_qubo`` call; near zero when the adapter's cached formulation is
+    reused, e.g. after plan compile already formulated) and ``solve_time``
+    (backend sampling / direct solve).  Decode/refine/evaluate is the
+    remainder of ``wall_time``.
     """
     start = time.perf_counter()
     model = problem.to_qubo()
+    formulate_s = time.perf_counter() - start
     if backend.solves_problem_directly:
-        return _direct_result(problem, backend, rng, refine, start, model)
+        return _direct_result(problem, backend, rng, refine, start, model, formulate_s)
+    solve_t0 = time.perf_counter()
     samples = backend.run(model, rng=rng)
-    return _sampled_result(problem, backend, samples, refine, top_k, start, model)
+    solve_s = time.perf_counter() - solve_t0
+    return _sampled_result(
+        problem, backend, samples, refine, top_k, start, model, formulate_s, solve_s
+    )
 
 
 async def solve_one_async(
@@ -127,11 +148,18 @@ async def solve_one_async(
 
     start = time.perf_counter()
     model = await cpu(problem.to_qubo)
+    formulate_s = time.perf_counter() - start
     if backend.solves_problem_directly:
-        return await cpu(lambda: _direct_result(problem, backend, rng, refine, start, model))
+        return await cpu(
+            lambda: _direct_result(problem, backend, rng, refine, start, model, formulate_s)
+        )
+    solve_t0 = time.perf_counter()
     samples = await backend.run_async(model, rng=rng)
+    solve_s = time.perf_counter() - solve_t0
     return await cpu(
-        lambda: _sampled_result(problem, backend, samples, refine, top_k, start, model)
+        lambda: _sampled_result(
+            problem, backend, samples, refine, top_k, start, model, formulate_s, solve_s
+        )
     )
 
 
@@ -155,6 +183,9 @@ def _shard_payload(plan: ExecutionPlan, shard_items, executor_name: str) -> dict
         "refine": plan.refine,
         "top_k": plan.top_k,
         "executor": executor_name,
+        # Picklable trace context: thread workers don't inherit contextvars
+        # and process workers share nothing, so parentage rides the payload.
+        "trace": obs.current_context(),
     }
 
 
@@ -171,6 +202,30 @@ def _engine_info(payload: dict, pos: int, seed: int, fingerprint: str) -> dict:
     }
 
 
+def _stamp_engine_info(result, payload: dict, pos: int, seed: int, fingerprint: str) -> None:
+    """Attach ``info["engine"]`` including the wall-time split.
+
+    ``formulate_time``/``solve_time`` come from the kernel's
+    ``info["timings"]``; ``cache_time`` (the shard's cache-probe seconds)
+    is stamped by :func:`execute_plans` once the dispatch returns — workers
+    never see the cache.
+    """
+    engine = _engine_info(payload, pos, seed, fingerprint)
+    timings = result.info.get("timings") or {}
+    engine["formulate_time"] = timings.get("formulate_time", 0.0)
+    engine["solve_time"] = timings.get("solve_time", 0.0)
+    engine["cache_time"] = 0.0
+    result.info["engine"] = engine
+
+
+def _shard_tier(tiers: list) -> "str | None":
+    """The slowest tier a shard-atomic hit touched (store > disk > memory)."""
+    for tier in ("store", "disk", "memory"):
+        if tier in tiers:
+            return tier
+    return None
+
+
 def _resolve_payload_backend(payload: dict):
     from repro.api.backends import get_backend
 
@@ -179,31 +234,76 @@ def _resolve_payload_backend(payload: dict):
     return payload["backend_instance"]
 
 
-def _run_shard_items(backend, payload: dict) -> list:
+def _begin_shard_span(tracer, payload: dict, backend):
+    if tracer is None:
+        return None
+    return tracer.begin(
+        "engine.shard",
+        parent=payload.get("trace"),
+        shard=payload["shard"],
+        shard_size=payload["shard_size"],
+        signature=payload.get("signature"),
+        backend=backend.name,
+        executor=payload["executor"],
+    )
+
+
+def _begin_solve_span(tracer, shard_span, payload: dict, seed: int, fp: str, index: int):
+    if tracer is None:
+        return None
+    return tracer.begin(
+        "engine.solve",
+        parent=shard_span,
+        shard=payload["shard"],
+        index=index,
+        seed=seed,
+        fingerprint=fp[:16],
+    )
+
+
+def _end_solve_span(tracer, span, result) -> None:
+    """Close a per-item span and stamp its ids as the result's join key."""
+    if tracer is None:
+        return
+    tracer.end(span)
+    result.info["trace"] = {"trace_id": span["trace_id"], "span_id": span["span_id"]}
+
+
+def _run_shard_items(backend, payload: dict) -> dict:
     """Run a shard's items in order on an already-resolved backend instance.
 
     Items run in shard order on the shared instance, so signature-keyed
     backend caches (embeddings, warm-start angles) amortise across the
     shard exactly as they did on the old single-instance batch path.
+
+    Returns ``{"items": [(index, result), ...], "spans": [...]}`` — spans
+    collected worker-side when the payload carries a trace context, so the
+    dispatching side can re-emit them regardless of executor.
     """
+    tracer = obs.collector_for(payload.get("trace"))
+    shard_span = _begin_shard_span(tracer, payload, backend)
     out = []
     for pos, (index, problem, seed, fp) in enumerate(
         zip(payload["indices"], payload["problems"], payload["seeds"], payload["fingerprints"])
     ):
+        solve_span = _begin_solve_span(tracer, shard_span, payload, seed, fp, index)
         result = solve_one(
             problem, backend, np.random.default_rng(seed), payload["refine"], payload["top_k"]
         )
-        result.info["engine"] = _engine_info(payload, pos, seed, fp)
+        _end_solve_span(tracer, solve_span, result)
+        _stamp_engine_info(result, payload, pos, seed, fp)
         out.append((index, result))
-    return out
+    if tracer is not None:
+        tracer.end(shard_span)
+    return {"items": out, "spans": tracer.drain() if tracer is not None else []}
 
 
-def _execute_shard(payload: dict) -> list:
+def _execute_shard(payload: dict) -> dict:
     """Resolve the shard's backend and run it; module-level for pickling."""
     return _run_shard_items(_resolve_payload_backend(payload), payload)
 
 
-async def _execute_shard_async(payload: dict, backend, offload) -> list:
+async def _execute_shard_async(payload: dict, backend, offload) -> dict:
     """Coroutine twin of :func:`_execute_shard` (same ordering, same state).
 
     Items still run strictly in shard order on the shared instance — the
@@ -212,17 +312,23 @@ async def _execute_shard_async(payload: dict, backend, offload) -> list:
     produces.  CPU segments go through ``offload`` (the executor's bounded
     pool) so the event loop only ever holds the waits.
     """
+    tracer = obs.collector_for(payload.get("trace"))
+    shard_span = _begin_shard_span(tracer, payload, backend)
     out = []
     for pos, (index, problem, seed, fp) in enumerate(
         zip(payload["indices"], payload["problems"], payload["seeds"], payload["fingerprints"])
     ):
+        solve_span = _begin_solve_span(tracer, shard_span, payload, seed, fp, index)
         result = await solve_one_async(
             problem, backend, np.random.default_rng(seed), payload["refine"], payload["top_k"],
             offload=offload,
         )
-        result.info["engine"] = _engine_info(payload, pos, seed, fp)
+        _end_solve_span(tracer, solve_span, result)
+        _stamp_engine_info(result, payload, pos, seed, fp)
         out.append((index, result))
-    return out
+    if tracer is not None:
+        tracer.end(shard_span)
+    return {"items": out, "spans": tracer.drain() if tracer is not None else []}
 
 
 def _shard_coroutine(payload: dict, fallback):
@@ -266,55 +372,88 @@ def execute_plans(
     """
     runner = get_executor(executor)
     shared_store = resolve_cache(cache)  # one cache (and stats) per wave
-    prepared = []
-    flat_payloads: list = []
-    payload_owner: list[int] = []
-    for plan in plans:
-        store = shared_store
-        if store is not None and not plan.cacheable:
-            store = None  # instance-backed plans carry opaque state; never cache
-        results: list = [None] * len(plan.items)
-        for shard_items in plan.shards():
-            if not shard_items:
-                continue
-            cached = None
+    with obs.span("engine.execute", executor=runner.name, plans=len(plans)) as exec_span:
+        prepared = []
+        flat_payloads: list = []
+        payload_owner: list[int] = []
+        payload_probe_s: list[float] = []
+        for plan in plans:
+            store = shared_store
+            if store is not None and not plan.cacheable:
+                store = None  # instance-backed plans carry opaque state; never cache
+            results: list = [None] * len(plan.items)
+            for shard_items in plan.shards():
+                if not shard_items:
+                    continue
+                cached = None
+                tiers: list = []
+                probe_s = 0.0
+                if store is not None:
+                    with obs.span(
+                        "cache.lookup",
+                        shard=shard_items[0].shard,
+                        items=len(shard_items),
+                    ) as cache_span:
+                        probe_t0 = time.perf_counter()
+                        looked = [store.lookup(i.cache_key) for i in shard_items]
+                        probe_s = time.perf_counter() - probe_t0
+                        cached = [value for value, _ in looked]
+                        tiers = [tier for _, tier in looked]
+                        hit = all(value is not None for value in cached)
+                        if not hit:
+                            cached = None
+                        cache_span.set(
+                            hit=hit, tier=_shard_tier(tiers) if hit else None
+                        )
+                if cached is not None:
+                    signatures = plan.meta.get("shard_signatures") or []
+                    for pos, (item, result) in enumerate(zip(shard_items, cached)):
+                        timings = result.info.get("timings") or {}
+                        engine_info = result.info.setdefault("engine", {})
+                        engine_info.update(
+                            shard=item.shard,
+                            shard_pos=pos,
+                            shard_size=len(shard_items),
+                            signature=signatures[item.shard] if item.shard < len(signatures) else None,
+                            executor=runner.name,
+                            seed=item.seed,
+                            fingerprint=item.fingerprint[:16],
+                            cache_hit=True,
+                            cache_tier=tiers[pos],
+                            formulate_time=timings.get("formulate_time", 0.0),
+                            solve_time=timings.get("solve_time", 0.0),
+                            cache_time=probe_s,
+                        )
+                        if cache_span.span_id is not None:
+                            result.info["trace"] = {
+                                "trace_id": cache_span.trace_id,
+                                "span_id": cache_span.span_id,
+                            }
+                        results[item.index] = result
+                else:
+                    flat_payloads.append(_shard_payload(plan, shard_items, runner.name))
+                    payload_owner.append(len(prepared))
+                    payload_probe_s.append(probe_s)
+            prepared.append((plan, results, store))
+
+        for owner, probe_s, shard_out in zip(
+            payload_owner, payload_probe_s, runner.run(_execute_shard, flat_payloads)
+        ):
+            obs.ingest(shard_out["spans"])
+            results = prepared[owner][1]
+            for index, result in shard_out["items"]:
+                result.info["engine"]["cache_time"] = probe_s
+                results[index] = result
+
+        for plan, results, store in prepared:
             if store is not None:
-                cached = [store.get(i.cache_key) for i in shard_items]
-                if any(c is None for c in cached):
-                    cached = None
-            if cached is not None:
-                signatures = plan.meta.get("shard_signatures") or []
-                for pos, (item, result) in enumerate(zip(shard_items, cached)):
-                    engine_info = result.info.setdefault("engine", {})
-                    engine_info.update(
-                        shard=item.shard,
-                        shard_pos=pos,
-                        shard_size=len(shard_items),
-                        signature=signatures[item.shard] if item.shard < len(signatures) else None,
-                        executor=runner.name,
-                        seed=item.seed,
-                        fingerprint=item.fingerprint[:16],
-                        cache_hit=True,
-                    )
-                    results[item.index] = result
-            else:
-                flat_payloads.append(_shard_payload(plan, shard_items, runner.name))
-                payload_owner.append(len(prepared))
-        prepared.append((plan, results, store))
-
-    for owner, shard_results in zip(payload_owner, runner.run(_execute_shard, flat_payloads)):
-        results = prepared[owner][1]
-        for index, result in shard_results:
-            results[index] = result
-
-    for plan, results, store in prepared:
-        if store is not None:
-            for item in plan.items:
-                result = results[item.index]
-                if not result.info.get("engine", {}).get("cache_hit"):
-                    store.put(
-                        item.cache_key, result, signature=plan.shard_signature(item.shard)
-                    )
+                for item in plan.items:
+                    result = results[item.index]
+                    if not result.info.get("engine", {}).get("cache_hit"):
+                        store.put(
+                            item.cache_key, result, signature=plan.shard_signature(item.shard)
+                        )
+        exec_span.set(shards_dispatched=len(flat_payloads))
     return [results for _, results, _ in prepared]
 
 
@@ -355,16 +494,18 @@ def solve_batch(
     from repro.engine.store import resolve_store, store_bound_cache
 
     store = resolve_store(store)
-    plan = compile_plan(
-        problems,
-        backend,
-        seed=seed,
-        refine=refine,
-        top_k=top_k,
-        backend_opts=backend_opts,
-        max_shard_size=max_shard_size,
-        seeds=seeds,
-    )
+    with obs.span("engine.plan_compile") as plan_span:
+        plan = compile_plan(
+            problems,
+            backend,
+            seed=seed,
+            refine=refine,
+            top_k=top_k,
+            backend_opts=backend_opts,
+            max_shard_size=max_shard_size,
+            seeds=seeds,
+        )
+        plan_span.set(items=len(plan.items), shards=plan.num_shards)
     with store_bound_cache(cache, store) as bound:
         results = execute_plan(plan, executor=executor, cache=bound)
     if store is not None:
@@ -420,9 +561,25 @@ def solve_single(
                 problem.to_qubo().fingerprint(), backend_name, backend_opts, refine,
                 top_k, int(seed),
             )
-            hit = cache_store.get(key)
+            with obs.span("cache.lookup", items=1) as cache_span:
+                probe_t0 = time.perf_counter()
+                hit, tier = cache_store.lookup(key)
+                probe_s = time.perf_counter() - probe_t0
+                cache_span.set(hit=hit is not None, tier=tier)
             if hit is not None:
-                hit.info.setdefault("engine", {})["cache_hit"] = True
+                timings = hit.info.get("timings") or {}
+                hit.info.setdefault("engine", {}).update(
+                    cache_hit=True,
+                    cache_tier=tier,
+                    formulate_time=timings.get("formulate_time", 0.0),
+                    solve_time=timings.get("solve_time", 0.0),
+                    cache_time=probe_s,
+                )
+                if cache_span.span_id is not None:
+                    hit.info["trace"] = {
+                        "trace_id": cache_span.trace_id,
+                        "span_id": cache_span.span_id,
+                    }
                 if durable is not None:
                     from repro.engine.store import record_best_effort
 
@@ -434,9 +591,21 @@ def solve_single(
                         "solve telemetry record",
                     )
                 return hit
-        result = solve_one(problem, backend, ensure_rng(seed), refine, top_k)
+        with obs.span("engine.solve", backend=backend.name) as solve_span:
+            result = solve_one(problem, backend, ensure_rng(seed), refine, top_k)
+            if solve_span.span_id is not None:
+                result.info["trace"] = {
+                    "trace_id": solve_span.trace_id,
+                    "span_id": solve_span.span_id,
+                }
         if key is not None:
-            result.info.setdefault("engine", {})["cache_hit"] = False
+            timings = result.info.get("timings") or {}
+            result.info.setdefault("engine", {}).update(
+                cache_hit=False,
+                formulate_time=timings.get("formulate_time", 0.0),
+                solve_time=timings.get("solve_time", 0.0),
+                cache_time=probe_s,
+            )
             cache_store.put(key, result, signature=signature)
     if durable is not None:
         from repro.engine.store import record_best_effort

@@ -35,6 +35,7 @@ import numpy as np
 from repro.engine.plan import ExecutionPlan, _assign_cache_keys, compile_plan, signature_key
 from repro.engine.runner import execute_plans, run_portfolio
 from repro.exceptions import ReproError
+from repro.obs import trace as obs
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; runtime imports are lazy
     from repro.api.result import SolveResult
@@ -197,7 +198,8 @@ class BackendScoreboard:
         if store is None or not pending:
             return 0
         try:
-            return store.scoreboard.record(pending, alpha=self.alpha)
+            with obs.span("store.checkpoint", observations=len(pending)):
+                return store.scoreboard.record(pending, alpha=self.alpha)
         except BaseException:
             with self._lock:
                 self._pending = pending + self._pending
@@ -556,20 +558,29 @@ def solve_batch_scheduled(
     names = _candidate_names(backends)
     opts_map = _validated_opts_map(backend_opts, names)
 
-    plan = compile_plan(
-        problems,
-        names[0],
-        seed=seed,
-        refine=refine,
-        top_k=top_k,
-        backend_opts=opts_map.get(names[0], {}),
-        max_shard_size=max_shard_size,
-        seeds=seeds,
-    )
+    with obs.span("engine.plan_compile") as plan_span:
+        plan = compile_plan(
+            problems,
+            names[0],
+            seed=seed,
+            refine=refine,
+            top_k=top_k,
+            backend_opts=opts_map.get(names[0], {}),
+            max_shard_size=max_shard_size,
+            seeds=seeds,
+        )
+        plan_span.set(items=len(plan.items), shards=plan.num_shards)
     signatures = plan.meta["shard_signatures"]
     shards = plan.shards()
 
-    decisions = [scheduler.choose(signatures[shard_id], names) for shard_id in range(len(shards))]
+    decisions = []
+    for shard_id in range(len(shards)):
+        with obs.span(
+            "scheduler.route", shard=shard_id, signature=signatures[shard_id]
+        ) as route_span:
+            decision = scheduler.choose(signatures[shard_id], names)
+            route_span.set(backend=decision.backend, mode=decision.mode)
+        decisions.append(decision)
 
     # Build every backend's sub-plan first, then execute them as ONE
     # dispatch wave: the executor sees all routed shards together, so a

@@ -1,0 +1,118 @@
+"""Structured logging (``repro.obs.log``): JSON or text, span-id enriched.
+
+The service's operational output used to be ad-hoc ``print`` calls; this
+module replaces them with stdlib :mod:`logging` under the ``repro``
+namespace, formatted either as one JSON object per line (``fmt="json"``,
+the aggregator-friendly shape) or classic text.  Every record is enriched
+with the current trace/span ids (when a span is open in the emitting
+context), so a log line can be joined to its flight-recorder trace.
+
+Extra structured fields ride the stdlib ``extra`` mechanism under one
+key::
+
+    log = get_logger("service")
+    log.info("wave dispatched", extra={"fields": {"wave": 7, "size": 12}})
+
+``configure`` is idempotent — calling it again replaces the handler, so
+tests and re-execs never stack duplicate outputs.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+from repro.obs import trace as _trace
+
+#: Accepted ``--log-level`` / config spellings.
+LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
+          "warning": logging.WARNING, "error": logging.ERROR}
+#: Accepted ``--log-format`` / config spellings.
+FORMATS = ("json", "text")
+
+
+class TraceContextFilter(logging.Filter):
+    """Stamp the emitting context's trace/span ids onto every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        trace_id, span_id = _trace.current_ids()
+        record.trace_id = trace_id
+        record.span_id = span_id
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One strict-JSON object per line; unknown values are stringified."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if getattr(record, "trace_id", None):
+            payload["trace_id"] = record.trace_id
+            payload["span_id"] = record.span_id
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-shaped lines with the same enrichment as the JSON shape."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            self.formatTime(record, "%H:%M:%S"),
+            record.levelname,
+            record.name,
+            record.getMessage(),
+        ]
+        if getattr(record, "trace_id", None):
+            parts.append(f"trace={record.trace_id}/{record.span_id}")
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            parts.extend(f"{key}={value}" for key, value in fields.items())
+        line = " ".join(str(p) for p in parts)
+        if record.exc_info:
+            line = f"{line}\n{self.formatException(record.exc_info)}"
+        return line
+
+
+def configure(level: str = "info", fmt: str = "text", stream=None) -> logging.Logger:
+    """(Re)configure the ``repro`` logger; returns it.
+
+    Args:
+        level: ``debug`` / ``info`` / ``warning`` / ``error`` (any case).
+        fmt: ``"json"`` (one object per line) or ``"text"``.
+        stream: Output stream (default ``sys.stderr`` — stdout stays
+            reserved for machine-parsed banners like the service's
+            ``listening on`` line).
+    """
+    level_no = LEVELS.get(str(level).lower())
+    if level_no is None:
+        raise ValueError(f"log level must be one of {sorted(LEVELS)}, got {level!r}")
+    if fmt not in FORMATS:
+        raise ValueError(f"log format must be one of {FORMATS}, got {fmt!r}")
+    logger = logging.getLogger("repro")
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if fmt == "json" else TextFormatter())
+    handler.addFilter(TraceContextFilter())
+    logger.handlers[:] = [handler]
+    logger.setLevel(level_no)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace (``get_logger("service")``)."""
+    if not name:
+        return logging.getLogger("repro")
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

@@ -1,0 +1,173 @@
+"""The flight recorder: a bounded in-memory ring buffer of recent traces.
+
+The service owns one :class:`FlightRecorder` and points its tracer's sink
+here.  Memory is bounded twice over — at most ``max_traces`` traces, each
+holding at most ``max_spans`` spans — because a recorder that can grow
+without bound is an outage waiting for a traffic spike.  Eviction is
+oldest-trace-first (ring-buffer semantics); everything dropped is counted
+in ``dropped_total`` so operators can see recorder pressure on
+``/readyz`` instead of silently losing history.
+
+Thread-safety: spans arrive from the event loop (service spans), wave
+worker threads (grafted engine spans), and — through collectors — any
+executor; one lock covers every mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class FlightRecorder:
+    """Ring buffer of traces, queryable by trace id, job id, or recency."""
+
+    def __init__(self, max_traces: int = 256, max_spans: int = 512):
+        if max_traces < 1 or max_spans < 1:
+            raise ValueError("FlightRecorder bounds must be >= 1")
+        self.max_traces = max_traces
+        self.max_spans = max_spans
+        self._traces: "OrderedDict[str, dict]" = OrderedDict()
+        self._by_job: "dict[str, str]" = {}
+        self._lock = threading.Lock()
+        self.dropped_total = 0
+
+    # -- writers ---------------------------------------------------------------
+
+    def record(self, span: dict) -> None:
+        """Append one finished span to its trace (a tracer sink)."""
+        trace_id = span.get("trace_id")
+        if not trace_id:
+            return
+        with self._lock:
+            bucket = self._traces.get(trace_id)
+            if bucket is None:
+                bucket = {"spans": [], "meta": {}}
+                self._traces[trace_id] = bucket
+                self._evict_over_cap()
+            if len(bucket["spans"]) >= self.max_spans:
+                self.dropped_total += 1
+                return
+            bucket["spans"].append(span)
+
+    def annotate(self, trace_id: str, **meta) -> None:
+        """Attach request metadata (job id, tenant) to a trace."""
+        with self._lock:
+            bucket = self._traces.get(trace_id)
+            if bucket is None:
+                bucket = {"spans": [], "meta": {}}
+                self._traces[trace_id] = bucket
+                self._evict_over_cap()
+            bucket["meta"].update(meta)
+            job_id = meta.get("job_id")
+            if job_id:
+                self._by_job[job_id] = trace_id
+
+    # -- readers ---------------------------------------------------------------
+
+    def get(self, trace_id: str) -> "dict | None":
+        """One trace as a JSON-ready dict: meta, flat spans, nested tree."""
+        with self._lock:
+            bucket = self._traces.get(trace_id)
+            if bucket is None:
+                return None
+            spans = [dict(s, attrs=dict(s["attrs"])) for s in bucket["spans"]]
+            meta = dict(bucket["meta"])
+        spans.sort(key=lambda s: s["start_s"])
+        return {
+            "trace_id": trace_id,
+            **meta,
+            "duration_s": _trace_duration(spans),
+            "span_count": len(spans),
+            "spans": spans,
+            "tree": _span_tree(spans),
+        }
+
+    def get_by_job(self, job_id: str) -> "dict | None":
+        with self._lock:
+            trace_id = self._by_job.get(job_id)
+        return None if trace_id is None else self.get(trace_id)
+
+    def recent(
+        self,
+        limit: int = 50,
+        tenant: "str | None" = None,
+        min_duration_s: "float | None" = None,
+    ) -> list[dict]:
+        """Newest-first trace summaries, optionally filtered.
+
+        ``tenant`` keeps only traces annotated with that tenant;
+        ``min_duration_s`` keeps only traces at least that slow — the
+        "show me the slow requests" query.
+        """
+        with self._lock:
+            items = [
+                (trace_id, list(bucket["spans"]), dict(bucket["meta"]))
+                for trace_id, bucket in self._traces.items()
+            ]
+        summaries = []
+        for trace_id, spans, meta in reversed(items):
+            if tenant is not None and meta.get("tenant") != tenant:
+                continue
+            duration = _trace_duration(spans)
+            if min_duration_s is not None and duration < min_duration_s:
+                continue
+            roots = [s["name"] for s in spans if not s.get("parent_id")]
+            summaries.append({
+                "trace_id": trace_id,
+                **meta,
+                "root": roots[0] if roots else (spans[0]["name"] if spans else None),
+                "span_count": len(spans),
+                "duration_s": duration,
+                "started_s": min((s["start_s"] for s in spans), default=None),
+            })
+            if len(summaries) >= limit:
+                break
+        return summaries
+
+    def stats(self) -> dict:
+        """``{"traces_buffered", "dropped_total"}`` (the /readyz feed)."""
+        with self._lock:
+            return {
+                "traces_buffered": len(self._traces),
+                "dropped_total": self.dropped_total,
+            }
+
+    # -- internals -------------------------------------------------------------
+
+    def _evict_over_cap(self) -> None:
+        while len(self._traces) > self.max_traces:
+            evicted_id, evicted = self._traces.popitem(last=False)
+            self.dropped_total += max(len(evicted["spans"]), 1)
+            job_id = evicted["meta"].get("job_id")
+            if job_id and self._by_job.get(job_id) == evicted_id:
+                del self._by_job[job_id]
+
+
+def _trace_duration(spans: list[dict]) -> float:
+    """Wall span of the trace: max span duration envelope over start times."""
+    if not spans:
+        return 0.0
+    start = min(s["start_s"] for s in spans)
+    end = max(s["start_s"] + (s.get("duration_s") or 0.0) for s in spans)
+    return max(end - start, 0.0)
+
+
+def _span_tree(spans: list[dict]) -> list[dict]:
+    """Nest spans by parent links; orphans surface as extra roots."""
+    nodes = {
+        s["span_id"]: {"name": s["name"], "span_id": s["span_id"],
+                       "start_s": s["start_s"], "duration_s": s.get("duration_s"),
+                       "status": s.get("status", "ok"), "attrs": dict(s["attrs"]),
+                       "children": []}
+        for s in spans
+    }
+    roots = []
+    for span in spans:
+        node = nodes[span["span_id"]]
+        parent = nodes.get(span.get("parent_id"))
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots

@@ -31,10 +31,12 @@ import asyncio
 import time
 from typing import Any
 
+from repro import obs
 from repro.engine.cache import ResultCache
 from repro.engine.scheduler import AdaptiveScheduler, BackendScoreboard
 from repro.engine.store import record_best_effort, resolve_store
 from repro.exceptions import ReproError
+from repro.obs.log import get_logger
 from repro.service.admission import (
     DEFAULT_TENANT,
     PRIORITIES,
@@ -115,6 +117,18 @@ class SolverService:
             degrade_backends=self.config.degrade_backends,
             degrade_ratio=self.config.degrade_ratio,
         )
+
+        # -- observability ---------------------------------------------------
+        # The recorder is the tracer's sink: every finished span of every
+        # request lands in the ring buffer behind GET /v1/traces.  With
+        # trace=false both stay None and every span call site degrades to
+        # the shared no-op scope.
+        self.recorder: "obs.FlightRecorder | None" = None
+        self.tracer: "obs.Tracer | None" = None
+        if self.config.trace:
+            self.recorder = obs.FlightRecorder(max_traces=self.config.trace_buffer)
+            self.tracer = obs.Tracer(sink=self.recorder.record)
+        self._log = get_logger("service")
 
         # -- lifecycle -------------------------------------------------------
         self._accepting = False
@@ -298,10 +312,23 @@ class SolverService:
     def stopped(self) -> bool:
         return self._stopped
 
+    def trace_status(self) -> dict:
+        """Recorder health (``/healthz`` + ``/readyz``): on/off + pressure."""
+        status = {"enabled": self.tracer is not None}
+        if self.recorder is not None:
+            status.update(self.recorder.stats())
+        else:
+            status.update(traces_buffered=0, dropped_total=0)
+        return status
+
     def readiness(self) -> dict:
         """The ``/readyz`` body: verdict plus the capacity read model."""
+        from repro import __version__
+
         return {
             "ready": self.ready,
+            "version": __version__,
+            "trace": self.trace_status(),
             "draining": self._draining,
             "queue_depth": self.queue.depth,
             "lane_depths": self.queue.lane_depths(),
@@ -353,11 +380,29 @@ class SolverService:
             self._m["rejected"].inc(reason="bad_spec")
             raise
 
+        admission_span = None
+        if self.tracer is not None:
+            admission_span = self.tracer.begin(
+                "service.admission",
+                parent=obs.current_context(),
+                tenant=tenant,
+                priority=priority,
+            )
         decision = self.admission.decide(tenant, priority)
+        if admission_span is not None:
+            admission_span["attrs"].update(
+                action=decision.action, reason=getattr(decision, "reason", None)
+            )
+            self.tracer.end(admission_span)
         self._m["admission"].inc(decision=decision.action, priority=priority)
         self._m["tenant_requests"].inc(tenant=tenant, decision=decision.action)
         if decision.action == "shed":
             self._m["rejected"].inc(reason=decision.reason)
+            self._log.info(
+                "request shed",
+                extra={"fields": {"tenant": tenant, "priority": priority,
+                                  "reason": decision.reason}},
+            )
             raise AdmissionShed(
                 f"request shed ({decision.reason}); retry after "
                 f"{decision.retry_after_s}s",
@@ -371,6 +416,24 @@ class SolverService:
         job.admission = decision.as_record()
         if decision.action == "degrade":
             job.backends = decision.backends
+        if self.tracer is not None:
+            # The job's trace: the HTTP request's when one is open on this
+            # context, else the fresh trace the admission span started.
+            trace_id, span_id = obs.current_ids()
+            if trace_id is None:
+                trace_id = admission_span["trace_id"]
+            job.trace_id = trace_id
+            job._trace_ctx = obs.TraceContext(trace_id, span_id)
+            if self.recorder is not None:
+                self.recorder.annotate(
+                    trace_id, job_id=job.id, tenant=tenant, priority=priority
+                )
+            # Queue wait starts here on the handler task and ends on the
+            # dispatcher when the wave picks the job up — a manual span
+            # because it crosses tasks.
+            job._queue_span = self.tracer.begin(
+                "service.queue_wait", parent=job._trace_ctx, lane=priority
+            )
         try:
             self.queue.put(job, lane=priority)
         except ReproError:
@@ -380,10 +443,18 @@ class SolverService:
             self.jobs.discard(job.id)
             if not job.future.done():
                 job.future.cancel()
+            queue_span = getattr(job, "_queue_span", None)
+            if queue_span is not None:
+                self.tracer.end(queue_span, error="queue_refused")
             self._m["rejected"].inc(reason="queue_refused")
             raise
         self.admission.on_admit(job)
         self._m["requests"].inc()
+        self._log.debug(
+            "job admitted",
+            extra={"fields": {"job_id": job.id, "tenant": tenant,
+                              "priority": priority, "action": decision.action}},
+        )
         return job
 
     # -- dispatch --------------------------------------------------------------
@@ -410,13 +481,31 @@ class SolverService:
         self._wave_counter += 1
         wave_id = self._wave_counter
         now = time.time()
+        wave_spans: "dict[str, dict]" = {}
         for job in jobs:
             job.status = "running"
             job.started_at = now
             job.wave = wave_id
             self.admission.on_dispatch(job)
+            if self.tracer is not None:
+                queue_span = getattr(job, "_queue_span", None)
+                if queue_span is not None:
+                    queue_span["attrs"]["wave"] = wave_id
+                    self.tracer.end(queue_span)
+                    job._queue_span = None
+                ctx = getattr(job, "_trace_ctx", None)
+                if ctx is not None:
+                    wave_spans[job.id] = self.tracer.begin(
+                        "service.wave", parent=ctx, wave=wave_id, size=len(jobs)
+                    )
+                if self.recorder is not None and job.trace_id is not None:
+                    self.recorder.annotate(job.trace_id, wave=wave_id)
         self._m["waves"].inc()
         self._m["wave_size"].observe(len(jobs))
+        self._log.debug(
+            "wave dispatched",
+            extra={"fields": {"wave": wave_id, "size": len(jobs)}},
+        )
 
         # Every job in the wave must reach a terminal state and resolve
         # its future, whatever throws: an exception after the engine call
@@ -424,27 +513,89 @@ class SolverService:
         # must not strand `wait=true` clients on forever-"running" jobs.
         failure: "str | None" = None
         results: "list | None" = None
+        engine_spans: list = []
         try:
-            results = await asyncio.to_thread(self._solve_wave, jobs)
+            out = await asyncio.to_thread(self._solve_wave, jobs)
+            # Tolerate a bare results list (test doubles patch _solve_wave).
+            if isinstance(out, tuple) and len(out) == 2:
+                results, engine_spans = out
+            else:
+                results = out
             if len(results) != len(jobs):
                 raise ReproError(
                     f"wave returned {len(results)} results for {len(jobs)} jobs"
                 )
         except Exception as exc:  # an engine failure fails the wave, not the service
             failure = f"{type(exc).__name__}: {exc}"
+            self._log.warning(
+                "wave failed",
+                extra={"fields": {"wave": wave_id, "error": failure}},
+            )
         try:
             if failure is None:
                 for job, result in zip(jobs, results):
-                    self._finish(job, status="done", result=result)
+                    self._graft_engine_spans(job, result, engine_spans,
+                                             wave_spans.get(job.id))
+                    self._finish_traced(job, wave_spans, status="done", result=result)
             else:
                 for job in jobs:
-                    self._finish(job, status="error", error=failure)
+                    self._finish_traced(job, wave_spans, status="error", error=failure)
         except Exception as exc:  # a finish-loop bug still terminalises the rest
             failure = f"{type(exc).__name__}: {exc}"
         finally:
             for job in jobs:
+                wave_span = wave_spans.pop(job.id, None)
+                if wave_span is not None:
+                    self.tracer.end(wave_span, error=failure)
                 if not job.finished or (job.future is not None and not job.future.done()):
                     self._settle(job, failure or "wave finish loop failed")
+
+    def _finish_traced(self, job: Job, wave_spans: dict, **kwargs) -> None:
+        """Finish one job under a ``service.settle`` span and close its wave."""
+        wave_span = wave_spans.pop(job.id, None)
+        if wave_span is None:
+            self._finish(job, **kwargs)
+            return
+        settle_span = self.tracer.begin(
+            "service.settle", parent=wave_span, status=kwargs.get("status")
+        )
+        try:
+            self._finish(job, **kwargs)
+        finally:
+            self.tracer.end(settle_span)
+            self.tracer.end(wave_span)
+
+    def _graft_engine_spans(
+        self, job: Job, result, engine_spans: list, wave_span: "dict | None"
+    ) -> None:
+        """Copy one request's engine spans into its own trace.
+
+        A coalesced wave runs the engine once under a synthetic collector
+        trace, so the engine spans of *every* rider interleave.  Each
+        result's ``info["trace"]`` stamp names the ``engine.solve`` (or
+        ``cache.lookup``) span that produced it; ``request_slice`` selects
+        that request's subtree plus the shared per-call work, and the
+        copies are re-homed onto the job's trace — orphaned parents (the
+        collector's root lives in no job's trace) re-point at the job's
+        ``service.wave`` span.
+        """
+        if self.recorder is None or wave_span is None or not engine_spans:
+            return
+        info = getattr(result, "info", None)
+        stamp = info.get("trace") if isinstance(info, dict) else None
+        if not isinstance(stamp, dict):
+            return
+        sliced = obs.request_slice(engine_spans, stamp.get("span_id"))
+        kept_ids = {s["span_id"] for s in sliced}
+        for span in sliced:
+            copy = dict(span, attrs=dict(span["attrs"]), trace_id=job.trace_id)
+            if copy.get("parent_id") not in kept_ids:
+                copy["parent_id"] = wave_span["span_id"]
+            self.recorder.record(copy)
+        # Re-home the result's join stamp too: deduped siblings share the
+        # result object, so the stamp names the last sibling's trace — the
+        # span id stays valid in every sibling's trace.
+        info["trace"] = {"trace_id": job.trace_id, "span_id": stamp.get("span_id")}
 
     def _finish(self, job: Job, status: str, result=None, error=None) -> None:
         job.status = status
@@ -455,8 +606,12 @@ class SolverService:
         self._m["responses"].inc(status=status)
         latency = job.latency_s
         if latency is not None:
-            self._m["latency"].observe(latency)
-            self._m["tenant_latency"].observe(latency, tenant=job.tenant)
+            # Span-duration exemplars: the trace id rides the histogram so
+            # a slow bucket points straight at a flight-recorder trace.
+            self._m["latency"].observe(latency, exemplar=job.trace_id)
+            self._m["tenant_latency"].observe(
+                latency, exemplar=job.trace_id, tenant=job.tenant
+            )
         if job.future is not None and not job.future.done():
             job.future.set_result(job)
 
@@ -485,7 +640,22 @@ class SolverService:
         explicit seed, so the determinism contract survives degradation.
         Degraded groups stamp the fleet rewrite into every result's
         ``info["admission"]``.
+
+        With tracing on, the engine runs under a *synthetic* collector
+        trace (one engine call serves many requests, so no single job's
+        trace can own the live contextvars) and the collected spans return
+        alongside the results; ``_run_wave`` grafts each request's slice
+        into its own trace afterwards.  Returns ``(results, spans)``.
         """
+        collector = obs.SpanCollector() if self.tracer is not None else None
+        if collector is None:
+            return self._dispatch_groups(jobs), []
+        with obs.activate(collector):
+            with obs.span("service.wave_solve", jobs=len(jobs)):
+                results = self._dispatch_groups(jobs)
+        return results, collector.drain()
+
+    def _dispatch_groups(self, jobs: "list[Job]") -> list:
         groups: "dict[tuple | None, list[int]]" = {}
         for index, job in enumerate(jobs):
             groups.setdefault(job.backends, []).append(index)

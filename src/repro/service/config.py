@@ -13,6 +13,10 @@ TOML layout (every table and key optional)::
     port = 8735
     max_queue_depth = 1024
     job_retention = 4096
+    log_level = "info"                  # debug | info | warning | error
+    log_format = "text"                 # text | json (one object per line)
+    trace = true                        # end-to-end tracing + flight recorder
+    trace_buffer = 256                  # traces kept in the flight recorder
 
     [coalesce]
     window_s = 0.05
@@ -105,6 +109,13 @@ _ENV_OVERRIDES = {
         lambda raw: tuple(name.strip() for name in raw.split(",") if name.strip()),
     ),
     "REPRO_SERVICE_TENANTS": ("tenants", _parse_tenant_budgets),
+    "REPRO_SERVICE_LOG_LEVEL": ("log_level", str),
+    "REPRO_SERVICE_LOG_FORMAT": ("log_format", str),
+    "REPRO_SERVICE_TRACE": (
+        "trace",
+        lambda raw: raw.strip().lower() in ("1", "true", "yes", "on"),
+    ),
+    "REPRO_SERVICE_TRACE_BUFFER": ("trace_buffer", int),
 }
 
 
@@ -155,6 +166,12 @@ class ServiceConfig:
             degraded group through its own adaptive scheduler).
         degrade_ratio: Queue fill fraction at which ``best_effort``
             requests degrade pre-emptively (1.0 disables).
+        log_level / log_format: Structured-logging knobs for
+            :func:`repro.obs.log.configure` (``REPRO_SERVICE_LOG_LEVEL`` /
+            ``REPRO_SERVICE_LOG_FORMAT`` env spellings).
+        trace: End-to-end tracing; off swaps the tracer for the zero-
+            overhead no-op and disables the flight recorder endpoints.
+        trace_buffer: Traces retained by the flight recorder ring buffer.
     """
 
     host: str = "127.0.0.1"
@@ -179,6 +196,10 @@ class ServiceConfig:
     lane_weights: dict = field(default_factory=dict)
     degrade_backends: tuple = ("tabu",)
     degrade_ratio: float = 0.75
+    log_level: str = "info"
+    log_format: str = "text"
+    trace: bool = True
+    trace_buffer: int = 256
 
     def validate(self) -> "ServiceConfig":
         if not 0 <= self.port <= 65535:
@@ -222,6 +243,18 @@ class ServiceConfig:
             raise ReproError("degrade_backends needs at least one registry name")
         if not 0.0 <= self.degrade_ratio <= 1.0:
             raise ReproError("degrade_ratio must be in [0, 1]")
+        from repro.obs.log import FORMATS, LEVELS
+
+        if str(self.log_level).lower() not in LEVELS:
+            raise ReproError(
+                f"log_level must be one of {sorted(LEVELS)}, got {self.log_level!r}"
+            )
+        if self.log_format not in FORMATS:
+            raise ReproError(
+                f"log_format must be one of {list(FORMATS)}, got {self.log_format!r}"
+            )
+        if self.trace_buffer < 1:
+            raise ReproError("trace_buffer must be >= 1")
         return self
 
     @property
@@ -282,6 +315,8 @@ def load_config(
         fields.update(_take(data.get("service", {}), {
             "host": "host", "port": "port",
             "max_queue_depth": "max_queue_depth", "job_retention": "job_retention",
+            "log_level": "log_level", "log_format": "log_format",
+            "trace": "trace", "trace_buffer": "trace_buffer",
         }, "service"))
         fields.update(_take(data.get("coalesce", {}), {
             "window_s": "window_s", "max_wave": "max_wave",

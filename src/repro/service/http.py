@@ -4,17 +4,23 @@ Stdlib only — ``asyncio.start_server`` plus a hand-rolled request parser —
 because the service's API surface is five fixed routes and the repo's
 no-new-runtime-deps rule is worth more than a framework:
 
-====== ==================== =============================================
-Method Path                 Purpose
-====== ==================== =============================================
-POST   ``/v1/solve``        Submit ``{"problem": spec, "seed": n}``
-                            (optional ``"tenant"``, ``"priority"``);
-                            ``"wait": true`` blocks for the result.
-GET    ``/v1/jobs/<id>``    Job status/result (404 for unknown ids).
-GET    ``/healthz``         Liveness (200 while the process serves).
-GET    ``/readyz``          Readiness + capacity snapshot (503 draining).
-GET    ``/metrics``         Prometheus text exposition (version 0.0.4).
-====== ==================== =============================================
+====== ======================= ==========================================
+Method Path                    Purpose
+====== ======================= ==========================================
+POST   ``/v1/solve``           Submit ``{"problem": spec, "seed": n}``
+                               (optional ``"tenant"``, ``"priority"``);
+                               ``"wait": true`` blocks for the result.
+GET    ``/v1/jobs/<id>``       Job status/result (404 for unknown ids).
+GET    ``/v1/traces``          Recent flight-recorder traces; filters
+                               ``?tenant=``, ``?min_duration_s=``,
+                               ``?limit=``.
+GET    ``/v1/traces/<job_id>`` One request's full span tree by job id
+                               (also accepts a raw trace id).
+GET    ``/healthz``            Liveness (200 while the process serves).
+GET    ``/readyz``             Readiness + capacity snapshot (503
+                               draining).
+GET    ``/metrics``            Prometheus text exposition (0.0.4).
+====== ======================= ==========================================
 
 Error mapping: malformed requests (bad JSON, bad spec/seed/tenant/
 priority, a negative Content-Length, a truncated body) are 400, unknown
@@ -30,7 +36,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+from urllib.parse import parse_qs
 
+from repro import obs
 from repro.service.admission import AdmissionShed
 from repro.service.app import SolverService
 from repro.service.coalesce import QueueClosed, QueueFull
@@ -94,8 +102,10 @@ class ServiceServer:
         try:
             headers: dict = {}
             try:
-                method, path, body = await _read_request(reader)
-                status, payload, content_type = await self._route(method, path, body)
+                method, path, query, body = await _read_request(reader)
+                status, payload, content_type = await self._route_traced(
+                    method, path, query, body
+                )
             except HttpError as exc:
                 status, payload, content_type = (
                     exc.status, {"error": exc.message}, "application/json",
@@ -113,7 +123,25 @@ class ServiceServer:
             except (ConnectionError, OSError):  # client went away first
                 pass
 
-    async def _route(self, method: str, path: str, body: bytes):
+    async def _route_traced(self, method: str, path: str, query: str, body: bytes):
+        """Open the request's root span for traced routes, then route.
+
+        Only ``/v1/solve`` gets an ``http.request`` span: tracing every
+        ``/metrics`` or probe poll would churn the flight recorder's ring
+        buffer and evict the solve traces it exists to keep.
+        """
+        tracer = self.service.tracer
+        if tracer is None or path != "/v1/solve":
+            return await self._route(method, path, query, body)
+        with obs.activate(tracer):
+            with obs.span("http.request", method=method, path=path) as root:
+                status, payload, content_type = await self._route(
+                    method, path, query, body
+                )
+                root.set(status=status)
+                return status, payload, content_type
+
+    async def _route(self, method: str, path: str, query: str, body: bytes):
         service = self.service
         if path == "/v1/solve":
             if method != "POST":
@@ -126,10 +154,19 @@ class ServiceServer:
             if job is None:
                 raise HttpError(404, "unknown job id")
             return 200, job.as_json_dict(), "application/json"
+        if path == "/v1/traces" or path.startswith("/v1/traces/"):
+            if method != "GET":
+                raise HttpError(405, "use GET /v1/traces[/<job_id>]")
+            return self._traces(path, query)
         if path == "/healthz":
             if method != "GET":
                 raise HttpError(405, "use GET /healthz")
-            return 200, {"ok": True, "stopped": service.stopped}, "application/json"
+            return 200, {
+                "ok": True,
+                "stopped": service.stopped,
+                "version": _version(),
+                "trace": service.trace_status(),
+            }, "application/json"
         if path == "/readyz":
             if method != "GET":
                 raise HttpError(405, "use GET /readyz")
@@ -140,6 +177,34 @@ class ServiceServer:
                 raise HttpError(405, "use GET /metrics")
             return 200, service.render_metrics(), "text/plain; version=0.0.4; charset=utf-8"
         raise HttpError(404, f"no route for {path}")
+
+    def _traces(self, path: str, query: str):
+        """``GET /v1/traces`` (recent, filterable) and ``/v1/traces/<job_id>``."""
+        recorder = self.service.recorder
+        if recorder is None:
+            raise HttpError(404, "tracing is disabled (service config trace = false)")
+        key = path[len("/v1/traces"):].strip("/")
+        if key:
+            # Primarily a job-id lookup; a raw trace id works too, so the
+            # trace_id stamped on a job JSON is directly dereferenceable.
+            trace = recorder.get_by_job(key) or recorder.get(key)
+            if trace is None:
+                raise HttpError(404, "no trace recorded for that job or trace id")
+            return 200, trace, "application/json"
+        params = parse_qs(query)
+        tenant = params.get("tenant", [None])[0]
+        try:
+            limit = int(params.get("limit", ["50"])[0])
+            raw_min = params.get("min_duration_s", [None])[0]
+            min_duration_s = float(raw_min) if raw_min is not None else None
+        except ValueError as exc:
+            raise HttpError(400, f"bad trace filter: {exc}") from exc
+        if limit < 1:
+            raise HttpError(400, "limit must be >= 1")
+        summaries = recorder.recent(
+            limit=limit, tenant=tenant, min_duration_s=min_duration_s
+        )
+        return 200, {"traces": summaries, **recorder.stats()}, "application/json"
 
     async def _solve(self, body: bytes):
         try:
@@ -177,11 +242,19 @@ class ServiceServer:
         if wait:
             await asyncio.shield(job.future)
             return 200, job.as_json_dict(), "application/json"
-        return 202, {"job_id": job.id, "status": job.status}, "application/json"
+        return 202, {
+            "job_id": job.id, "status": job.status, "trace_id": job.trace_id,
+        }, "application/json"
+
+
+def _version() -> str:
+    from repro import __version__
+
+    return __version__
 
 
 async def _read_request(reader: asyncio.StreamReader):
-    """Parse one request: ``(method, path, body)``; raise HttpError on junk."""
+    """Parse one request: ``(method, path, query, body)``; HttpError on junk."""
     try:
         request_line = await reader.readline()
     except (ConnectionError, asyncio.LimitOverrunError) as exc:
@@ -189,8 +262,8 @@ async def _read_request(reader: asyncio.StreamReader):
     parts = request_line.decode("latin-1").split()
     if len(parts) != 3:
         raise HttpError(400, "malformed HTTP request line")
-    method, target, _version = parts
-    path = target.split("?", 1)[0]
+    method, target, _http_version = parts
+    path, _, query = target.partition("?")
 
     content_length = 0
     while True:
@@ -217,7 +290,7 @@ async def _read_request(reader: asyncio.StreamReader):
             400,
             f"request body truncated ({len(exc.partial)} of {content_length} bytes)",
         ) from exc
-    return method.upper(), path, body
+    return method.upper(), path, query, body
 
 
 async def _write_response(writer: asyncio.StreamWriter, status: int,

@@ -46,6 +46,9 @@ class Job:
     #: override the wave honours (``None`` = the configured fleet).
     admission: "dict | None" = None
     backends: "tuple | None" = None
+    #: Flight-recorder trace id (``GET /v1/traces/<job_id>``); ``None``
+    #: when the service runs with tracing disabled.
+    trace_id: "str | None" = None
     status: str = "pending"
     submitted_at: float = field(default_factory=time.time)
     started_at: "float | None" = None
@@ -75,6 +78,7 @@ class Job:
             "tenant": self.tenant,
             "priority": self.priority,
             "admission": self.admission,
+            "trace_id": self.trace_id,
             "problem": self.spec,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,

@@ -156,23 +156,50 @@ class Histogram(_Metric):
             raise ReproError("histogram buckets must be a sorted non-empty sequence")
         self.buckets = tuple(float(b) for b in buckets)
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, exemplar: "str | None" = None, **labels) -> None:
+        """Record one observation; ``exemplar`` ties it to a trace.
+
+        The exemplar (a trace id) is stored per bucket — last writer wins —
+        so "which request landed in the slow bucket?" is answerable from
+        the flight recorder.  Exemplars stay out of the text exposition
+        (Prometheus 0.0.4 format has no exemplar syntax); read them with
+        :meth:`exemplars`.
+        """
         key = self._key(labels)
         with self._lock:
             state = self._values.get(key)
             if state is None:
-                state = {"counts": [0] * len(self.buckets), "sum": 0.0, "count": 0}
+                state = {
+                    "counts": [0] * len(self.buckets), "sum": 0.0, "count": 0,
+                    "exemplars": [None] * (len(self.buckets) + 1),
+                }
                 self._values[key] = state
+            landed = len(self.buckets)  # the +Inf overflow slot
             for i, bound in enumerate(self.buckets):
                 if value <= bound:
                     state["counts"][i] += 1
+                    landed = min(landed, i)
             state["sum"] += float(value)
             state["count"] += 1
+            if exemplar is not None:
+                state["exemplars"][landed] = {
+                    "trace_id": exemplar, "value": float(value),
+                }
 
     def count(self, **labels) -> int:
         with self._lock:
             state = self._values.get(self._key(labels))
             return state["count"] if state else 0
+
+    def exemplars(self, **labels) -> "list[dict | None]":
+        """Per-bucket exemplars (one slot per bucket plus +Inf), or ``[]``."""
+        with self._lock:
+            state = self._values.get(self._key(labels))
+            if not state:
+                return []
+            return [
+                dict(e) if e else None for e in state.get("exemplars", [])
+            ]
 
     def render(self) -> list[str]:
         with self._lock:

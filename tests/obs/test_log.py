@@ -1,0 +1,89 @@
+"""Structured logging: JSON shape, trace-id enrichment, configure contract."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs.log import configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logger():
+    """configure() mutates the process-wide 'repro' logger; restore it."""
+    logger = logging.getLogger("repro")
+    saved = (logger.handlers[:], logger.level, logger.propagate)
+    yield
+    logger.handlers[:], logger.level, logger.propagate = saved
+
+
+def _log_lines(fmt, emit, level="info"):
+    stream = io.StringIO()
+    configure(level=level, fmt=fmt, stream=stream)
+    emit(get_logger("service"))
+    return stream.getvalue().splitlines()
+
+
+class TestConfigure:
+    def test_rejects_unknown_level_and_format(self):
+        with pytest.raises(ValueError, match="log level"):
+            configure(level="loud")
+        with pytest.raises(ValueError, match="log format"):
+            configure(fmt="xml")
+
+    def test_level_is_case_insensitive_and_filters(self):
+        lines = _log_lines("text", lambda log: (log.debug("quiet"),
+                                                log.warning("loud")),
+                           level="WARNING")
+        assert len(lines) == 1 and "loud" in lines[0]
+
+    def test_reconfigure_replaces_the_handler(self):
+        stream_a, stream_b = io.StringIO(), io.StringIO()
+        configure(stream=stream_a)
+        configure(stream=stream_b)
+        get_logger("service").info("once")
+        assert stream_a.getvalue() == ""
+        assert stream_b.getvalue().count("once") == 1  # no stacked handlers
+
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger("service").name == "repro.service"
+        assert get_logger("repro.engine").name == "repro.engine"
+        assert get_logger().name == "repro"
+
+
+class TestJsonShape:
+    def test_one_strict_json_object_per_line_with_fields(self):
+        (line,) = _log_lines(
+            "json",
+            lambda log: log.info("wave dispatched",
+                                 extra={"fields": {"wave": 7, "size": 2}}),
+        )
+        record = json.loads(line)
+        assert record["message"] == "wave dispatched"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.service"
+        assert record["wave"] == 7 and record["size"] == 2
+        assert "trace_id" not in record  # no span open while emitting
+
+    def test_records_carry_the_open_spans_ids(self):
+        stream = io.StringIO()
+        configure(fmt="json", stream=stream)
+        with obs.activate(obs.SpanCollector()):
+            with obs.span("service.wave") as handle:
+                get_logger("service").info("inside")
+        record = json.loads(stream.getvalue())
+        assert record["trace_id"] == handle.trace_id
+        assert record["span_id"] == handle.span_id
+
+    def test_text_format_carries_the_same_enrichment(self):
+        stream = io.StringIO()
+        configure(fmt="text", stream=stream)
+        with obs.activate(obs.SpanCollector()):
+            with obs.span("service.wave") as handle:
+                get_logger("service").info("inside",
+                                           extra={"fields": {"wave": 3}})
+        line = stream.getvalue()
+        assert f"trace={handle.trace_id}/{handle.span_id}" in line
+        assert "wave=3" in line

@@ -96,6 +96,36 @@ def test_submit_poll_and_wait(server):
     assert json.loads(body)["status"] == "done"
 
 
+def test_traced_request_resolves_to_a_span_tree(server):
+    """The flight-recorder contract over real sockets: the job id of a
+    solved request dereferences to its admission -> queue -> wave ->
+    shard -> backend span chain via GET /v1/traces/<job_id>."""
+    _, base = server
+    status, body = _post(
+        base, "/v1/solve",
+        {"problem": SPEC, "seed": 6, "wait": True, "tenant": "smoke"},
+    )
+    assert status == 200
+    waited = json.loads(body)
+    assert waited["trace_id"]
+
+    status, body = _get(base, f"/v1/traces/{waited['job_id']}")
+    assert status == 200
+    trace = json.loads(body)
+    assert trace["trace_id"] == waited["trace_id"]
+    names = [span["name"] for span in trace["spans"]]
+    for required in ("http.request", "service.admission", "service.queue_wait",
+                     "service.wave", "engine.shard", "engine.solve"):
+        assert required in names, f"missing {required} in {names}"
+    # Parentage is intact end to end: the tree nests under the HTTP root.
+    assert any(node["name"] == "http.request" for node in trace["tree"])
+
+    status, body = _get(base, "/v1/traces?tenant=smoke")
+    assert status == 200
+    listed = json.loads(body)
+    assert any(t["job_id"] == waited["job_id"] for t in listed["traces"])
+
+
 def test_error_mapping(server):
     _, base = server
     assert _get(base, "/v1/jobs/job-999999")[0] == 404
