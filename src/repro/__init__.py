@@ -25,9 +25,12 @@ From Theory to Opportunities* (ICDE 2024).  The library ships:
   Problem -> QUBO -> Backend -> Result pipeline on any registered engine.
 * :mod:`repro.obs` — stdlib-only end-to-end tracing, the flight recorder
   behind the service's ``/v1/traces``, and structured logging.
+* :mod:`repro.workload` — the SQL front end: scripts of SELECT/DML compile
+  into Table I problem batches (``repro.compile_workload`` /
+  ``repro.run_workload``) executed through one ``solve_many`` call.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro import obs
 from repro.api import (
@@ -49,6 +52,12 @@ from repro.api import (
     solve,
     solve_many,
     solve_portfolio,
+)
+from repro.api import (
+    WorkloadPlan,
+    WorkloadReport,
+    compile_workload,
+    run_workload,
 )
 from repro.exceptions import (
     EmbeddingError,
@@ -82,4 +91,8 @@ __all__ = [
     "BackendScoreboard",
     "EngineStore",
     "obs",
+    "WorkloadPlan",
+    "WorkloadReport",
+    "compile_workload",
+    "run_workload",
 ]

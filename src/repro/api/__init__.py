@@ -14,6 +14,10 @@ hybrid architecture argued for by Zajac & Störl:
   front-ends over the execution engine in :mod:`repro.engine` (planner,
   sharded executors, content-addressed result cache);
 * :mod:`.result` — the uniform :class:`SolveResult`.
+
+The SQL front end (:mod:`repro.workload`) re-exports here too:
+:func:`compile_workload` plans a SQL script into Table I instances and
+:func:`run_workload` executes them as one ``solve_many`` batch.
 """
 
 from repro.api.adapters import (
@@ -56,6 +60,15 @@ from repro.engine import (
     resolve_store,
 )
 
+# Imported last: repro.workload builds on repro.api.facade, so the facade
+# (and the engine it fronts) must be fully initialised first.
+from repro.workload import (  # noqa: E402
+    WorkloadPlan,
+    WorkloadReport,
+    compile_workload,
+    run_workload,
+)
+
 __all__ = [
     "Problem",
     "qubo_signature",
@@ -93,4 +106,8 @@ __all__ = [
     "compile_plan",
     "execute_plan",
     "list_executors",
+    "WorkloadPlan",
+    "WorkloadReport",
+    "compile_workload",
+    "run_workload",
 ]

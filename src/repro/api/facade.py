@@ -223,6 +223,7 @@ def solve_many(
     scheduler: "AdaptiveScheduler | None" = None,
     store: "Any | None" = None,
     seeds: "Sequence[int] | None" = None,
+    labels: "Sequence[str | None] | None" = None,
     **backend_opts,
 ) -> list[SolveResult]:
     """Solve a batch of problems, sharded by QUBO structure.
@@ -283,6 +284,13 @@ def solve_many(
             :func:`solve` with the same backend/opts/seed — the contract
             the service tier's request coalescing relies on
             (``docs/service.md``).
+        labels: Optional per-item tags (one per problem, ``None`` entries
+            allowed), surfaced verbatim in ``info["engine"]["label"]`` on
+            both the miss and cache-hit paths.  Pure telemetry: labels
+            never influence sharding, seeds, routing, or cache keys, so a
+            labelled batch is bit-identical to the same batch unlabelled.
+            The SQL workload runner (``docs/workload.md``) uses them to tie
+            each result back to its compiled instance.
         **backend_opts: Forwarded to the backend factory, once per shard
             (unscheduled mode), or per-backend option dicts keyed by
             registry name (scheduled mode).
@@ -306,6 +314,7 @@ def solve_many(
                 backend_opts=backend_opts,
                 store=store,
                 seeds=seeds,
+                labels=labels,
             )
         if not isinstance(backend, (str, Backend)):
             raise ReproError(
@@ -324,4 +333,5 @@ def solve_many(
             backend_opts=backend_opts,
             store=store,
             seeds=seeds,
+            labels=labels,
         )

@@ -73,6 +73,7 @@ class PlanItem:
     shard_pos: int        #: position within the shard (0 = shard leader)
     fingerprint: str      #: canonical content hash of the item's QUBO
     cache_key: "str | None" = None   #: None when caching cannot be sound
+    label: "str | None" = None       #: caller tag, surfaced in telemetry only
 
 
 @dataclass
@@ -128,6 +129,7 @@ def compile_plan(
     max_shard_size: "int | None" = None,
     adapter_opts: "dict | None" = None,
     seeds: "Sequence[int] | None" = None,
+    labels: "Sequence[str | None] | None" = None,
 ) -> ExecutionPlan:
     """Compile a batch into an :class:`ExecutionPlan`.
 
@@ -152,6 +154,13 @@ def compile_plan(
             its result — and its cache key — is exactly that of a
             standalone ``solve`` with the same fingerprint/opts/seed, no
             matter which batch it rode in.
+        labels: Optional per-item tags (one entry per problem, ``None``
+            entries allowed).  Labels ride along purely as telemetry —
+            they surface in ``info["engine"]["label"]`` but never enter
+            fingerprints, sharding, seeds, or cache keys, so labelled and
+            unlabelled runs of the same batch are bit-identical.  The SQL
+            workload compiler uses them to stamp each result with its
+            instance label (``docs/workload.md``).
     """
     # Lazy imports: repro.api.facade imports this package at module load,
     # so engine modules must not import repro.api back at module level.
@@ -194,6 +203,15 @@ def compile_plan(
     else:
         base = ensure_rng(seed)
         child_seeds = [int(s) for s in base.integers(0, _SEED_RANGE, size=len(coerced))]
+    if labels is not None:
+        item_labels = list(labels)
+        if len(item_labels) != len(coerced):
+            raise ReproError(
+                f"labels= must provide one label per problem: got {len(item_labels)} "
+                f"labels for {len(coerced)} problems"
+            )
+    else:
+        item_labels = [None] * len(coerced)
 
     # Group by structural signature in first-seen order; optionally split
     # oversized groups so wide batches expose more parallelism.
@@ -220,6 +238,7 @@ def compile_plan(
                 shard=shard,
                 shard_pos=shard_pos,
                 fingerprint=model.fingerprint(),
+                label=item_labels[index],
             )
         )
 

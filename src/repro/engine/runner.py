@@ -177,6 +177,7 @@ def _shard_payload(plan: ExecutionPlan, shard_items, executor_name: str) -> dict
         "problems": [i.problem for i in shard_items],
         "seeds": [i.seed for i in shard_items],
         "fingerprints": [i.fingerprint for i in shard_items],
+        "labels": [i.label for i in shard_items],
         "backend_name": plan.backend_name,
         "backend_opts": plan.backend_opts,
         "backend_instance": plan.backend_instance,
@@ -190,7 +191,7 @@ def _shard_payload(plan: ExecutionPlan, shard_items, executor_name: str) -> dict
 
 
 def _engine_info(payload: dict, pos: int, seed: int, fingerprint: str) -> dict:
-    return {
+    info = {
         "shard": payload["shard"],
         "shard_pos": pos,
         "shard_size": payload["shard_size"],
@@ -200,6 +201,10 @@ def _engine_info(payload: dict, pos: int, seed: int, fingerprint: str) -> dict:
         "fingerprint": fingerprint[:16],
         "cache_hit": False,
     }
+    labels = payload.get("labels") or []
+    if pos < len(labels) and labels[pos] is not None:
+        info["label"] = labels[pos]
+    return info
 
 
 def _stamp_engine_info(result, payload: dict, pos: int, seed: int, fingerprint: str) -> None:
@@ -410,6 +415,8 @@ def execute_plans(
                     for pos, (item, result) in enumerate(zip(shard_items, cached)):
                         timings = result.info.get("timings") or {}
                         engine_info = result.info.setdefault("engine", {})
+                        if item.label is not None:
+                            engine_info["label"] = item.label
                         engine_info.update(
                             shard=item.shard,
                             shard_pos=pos,
@@ -478,6 +485,7 @@ def solve_batch(
     backend_opts: "dict | None" = None,
     store=None,
     seeds=None,
+    labels=None,
 ) -> list[SolveResult]:
     """Compile + execute in one call (the engine behind ``repro.solve_many``).
 
@@ -490,6 +498,8 @@ def solve_batch(
 
     ``seeds`` passes explicit per-item child seeds to the planner (see
     :func:`~repro.engine.plan.compile_plan`); ``seed`` is ignored when set.
+    ``labels`` tags items for telemetry (``info["engine"]["label"]``)
+    without affecting sharding, seeding, or cache keys.
     """
     from repro.engine.store import resolve_store, store_bound_cache
 
@@ -504,6 +514,7 @@ def solve_batch(
             backend_opts=backend_opts,
             max_shard_size=max_shard_size,
             seeds=seeds,
+            labels=labels,
         )
         plan_span.set(items=len(plan.items), shards=plan.num_shards)
     with store_bound_cache(cache, store) as bound:

@@ -519,6 +519,7 @@ def solve_batch_scheduled(
     backend_opts: "dict | None" = None,
     store=None,
     seeds=None,
+    labels=None,
 ) -> list:
     """Route each shard of a batch to a scoreboard-chosen backend.
 
@@ -536,6 +537,7 @@ def solve_batch_scheduled(
     by registry name, e.g. ``{"sa": {"num_reads": 64}}``.  ``seeds`` passes
     explicit per-item child seeds to the planner (see
     :func:`~repro.engine.plan.compile_plan`); ``seed`` is ignored when set.
+    ``labels`` tags items for telemetry exactly as on the unscheduled path.
 
     With a durable ``store`` (resolved through
     :func:`~repro.engine.store.resolve_store`, so ``REPRO_STORE`` applies),
@@ -568,6 +570,7 @@ def solve_batch_scheduled(
             backend_opts=opts_map.get(names[0], {}),
             max_shard_size=max_shard_size,
             seeds=seeds,
+            labels=labels,
         )
         plan_span.set(items=len(plan.items), shards=plan.num_shards)
     signatures = plan.meta["shard_signatures"]

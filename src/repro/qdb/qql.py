@@ -19,6 +19,27 @@ cites ([45]-[51]).  Supported statements::
 Selections with a WHERE clause run Grover search; set operations run the
 amplitude-amplified set algorithms; JOIN runs the pair-register Grover
 join.  Every result reports its oracle-call count.
+
+**Relation to the classical SQL dialect** (:mod:`repro.db.sql`): the two
+front ends share the ``SELECT * FROM t [WHERE ...]``,
+``INSERT INTO t VALUES (...)``, ``DELETE FROM t WHERE ...`` and
+``UPDATE t SET ... WHERE ...`` statement shapes, with the same six
+comparison operators.  They diverge everywhere else: QQL predicates are
+restricted to the single ``key`` register (tables are key sets, not
+schemas), and QQL adds ``CREATE TABLE ... QUBITS n`` plus the quantum
+set-operation / ``JOIN`` productions above — while the SQL dialect adds
+projections, multi-table FROM clauses with aliases, join predicates, and
+multi-statement scripts that compile into Table I problem batches via
+:mod:`repro.workload`.
+
+Doctest (the ``classical`` backend is deterministic)::
+
+    >>> from repro.qdb.qql import QQLEngine
+    >>> engine = QQLEngine(backend="classical")
+    >>> _ = engine.execute("CREATE TABLE t QUBITS 3")
+    >>> _ = engine.execute("INSERT INTO t VALUES (1, 5, 7)")
+    >>> engine.execute("SELECT * FROM t WHERE key >= 5").keys
+    [5, 7]
 """
 
 from __future__ import annotations

@@ -16,6 +16,15 @@ Three kinds cover the service's traffic:
 * ``{"kind": "qubo", "linear": {"x0": -1.0}, "quadratic":
   [["x0", "x1", 2.0]], "offset": 0.0}`` — a raw QUBO, for callers that
   formulate themselves.
+* ``{"kind": "workload", "script": "SELECT ...; UPDATE ...",
+  "catalog": {"tables": {"users": {"cardinality": 1000,
+  "distinct": {"uid": 1000}}}}, "instance": 0, "bushy": false}`` — one
+  instance of a compiled SQL workload (``docs/workload.md``): the script
+  is compiled with :func:`repro.workload.compile_workload` against the
+  inline statistics-only catalog and the ``instance``-th Table I problem
+  is returned.  A spec is content-addressable — same script + catalog +
+  index names the same instance everywhere — so coalescing and the
+  fingerprint cache work exactly as for generated instances.
 
 Specs are validated with explicit bounds (a public endpoint must not let
 one request formulate an exponential instance), and every error is a
@@ -36,6 +45,10 @@ MAX_QUERIES = 32
 MAX_PLANS = 32
 MAX_RELATIONS = 12
 MAX_QUBO_VARIABLES = 1024
+MAX_SCRIPT_LENGTH = 8192
+MAX_SCRIPT_STATEMENTS = 24
+MAX_CATALOG_TABLES = 64
+MAX_TABLE_CARDINALITY = 10**9
 
 
 class RawQuboProblem(Problem):
@@ -136,10 +149,77 @@ def _qubo_from_spec(spec: Mapping) -> Problem:
     return RawQuboProblem(model)
 
 
+def _catalog_from_spec(spec: Mapping):
+    from repro.db.catalog import Catalog
+
+    tables = spec.get("tables")
+    if not isinstance(tables, Mapping) or not tables:
+        raise ReproError("workload 'catalog' must carry a non-empty 'tables' object")
+    if len(tables) > MAX_CATALOG_TABLES:
+        raise ReproError(
+            f"workload catalog has {len(tables)} tables (limit {MAX_CATALOG_TABLES})"
+        )
+    catalog = Catalog()
+    for name, stats in tables.items():
+        if not isinstance(stats, Mapping):
+            raise ReproError(f"catalog table {name!r} must be an object")
+        cardinality = _require_int(stats, "cardinality", 1, MAX_TABLE_CARDINALITY)
+        distinct = stats.get("distinct", {})
+        if not isinstance(distinct, Mapping):
+            raise ReproError(f"catalog table {name!r} 'distinct' must map column -> count")
+        distinct_values = {}
+        for column, count in distinct.items():
+            if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+                raise ReproError(
+                    f"distinct count for {name}.{column} must be a positive integer"
+                )
+            distinct_values[str(column)] = count
+        catalog.add_table(str(name), cardinality, distinct_values)
+    return catalog
+
+
+def _workload_from_spec(spec: Mapping) -> Problem:
+    from repro.db.sql import parse_script
+    from repro.exceptions import ParseError
+    from repro.workload import compile_workload
+
+    script = spec.get("script")
+    if not isinstance(script, str) or not script.strip():
+        raise ReproError("workload spec needs a non-empty 'script' string")
+    if len(script) > MAX_SCRIPT_LENGTH:
+        raise ReproError(
+            f"workload script is {len(script)} chars (limit {MAX_SCRIPT_LENGTH})"
+        )
+    catalog_spec = spec.get("catalog")
+    if not isinstance(catalog_spec, Mapping):
+        raise ReproError("workload spec needs a 'catalog' object with table statistics")
+    bushy = spec.get("bushy", False)
+    if not isinstance(bushy, bool):
+        raise ReproError("workload 'bushy' must be a boolean")
+    try:
+        statements = parse_script(script)
+    except ParseError as exc:
+        raise ReproError(f"workload script failed to parse: {exc}") from exc
+    if len(statements) > MAX_SCRIPT_STATEMENTS:
+        raise ReproError(
+            f"workload script has {len(statements)} statements "
+            f"(limit {MAX_SCRIPT_STATEMENTS})"
+        )
+    for statement in statements:
+        if statement.kind == "select" and len(statement.tables) > MAX_RELATIONS:
+            raise ReproError(
+                f"a SELECT joins {len(statement.tables)} tables (limit {MAX_RELATIONS})"
+            )
+    plan = compile_workload(statements, _catalog_from_spec(catalog_spec), bushy=bushy)
+    index = _require_int(spec, "instance", 0, len(plan.instances) - 1, default=0)
+    return plan.instances[index].problem
+
+
 _KINDS = {
     "mqo": _mqo_from_spec,
     "joinorder": _joinorder_from_spec,
     "qubo": _qubo_from_spec,
+    "workload": _workload_from_spec,
 }
 
 

@@ -1,0 +1,28 @@
+"""SQL workload front end: scripts of SELECT/DML -> Table I problem batches.
+
+The compiler seam between classical query front ends and quantum kernels:
+:func:`compile_workload` plans a SQL script into the paper's problem
+domains (MQO across the SELECT batch, join ordering per FROM clause,
+transaction scheduling across the DML), and :func:`run_workload` executes
+all of them as one sharded ``solve_many`` batch, stitching per-statement
+plans and ``info["workload"]`` provenance back out.  See
+``docs/workload.md`` for the pipeline walk-through.
+"""
+
+from repro.workload.planner import (
+    SHARING_CREDIT,
+    WorkloadInstance,
+    WorkloadPlan,
+    compile_workload,
+)
+from repro.workload.runner import StatementPlan, WorkloadReport, run_workload
+
+__all__ = [
+    "SHARING_CREDIT",
+    "WorkloadInstance",
+    "WorkloadPlan",
+    "StatementPlan",
+    "WorkloadReport",
+    "compile_workload",
+    "run_workload",
+]

@@ -1,0 +1,340 @@
+"""Compile a SQL script into Table I problem instances.
+
+The planner walks the parsed statements of a script
+(:func:`repro.db.sql.parse_script`) and partitions them into the paper's
+problem domains:
+
+* every multi-table SELECT contributes a **join-ordering** instance: its
+  FROM clause plus equi-join predicates become a
+  :class:`~repro.db.query.JoinGraph` with filter-adjusted cardinality
+  estimates and catalog selectivities, wrapped in the left-deep (or bushy)
+  adapter;
+* the SELECTs *as a batch* contribute one **MQO** instance when there are
+  at least two of them: each query gets a handful of candidate plans
+  (DP-optimal, FROM-order, greedy) costed with the C_out model, and
+  cross-query savings are derived from shared canonical subexpressions
+  (:func:`repro.db.sql.scan_key` / :func:`~repro.db.sql.join_subset_key`)
+  so two statements scanning the same filtered table — or joining the same
+  pair — are rewarded for picking plans that materialise the shared piece;
+* the DML statements contribute one **transaction-scheduling** instance:
+  each INSERT/UPDATE/DELETE becomes a table-granularity
+  :class:`~repro.db.transactions.Transaction` (reads from its WHERE scan,
+  writes to its target), and the adapter assigns conflict-free slots.
+
+The output is a :class:`WorkloadPlan` whose instances go through one
+``solve_many`` call (see :mod:`repro.workload.runner`); every instance
+knows which statement indices it covers, which is what the runner's
+``info["workload"]`` provenance is stitched from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.api.adapters import BushyJoinAdapter, LeftDeepJoinAdapter, MQOAdapter, TxnScheduleAdapter
+from repro.api.problem import Problem
+from repro.db.catalog import Catalog
+from repro.db.cost import CostModel
+from repro.db.dp import dp_optimal_leftdeep, greedy_operator_ordering
+from repro.db.query import JoinGraph
+from repro.db.sql import (
+    ParsedQuery,
+    join_subset_key,
+    parse_script,
+    scan_key,
+    subexpression_fingerprint,
+)
+from repro.db.transactions import Operation, Transaction
+from repro.exceptions import ReproError
+from repro.mqo.problem import MQOProblem
+
+#: Fraction of a shared intermediate's estimated cardinality credited as an
+#: MQO saving when two plans of different queries both materialise it.
+SHARING_CREDIT = 0.5
+
+#: Selectivity assumed for non-equality filter predicates (the classic 1/3).
+_INEQUALITY_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass
+class WorkloadInstance:
+    """One compiled Table I problem instance plus its provenance.
+
+    ``statements`` holds the script indices (0-based) this instance
+    covers; ``meta`` carries domain specifics the runner needs to stitch
+    per-statement plans back out of the instance's ``SolveResult`` (e.g.
+    the MQO plan-id -> join-order map).
+    """
+
+    index: int
+    kind: str            #: "joinorder" | "mqo" | "txn"
+    label: str
+    problem: Problem
+    statements: list[int]
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass
+class WorkloadPlan:
+    """A compiled script: parsed statements plus the instances they map to."""
+
+    script: str
+    statements: list
+    instances: list[WorkloadInstance]
+    catalog: Catalog
+
+    def problems(self) -> list[Problem]:
+        return [inst.problem for inst in self.instances]
+
+    def labels(self) -> list[str]:
+        return [inst.label for inst in self.instances]
+
+    def instances_of(self, statement: int) -> list[WorkloadInstance]:
+        return [inst for inst in self.instances if statement in inst.statements]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = [inst.kind for inst in self.instances]
+        return f"WorkloadPlan({len(self.statements)} statements -> {kinds})"
+
+
+def _filtered_cardinality(query: ParsedQuery, table: str, catalog: Catalog) -> float:
+    """Estimated rows a filtered scan of one FROM entry yields."""
+    stats = catalog.stats(query.base_table(table))
+    card = float(stats.cardinality)
+    for cond in query.filter_conditions:
+        owner = cond.left.table
+        if owner is None and len(query.tables) == 1:
+            owner = table
+        if owner != table:
+            continue
+        if cond.op == "=":
+            card /= max(stats.distinct(cond.left.column), 1)
+        elif cond.op != "!=":
+            card *= _INEQUALITY_SELECTIVITY
+    return max(card, 1.0)
+
+
+def _join_graph(query: ParsedQuery, catalog: Catalog) -> JoinGraph:
+    """Join graph for one SELECT: filtered cardinalities, catalog selectivities.
+
+    Disconnected FROM clauses (missing join predicates) are stitched with
+    selectivity-1.0 edges between component representatives so the
+    optimizers see one connected graph; those edges model the cross
+    products the executor would pay anyway.
+    """
+    jg = JoinGraph()
+    for table in query.tables:
+        jg.add_relation(table, max(int(round(_filtered_cardinality(query, table, catalog))), 1))
+    for cond in query.join_conditions:
+        lt, rt = cond.left.table, cond.right.table
+        if cond.op != "=" or lt is None or rt is None or lt == rt:
+            continue
+        if lt not in query.tables or rt not in query.tables:
+            raise ReproError(f"join predicate references unknown table: {cond}")
+        sel = catalog.equijoin_selectivity(
+            query.base_table(lt), cond.left.column, query.base_table(rt), cond.right.column
+        )
+        jg.add_join(lt, rt, sel)
+    if not jg.is_connected():
+        import networkx as nx
+
+        reps = sorted(min(c) for c in nx.connected_components(jg.nx_graph()))
+        for left, right in zip(reps, reps[1:]):
+            jg.add_join(left, right, 1.0)
+    return jg
+
+
+def _candidate_orders(query: ParsedQuery, graph: JoinGraph, max_plans: int) -> list[list[str]]:
+    """Up to ``max_plans`` distinct left-deep orders: DP optimum, FROM order, GOO."""
+    cm = CostModel(graph)
+    candidates: list[list[str]] = []
+    tree, _ = dp_optimal_leftdeep(graph, cm, avoid_cross=False)
+    candidates.append(tree.leaves_in_order())
+    candidates.append(list(query.tables))
+    goo_tree, _ = greedy_operator_ordering(graph, cm)
+    candidates.append(goo_tree.leaves_in_order())
+    unique: list[list[str]] = []
+    for order in candidates:
+        if order not in unique:
+            unique.append(order)
+        if len(unique) >= max_plans:
+            break
+    return unique
+
+
+def _plan_subexpressions(query: ParsedQuery, order: "list[str] | None") -> set[str]:
+    """Fingerprints of every intermediate a concrete plan materialises.
+
+    A left-deep plan over ``order`` materialises each filtered scan plus
+    the join of every order prefix; a single-table plan just its scan.
+    Canonical keys are alias-independent, so sharing is detected across
+    queries that name the same base tables differently.
+    """
+    keys = {scan_key(query, t) for t in query.tables}
+    if order is not None and len(order) > 1:
+        for k in range(2, len(order) + 1):
+            keys.add(join_subset_key(query, order[:k]))
+    return {subexpression_fingerprint(key) for key in keys}
+
+
+def _subexpression_weights(
+    query: ParsedQuery, order: "list[str] | None", graph: "JoinGraph | None", catalog: Catalog
+) -> dict[str, float]:
+    """Estimated cardinality of each subexpression a plan materialises."""
+    weights: dict[str, float] = {}
+    for t in query.tables:
+        fp = subexpression_fingerprint(scan_key(query, t))
+        weights[fp] = _filtered_cardinality(query, t, catalog)
+    if order is not None and len(order) > 1 and graph is not None:
+        cm = CostModel(graph)
+        for k in range(2, len(order) + 1):
+            fp = subexpression_fingerprint(join_subset_key(query, order[:k]))
+            weights[fp] = cm.set_cardinality(order[:k])
+    return weights
+
+
+def _dml_transaction(index: int, statement) -> Transaction:
+    """A table-granularity transaction for one DML statement."""
+    txn_id = f"t{index}"
+    ops = [Operation(txn_id, "r", table) for table in sorted(statement.read_tables)]
+    ops += [Operation(txn_id, "w", table) for table in sorted(statement.write_tables)]
+    return Transaction(txn_id, ops)
+
+
+def compile_workload(
+    script: "str | Sequence",
+    catalog: Catalog,
+    *,
+    bushy: bool = False,
+    max_candidate_plans: int = 3,
+) -> WorkloadPlan:
+    """Compile a SQL script into a :class:`WorkloadPlan`.
+
+    Args:
+        script: SQL text (statements separated by ``;``) or an already
+            parsed statement sequence.
+        catalog: Table statistics (and optionally data) the cost model
+            estimates against; every referenced table must be registered.
+        bushy: Use the bushy join-tree encoding for join-ordering
+            instances instead of the left-deep permutation encoding.
+        max_candidate_plans: Candidate plans per query offered to the MQO
+            instance (distinct left-deep orders; single-table queries
+            always contribute exactly one scan plan).
+
+    Returns:
+        A plan whose instances appear in a deterministic order: one
+        join-ordering instance per multi-table SELECT (statement order),
+        then the MQO instance (when >= 2 SELECTs), then the
+        transaction-scheduling instance (when >= 1 DML).
+    """
+    statements = parse_script(script) if isinstance(script, str) else list(script)
+    if not statements:
+        raise ReproError("empty workload script")
+    if max_candidate_plans < 1:
+        raise ReproError("max_candidate_plans must be >= 1")
+    for statement in statements:
+        targets = (
+            [statement.base_table(t) for t in statement.tables]
+            if statement.kind == "select"
+            else [statement.table]
+        )
+        for table in targets:
+            catalog.stats(table)  # raises ReproError for unknown tables
+
+    instances: list[WorkloadInstance] = []
+    selects = [(i, s) for i, s in enumerate(statements) if s.kind == "select"]
+    dml = [(i, s) for i, s in enumerate(statements) if s.is_dml]
+
+    # -- join-ordering instances (one per multi-table SELECT) ---------------
+    graphs: dict[int, JoinGraph] = {}
+    for i, query in selects:
+        if len(query.tables) < 2:
+            continue
+        graph = _join_graph(query, catalog)
+        graphs[i] = graph
+        adapter = BushyJoinAdapter(graph) if bushy else LeftDeepJoinAdapter(graph)
+        instances.append(
+            WorkloadInstance(
+                index=len(instances),
+                kind="joinorder",
+                label=f"joinorder:s{i}",
+                problem=adapter,
+                statements=[i],
+                meta={"tables": list(query.tables), "bushy": bushy},
+            )
+        )
+
+    # -- one MQO instance over the SELECT batch -----------------------------
+    if len(selects) >= 2:
+        mqo = MQOProblem()
+        plan_orders: dict[str, dict[str, "list[str] | None"]] = {}
+        plan_subexprs: dict[tuple[str, str], set[str]] = {}
+        weights: dict[str, float] = {}
+        for i, query in selects:
+            qid = f"s{i}"
+            plan_orders[qid] = {}
+            if len(query.tables) < 2:
+                order_choices: list = [None]
+            else:
+                order_choices = _candidate_orders(query, graphs[i], max_candidate_plans)
+            cm = CostModel(graphs[i]) if i in graphs else None
+            for p, order in enumerate(order_choices):
+                pid = f"p{p}"
+                if order is None:
+                    cost = _filtered_cardinality(query, query.tables[0], catalog)
+                else:
+                    cost = cm.cost_of_order(order)
+                mqo.add_plan(qid, pid, cost)
+                plan_orders[qid][pid] = order
+                plan_subexprs[(qid, pid)] = _plan_subexpressions(query, order)
+                weights.update(
+                    _subexpression_weights(query, order, graphs.get(i), catalog)
+                )
+        keys = sorted(plan_subexprs)
+        for a_pos, a in enumerate(keys):
+            for b in keys[a_pos + 1 :]:
+                if a[0] == b[0]:
+                    continue  # savings only between plans of different queries
+                shared = plan_subexprs[a] & plan_subexprs[b]
+                if not shared:
+                    continue
+                amount = sum(SHARING_CREDIT * weights[fp] for fp in sorted(shared))
+                if amount > 0:
+                    mqo.add_saving(a, b, amount)
+        instances.append(
+            WorkloadInstance(
+                index=len(instances),
+                kind="mqo",
+                label="mqo:selects",
+                problem=MQOAdapter(mqo),
+                statements=[i for i, _ in selects],
+                meta={"plan_orders": plan_orders, "queries": [f"s{i}" for i, _ in selects]},
+            )
+        )
+
+    # -- one transaction-scheduling instance over the DML batch -------------
+    if dml:
+        transactions = [_dml_transaction(i, s) for i, s in dml]
+        instances.append(
+            WorkloadInstance(
+                index=len(instances),
+                kind="txn",
+                label="txn:dml",
+                problem=TxnScheduleAdapter(transactions),
+                statements=[i for i, _ in dml],
+                meta={"transactions": {f"t{i}": i for i, _ in dml}},
+            )
+        )
+
+    if not instances:
+        raise ReproError(
+            "workload compiles to no problem instances: it needs a multi-table "
+            "SELECT, two or more SELECTs, or at least one DML statement"
+        )
+    return WorkloadPlan(
+        script=script if isinstance(script, str) else "",
+        statements=statements,
+        instances=instances,
+        catalog=catalog,
+    )

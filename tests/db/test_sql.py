@@ -67,7 +67,7 @@ class TestParser:
             "SELECT * FROM",
             "SELECT * FROM users WHERE",
             "SELECT * FROM users WHERE city ~ 'x'",
-            "SELECT * FROM users extra",
+            "SELECT * FROM users extra garbage",
             "SELECT * FROM users, users",
         ):
             with pytest.raises(ParseError):
@@ -125,3 +125,145 @@ class TestExecutor:
     def test_cross_product_when_no_join(self, catalog):
         res = execute("SELECT * FROM users, items", catalog)
         assert res.cardinality == 9
+
+
+class TestAliasesAndEdgeCases:
+    def test_alias_bare_and_as(self):
+        q = parse_sql("SELECT u.name FROM users u, orders AS o WHERE u.uid = o.uid")
+        assert q.tables == ["u", "o"]
+        assert q.aliases == {"u": "users", "o": "orders"}
+        assert q.base_table("u") == "users"
+
+    def test_self_join_parses(self):
+        q = parse_sql(
+            "SELECT u1.name, u2.name FROM users u1, users u2 "
+            "WHERE u1.city = u2.city AND u1.uid != u2.uid"
+        )
+        assert q.tables == ["u1", "u2"]
+        assert q.base_table("u1") == q.base_table("u2") == "users"
+
+    def test_self_join_executes(self, catalog):
+        res = execute(
+            "SELECT u1.name, u2.name FROM users u1, users u2 "
+            "WHERE u1.city = u2.city AND u1.uid < u2.uid",
+            catalog,
+        )
+        assert sorted(res.rows) == [("ann", "cat")]
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse_sql("SELECT * FROM users u, orders u")
+
+    def test_quoted_string_containing_keywords(self):
+        q = parse_sql("SELECT * FROM users WHERE name = 'select from where and'")
+        assert q.conditions[0].right == "select from where and"
+
+    def test_quoted_semicolon_does_not_split_script(self):
+        from repro.db.sql import parse_script
+
+        stmts = parse_script("SELECT * FROM users WHERE name = 'a;b'; SELECT * FROM users")
+        assert len(stmts) == 2
+        assert stmts[0].conditions[0].right == "a;b"
+
+    def test_qualified_star_parses(self):
+        q = parse_sql("SELECT u.*, o.total FROM users u, orders o WHERE u.uid = o.uid")
+        assert q.projections[0] == ColumnRef("u", "*")
+
+    def test_qualified_star_executes(self, catalog):
+        res = execute(
+            "SELECT u.*, orders.total FROM users u, orders WHERE u.uid = orders.uid",
+            catalog,
+        )
+        assert res.columns == ("u.uid", "u.name", "u.city", "orders.total")
+        assert res.cardinality == 3
+
+    def test_parse_error_points_at_offending_token(self):
+        with pytest.raises(ParseError) as exc:
+            parse_sql("SELECT * FROM users WHERE city = 'x' AND uid ^ 3")
+        message = str(exc.value)
+        assert "^" in message and "position" in message
+
+    def test_parse_error_names_unexpected_word(self):
+        with pytest.raises(ParseError) as exc:
+            parse_sql("SELECT name, FROM users")
+        message = str(exc.value)
+        assert "'FROM'" in message and "position" in message
+
+
+class TestScriptsAndDML:
+    def test_parse_script_kinds(self):
+        from repro.db.sql import parse_script
+
+        stmts = parse_script(
+            "SELECT * FROM users;"
+            "INSERT INTO users (uid, name, city) VALUES (4, 'dee', 'sf'), (5, 'eli', 'ny');"
+            "UPDATE users SET city = 'sf', name = 'x' WHERE uid = 1;"
+            "DELETE FROM orders WHERE total < 10;"
+        )
+        assert [s.kind for s in stmts] == ["select", "insert", "update", "delete"]
+        insert = stmts[1]
+        assert insert.columns == ["uid", "name", "city"]
+        assert insert.rows == [(4, "dee", "sf"), (5, "eli", "ny")]
+        assert insert.write_tables == {"users"}
+        update = stmts[2]
+        assert update.assignments == [("city", "sf"), ("name", "x")]
+        assert update.read_tables == {"users"} and update.write_tables == {"users"}
+        delete = stmts[3]
+        assert delete.read_tables == {"orders"} and delete.write_tables == {"orders"}
+
+    def test_script_error_names_statement(self):
+        from repro.db.sql import parse_script
+
+        with pytest.raises(ParseError, match="statement 2"):
+            parse_script("SELECT * FROM users; SELEC oops")
+
+    def test_insert_arity_mismatch(self):
+        from repro.db.sql import parse_statement
+
+        with pytest.raises(ParseError, match="2 values for 3 columns"):
+            parse_statement("INSERT INTO t (a, b, c) VALUES (1, 2)")
+
+    def test_parse_sql_rejects_dml(self):
+        with pytest.raises(ParseError, match="expected a SELECT"):
+            parse_sql("DELETE FROM users")
+
+    def test_unfiltered_dml_reads_nothing(self):
+        from repro.db.sql import parse_statement
+
+        assert parse_statement("DELETE FROM users").read_tables == set()
+        assert parse_statement("UPDATE users SET city = 'x'").read_tables == set()
+
+
+class TestSubexpressionKeys:
+    def test_scan_key_alias_independent(self):
+        from repro.db.sql import scan_key
+
+        a = parse_sql("SELECT * FROM users u WHERE u.city = 'delft'")
+        b = parse_sql("SELECT * FROM users WHERE city = 'delft'")
+        assert scan_key(a, "u") == scan_key(b, "users")
+
+    def test_scan_key_differs_on_filter(self):
+        from repro.db.sql import scan_key
+
+        a = parse_sql("SELECT * FROM users WHERE city = 'delft'")
+        b = parse_sql("SELECT * FROM users WHERE city = 'sf'")
+        assert scan_key(a, "users") != scan_key(b, "users")
+
+    def test_join_key_shared_across_queries(self):
+        from repro.db.sql import join_subset_key
+
+        a = parse_sql("SELECT * FROM users u, orders o WHERE u.uid = o.uid")
+        b = parse_sql("SELECT * FROM users, orders WHERE users.uid = orders.uid")
+        assert join_subset_key(a, ["u", "o"]) == join_subset_key(b, ["users", "orders"])
+
+    def test_subexpression_keys_cover_scans_and_joins(self):
+        from repro.db.sql import subexpression_keys
+
+        q = parse_sql(
+            "SELECT * FROM users u, orders o, items i "
+            "WHERE u.uid = o.uid AND o.oid = i.oid"
+        )
+        keys = subexpression_keys(q)
+        kinds = sorted(k[0] for k in keys)
+        assert kinds.count("scan") == 3
+        assert kinds.count("join") == 3  # two pairs + the full result

@@ -1,0 +1,108 @@
+"""Validation tests for the service's ``workload`` problem-spec kind."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.service.problems import (
+    MAX_RELATIONS,
+    MAX_SCRIPT_LENGTH,
+    MAX_SCRIPT_STATEMENTS,
+    list_kinds,
+    problem_from_spec,
+)
+
+CATALOG = {
+    "tables": {
+        "users": {"cardinality": 1000, "distinct": {"uid": 1000, "city": 40}},
+        "orders": {"cardinality": 5000, "distinct": {"uid": 900}},
+    }
+}
+
+SCRIPT = (
+    "SELECT * FROM users, orders WHERE users.uid = orders.uid;"
+    "SELECT * FROM users WHERE city = 'delft';"
+    "UPDATE users SET city = 'x' WHERE uid = 1"
+)
+
+
+def spec(**overrides):
+    base = {"kind": "workload", "script": SCRIPT, "catalog": CATALOG}
+    base.update(overrides)
+    return base
+
+
+def test_workload_kind_listed():
+    assert "workload" in list_kinds()
+
+
+def test_each_instance_rebuildable():
+    names = [problem_from_spec(spec(instance=i)).name for i in range(3)]
+    assert names == ["joinorder_leftdeep", "mqo", "txn_schedule"]
+
+
+def test_default_instance_is_first():
+    assert problem_from_spec(spec()).name == "joinorder_leftdeep"
+
+
+def test_bushy_encoding():
+    assert problem_from_spec(spec(bushy=True)).name == "joinorder_bushy"
+
+
+def test_content_addressable():
+    a = problem_from_spec(spec(instance=0)).to_qubo().fingerprint()
+    b = problem_from_spec(spec(instance=0)).to_qubo().fingerprint()
+    assert a == b
+
+
+def test_instance_out_of_range():
+    with pytest.raises(ReproError, match="'instance'"):
+        problem_from_spec(spec(instance=17))
+
+
+def test_missing_script():
+    with pytest.raises(ReproError, match="script"):
+        problem_from_spec({"kind": "workload", "catalog": CATALOG})
+
+
+def test_script_too_long():
+    long_script = "SELECT * FROM users; " * (MAX_SCRIPT_LENGTH // 10)
+    with pytest.raises(ReproError, match="chars"):
+        problem_from_spec(spec(script=long_script))
+
+
+def test_too_many_statements():
+    script = ";".join(["SELECT * FROM users"] * (MAX_SCRIPT_STATEMENTS + 1))
+    with pytest.raises(ReproError, match="statements"):
+        problem_from_spec(spec(script=script))
+
+
+def test_too_many_joined_tables():
+    wide = "SELECT * FROM " + ", ".join(f"users t{i}" for i in range(MAX_RELATIONS + 1))
+    with pytest.raises(ReproError, match="joins"):
+        problem_from_spec(spec(script=wide))
+
+
+def test_parse_error_maps_to_repro_error():
+    with pytest.raises(ReproError, match="failed to parse"):
+        problem_from_spec(spec(script="SELEC nope"))
+
+
+def test_unknown_table_rejected():
+    with pytest.raises(ReproError, match="unknown table"):
+        problem_from_spec(spec(script="SELECT * FROM ghosts, users; SELECT * FROM users"))
+
+
+def test_catalog_required():
+    with pytest.raises(ReproError, match="catalog"):
+        problem_from_spec({"kind": "workload", "script": SCRIPT})
+
+
+def test_bad_distinct_count():
+    bad = {"tables": {"users": {"cardinality": 10, "distinct": {"uid": 0}}}}
+    with pytest.raises(ReproError, match="distinct"):
+        problem_from_spec(spec(catalog=bad))
+
+
+def test_bad_bushy_type():
+    with pytest.raises(ReproError, match="bushy"):
+        problem_from_spec(spec(bushy="yes"))

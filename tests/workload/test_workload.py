@@ -1,0 +1,155 @@
+"""Tests for the SQL workload compiler and runner (ISSUE 10 acceptance)."""
+
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.exceptions import ReproError
+from repro.workload import WorkloadPlan, compile_workload, run_workload
+
+SCRIPT = (
+    "SELECT users.name, orders.total FROM users, orders "
+    "WHERE users.uid = orders.uid AND users.city = 'delft';"
+    "SELECT u.city, i.sku FROM users u, orders o, items i "
+    "WHERE u.uid = o.uid AND o.oid = i.oid;"
+    "SELECT * FROM users WHERE city = 'delft';"
+    "INSERT INTO orders VALUES (99, 1, 10.0);"
+    "UPDATE users SET city = 'sf' WHERE uid = 3;"
+    "DELETE FROM items WHERE sku = 'plum'"
+)
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_table("users", 1000, {"uid": 1000, "city": 40})
+    cat.add_table("orders", 5000, {"oid": 5000, "uid": 900})
+    cat.add_table("items", 20000, {"oid": 4800, "sku": 300})
+    return cat
+
+
+class TestCompile:
+    def test_six_statements_three_domains(self, catalog):
+        plan = compile_workload(SCRIPT, catalog)
+        assert len(plan.statements) == 6
+        kinds = [inst.kind for inst in plan.instances]
+        # >= 3 distinct Table I instances across all three domains.
+        assert kinds == ["joinorder", "joinorder", "mqo", "txn"]
+
+    def test_instance_statement_coverage(self, catalog):
+        plan = compile_workload(SCRIPT, catalog)
+        by_kind = {inst.kind: inst for inst in plan.instances if inst.kind != "joinorder"}
+        assert by_kind["mqo"].statements == [0, 1, 2]
+        assert by_kind["txn"].statements == [3, 4, 5]
+        joinorders = [inst for inst in plan.instances if inst.kind == "joinorder"]
+        assert [inst.statements for inst in joinorders] == [[0], [1]]
+        # Every statement maps to at least one instance.
+        for i in range(6):
+            assert plan.instances_of(i), f"statement {i} unmapped"
+
+    def test_mqo_candidates_and_sharing(self, catalog):
+        plan = compile_workload(SCRIPT, catalog)
+        mqo = next(inst for inst in plan.instances if inst.kind == "mqo").problem.problem
+        assert mqo.queries == ["s0", "s1", "s2"]
+        # Multi-table queries offer several plans, the scan query exactly one.
+        assert len(mqo.plans_of("s0")) >= 2
+        assert len(mqo.plans_of("s2")) == 1
+        # s0 and s2 both scan users filtered on city='delft' -> a saving exists.
+        assert any(
+            {qa, qb} == {"s0", "s2"}
+            for ((qa, _), (qb, _)) in mqo.savings
+        )
+
+    def test_self_join_compiles(self, catalog):
+        plan = compile_workload(
+            "SELECT * FROM users u1, users u2 WHERE u1.uid = u2.uid;"
+            "SELECT * FROM users",
+            catalog,
+        )
+        jo = next(inst for inst in plan.instances if inst.kind == "joinorder")
+        assert sorted(jo.problem.graph.relations) == ["u1", "u2"]
+
+    def test_disconnected_from_clause_compiles(self, catalog):
+        plan = compile_workload("SELECT * FROM users, items; SELECT * FROM users", catalog)
+        jo = next(inst for inst in plan.instances if inst.kind == "joinorder")
+        assert jo.problem.graph.is_connected()
+
+    def test_unknown_table_rejected(self, catalog):
+        with pytest.raises(ReproError, match="unknown table"):
+            compile_workload("SELECT * FROM nosuch", catalog)
+
+    def test_empty_script_rejected(self, catalog):
+        with pytest.raises(ReproError):
+            compile_workload("   ", catalog)
+
+    def test_single_scan_only_script_rejected(self, catalog):
+        # One single-table SELECT yields no joinorder, no MQO, no txn.
+        with pytest.raises(ReproError, match="no problem instances"):
+            compile_workload("SELECT * FROM users", catalog)
+
+    def test_bushy_encoding(self, catalog):
+        plan = compile_workload(SCRIPT, catalog, bushy=True)
+        jo = next(inst for inst in plan.instances if inst.kind == "joinorder")
+        assert jo.problem.name == "joinorder_bushy"
+
+
+class TestRun:
+    def test_end_to_end_plans(self, catalog):
+        report = run_workload(SCRIPT, catalog, seed=42)
+        assert len(report.results) == 4
+        plans = report.statement_plans
+        assert sorted(plans[0].join_order) == ["orders", "users"]
+        assert sorted(plans[1].join_order) == ["i", "o", "u"]
+        for i in (0, 1, 2):
+            assert plans[i].mqo_plan is not None
+        for i in (3, 4, 5):
+            assert plans[i].slot is not None
+        # The three DML statements touch disjoint tables: no conflicts, so a
+        # feasible schedule runs them all in slot 0.
+        assert {plans[i].slot for i in (3, 4, 5)} == {0}
+
+    def test_deterministic_for_fixed_seed(self, catalog):
+        first = run_workload(SCRIPT, catalog, seed=1234)
+        second = run_workload(SCRIPT, catalog, seed=1234)
+        for a, b in zip(first.results, second.results):
+            assert a.solution == b.solution
+            assert a.objective == b.objective
+        assert [p.join_order for p in first.statement_plans] == [
+            p.join_order for p in second.statement_plans
+        ]
+
+    def test_one_batch_with_labels(self, catalog):
+        report = run_workload(SCRIPT, catalog, seed=7)
+        for inst, result in zip(report.plan.instances, report.results):
+            assert result.info["engine"]["label"] == inst.label
+
+    def test_provenance_maps_every_statement(self, catalog):
+        report = run_workload(SCRIPT, catalog, seed=7)
+        workload = report.info["workload"]
+        assert sorted(workload["statements"]) == [str(i) for i in range(6)]
+        for entry in workload["statements"].values():
+            assert entry["instances"], f"statement unmapped: {entry}"
+            for ref in entry["instances"]:
+                assert ref["shard"] is not None
+                assert ref["label"] == report.plan.instances[ref["instance"]].label
+        # Instance-level provenance is stamped onto each result too.
+        for inst, result in zip(report.plan.instances, report.results):
+            stamped = result.info["workload"]
+            assert stamped["instance"] == inst.index
+            assert stamped["statements"] == inst.statements
+            assert stamped["shard"] is not None
+
+    def test_precompiled_plan_accepted(self, catalog):
+        plan = compile_workload(SCRIPT, catalog)
+        assert isinstance(plan, WorkloadPlan)
+        report = run_workload(plan, seed=3)
+        assert len(report.results) == len(plan.instances)
+
+    def test_text_without_catalog_rejected(self):
+        with pytest.raises(ValueError, match="catalog"):
+            run_workload("SELECT * FROM users", None)
+
+    def test_bushy_run_stitches_tree(self, catalog):
+        report = run_workload(SCRIPT, catalog, seed=5, bushy=True)
+        sp = report.statement_plans[1]
+        assert sp.join_tree is not None
+        assert sorted(sp.join_order) == ["i", "o", "u"]

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Docs link lint: every intra-repo markdown link must resolve.
+
+Scans the repo's markdown files (``docs/``, top-level ``*.md``) for inline
+links and images, and checks that relative targets point at files that
+exist.  External schemes (http/https/mailto) and pure ``#anchor`` links are
+skipped; a ``path#anchor`` target is checked for the file part only.
+
+Exit status 0 when clean, 1 with one line per broken link otherwise —
+suitable both for CI and for the tier-1 test that wraps it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links/images: [text](target) — code spans are stripped first.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files += sorted(docs.rglob("*.md"))
+    return files
+
+
+def broken_links(root: Path) -> list[str]:
+    problems = []
+    for path in markdown_files(root):
+        text = path.read_text(encoding="utf-8")
+        in_fence = False
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK_RE.finditer(_CODE_SPAN_RE.sub("", line)):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                file_part = target.split("#", 1)[0]
+                if not file_part:
+                    continue
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(root)}:{lineno}: broken link -> {target}"
+                    )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    problems = broken_links(root)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} broken intra-repo link(s)")
+        return 1
+    count = len(markdown_files(root))
+    print(f"docs-lint: {count} markdown files, all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
